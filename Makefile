@@ -1,0 +1,42 @@
+# Convenience targets for the mtreescale reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz results results-paper report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing passes over the two parsers.
+fuzz:
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/graph/
+	$(GO) test -fuzz FuzzReadCSV -fuzztime 30s ./internal/plot/
+
+# Regenerate every experiment at the default (medium) profile.
+results:
+	$(GO) run ./cmd/mtsim -experiment all -profile medium -out results
+	$(GO) run ./cmd/mtsim -report -profile medium > results/REPORT.md
+
+# Full-size paper-faithful runs (minutes; fig1b dominates).
+results-paper:
+	$(GO) run ./cmd/mtsim -experiment all -profile paper -out results-paper
+
+report:
+	$(GO) run ./cmd/mtsim -report -profile quick
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,247 @@
+package mtreescale_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	mtreescale "mtreescale"
+)
+
+func TestQuickStartFlow(t *testing.T) {
+	// The doc.go quick-start must work end to end.
+	g, err := mtreescale.GenerateTopologySeeded("ts1000", 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := mtreescale.LogSpacedSizes(g.N()/2, 10)
+	pts, err := mtreescale.MeasureCurve(g, sizes, mtreescale.Distinct,
+		mtreescale.Protocol{NSource: 10, NRcvr: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := mtreescale.CurveFromPoints(pts).FitChuangSirbu()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Exponent < 0.5 || fit.Exponent > 1.0 {
+		t.Fatalf("exponent %.3f implausible", fit.Exponent)
+	}
+}
+
+func TestStandardTopologyNames(t *testing.T) {
+	all := mtreescale.StandardTopologies()
+	if len(all) != 8 {
+		t.Fatalf("standard topologies = %v", all)
+	}
+	if len(mtreescale.GeneratedTopologies())+len(mtreescale.RealTopologies()) != 8 {
+		t.Fatal("partition broken")
+	}
+}
+
+func TestTopologyRoundTripThroughAPI(t *testing.T) {
+	g := mtreescale.ARPA()
+	var buf bytes.Buffer
+	if err := mtreescale.WriteTopology(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := mtreescale.ReadTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 47 || h.M() != g.M() {
+		t.Fatalf("round trip: N=%d M=%d", h.N(), h.M())
+	}
+}
+
+func TestBuilderThroughAPI(t *testing.T) {
+	b := mtreescale.NewTopologyBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(2, 3)
+	g := b.Build()
+	m := mtreescale.ComputeMetrics(g, 0, 1)
+	if m.Nodes != 4 || m.Links != 3 || m.Diameter != 3 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestAnalyticTreeThroughAPI(t *testing.T) {
+	tr := mtreescale.AnalyticTree{K: 2, Depth: 10}
+	l, err := tr.LeafTreeSize(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l <= 0 {
+		t.Fatal("tree size must be positive")
+	}
+	n, err := mtreescale.RequiredDraws(1024, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := mtreescale.ExpectedDistinct(1024, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(back-32) > 1e-9 {
+		t.Fatalf("conversion round trip: %v", back)
+	}
+	if mtreescale.ChuangSirbuReference(1) != 1 {
+		t.Fatal("reference")
+	}
+}
+
+func TestReachabilityThroughAPI(t *testing.T) {
+	g, err := mtreescale.TransitStubSized(300, 3.6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := mtreescale.MeasureReachability(g, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sites() <= 0 || r.Depth() <= 0 {
+		t.Fatalf("degenerate reachability: sites=%v depth=%d", r.Sites(), r.Depth())
+	}
+	l, err := r.ExpectedTreeThroughout(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l <= 0 || l > r.Sites() {
+		t.Fatalf("Eq30 tree size %v out of range", l)
+	}
+	cls, err := r.Classify(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls == mtreescale.GrowthSubExponential {
+		t.Fatalf("transit-stub should not be sub-exponential, got %v", cls)
+	}
+}
+
+func TestAffinityThroughAPI(t *testing.T) {
+	m, err := mtreescale.NewAffinityTreeModel(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := mtreescale.EstimateAffinity(m, 10, 5, mtreescale.AffinityParams{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := mtreescale.EstimateAffinity(m, 10, 0, mtreescale.AffinityParams{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MeanTreeSize >= uniform.MeanTreeSize {
+		t.Fatalf("affinity %v not below uniform %v", est.MeanTreeSize, uniform.MeanTreeSize)
+	}
+}
+
+func TestAffinityGraphChainThroughAPI(t *testing.T) {
+	g, err := mtreescale.TransitStubSized(100, 3.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := mtreescale.NewAffinityGraphChain(g, 0, 8, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Sweep()
+	if c.TreeSize() <= 0 {
+		t.Fatal("empty tree")
+	}
+}
+
+func TestPricingThroughAPI(t *testing.T) {
+	p := mtreescale.DefaultPricing(100)
+	if p.Exponent != mtreescale.ChuangSirbuExponent {
+		t.Fatal("default pricing must use the Chuang-Sirbu exponent")
+	}
+	gp, err := p.GroupPrice(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp >= 100*1000 {
+		t.Fatal("multicast must beat unicast")
+	}
+}
+
+func TestExperimentsThroughAPI(t *testing.T) {
+	ids := mtreescale.ExperimentIDs()
+	if len(ids) != 23 { // 18 paper items + 5 extensions
+		t.Fatalf("experiment count = %d", len(ids))
+	}
+	res, err := mtreescale.RunExperiment("fig8", mtreescale.QuickProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mtreescale.RenderASCII(res.Figure, mtreescale.ASCIIOptions{Width: 50, Height: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig8") {
+		t.Fatal("render missing figure id")
+	}
+	var csvBuf, gpBuf bytes.Buffer
+	if err := mtreescale.WriteFigureCSV(&csvBuf, res.Figure); err != nil {
+		t.Fatal(err)
+	}
+	if err := mtreescale.WriteFigureGnuplot(&gpBuf, res.Figure); err != nil {
+		t.Fatal(err)
+	}
+	if csvBuf.Len() == 0 || gpBuf.Len() == 0 {
+		t.Fatal("empty exports")
+	}
+}
+
+func TestProfilesThroughAPI(t *testing.T) {
+	for _, p := range []mtreescale.Profile{
+		mtreescale.PaperProfile(), mtreescale.MediumProfile(), mtreescale.QuickProfile(),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mtreescale.ProfileByName("paper"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKAryTreeThroughAPI(t *testing.T) {
+	tr, err := mtreescale.NewKAryTree(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves != 81 {
+		t.Fatalf("leaves = %d", tr.Leaves)
+	}
+	spt, err := tr.Graph.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mtreescale.NewTreeCounter(tr.Graph.N())
+	if got := c.TreeSize(spt, []int32{int32(tr.Leaf(0))}); got != 4 {
+		t.Fatalf("single-leaf tree = %d", got)
+	}
+}
+
+func TestGeneratorsThroughAPI(t *testing.T) {
+	if _, err := mtreescale.GNP(50, 0.1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mtreescale.Waxman(50, 0.5, 0.3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mtreescale.TiersSized(300, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mtreescale.PreferentialAttachment(100, 2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := mtreescale.ReachabilityFigure8Models(2, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+}

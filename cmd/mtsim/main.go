@@ -1,0 +1,207 @@
+// Command mtsim reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	mtsim -list
+//	mtsim -experiment fig1a [-profile quick|medium|paper] [-format ascii|csv|gnuplot|notes]
+//	mtsim -experiment all -out results/
+//
+// With -out, each experiment writes <id>.csv, <id>.gp (gnuplot) and
+// <id>.txt (ASCII + notes) into the directory; without it, the selected
+// format prints to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+
+	mtreescale "mtreescale"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mtsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mtsim", flag.ContinueOnError)
+	var (
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		describe   = fs.Bool("describe", false, "list experiment ids with titles and descriptions")
+		report     = fs.Bool("report", false, "run every experiment and emit a Markdown report")
+		experiment = fs.String("experiment", "", "experiment id (e.g. fig1a) or 'all'")
+		profile    = fs.String("profile", "medium", "effort profile: quick|medium|paper")
+		format     = fs.String("format", "ascii", "stdout format: ascii|csv|gnuplot|notes")
+		outDir     = fs.String("out", "", "write <id>.csv/.gp/.txt into this directory")
+		width      = fs.Int("width", 72, "ASCII plot width")
+		height     = fs.Int("height", 24, "ASCII plot height")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range mtreescale.ExperimentIDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+	if *describe {
+		for _, id := range mtreescale.ExperimentIDs() {
+			title, desc, err := mtreescale.ExperimentInfo(id)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-20s %s\n%20s %s\n", id, title, "", desc)
+		}
+		return nil
+	}
+	if *experiment == "" && !*report {
+		fs.Usage()
+		return fmt.Errorf("missing -experiment (or -list/-describe/-report)")
+	}
+	p, err := mtreescale.ProfileByName(*profile)
+	if err != nil {
+		return err
+	}
+	if *report {
+		return mtreescale.WriteReport(out, p)
+	}
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = mtreescale.ExperimentIDs()
+	}
+	for _, id := range ids {
+		res, err := mtreescale.RunExperiment(id, p)
+		if err != nil {
+			return err
+		}
+		if *outDir != "" {
+			if err := writeAll(*outDir, res, *width, *height); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s (%s)\n", id, res.Title)
+			continue
+		}
+		if err := render(out, res, *format, *width, *height); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func render(out io.Writer, res *mtreescale.Result, format string, w, h int) error {
+	switch format {
+	case "ascii":
+		if res.Figure == nil {
+			return renderTable(out, res)
+		}
+		s, err := mtreescale.RenderASCII(res.Figure, mtreescale.ASCIIOptions{Width: w, Height: h})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, s)
+		renderNotes(out, res)
+		return nil
+	case "csv":
+		if res.Figure == nil {
+			return renderTableCSV(out, res)
+		}
+		return mtreescale.WriteFigureCSV(out, res.Figure)
+	case "gnuplot":
+		if res.Figure == nil {
+			return fmt.Errorf("%s is a table; use -format ascii or csv", res.ID)
+		}
+		return mtreescale.WriteFigureGnuplot(out, res.Figure)
+	case "notes":
+		renderNotes(out, res)
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func renderNotes(out io.Writer, res *mtreescale.Result) {
+	if len(res.Notes) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "notes [%s]:\n", res.ID)
+	for _, n := range res.Notes {
+		fmt.Fprintf(out, "  - %s\n", n)
+	}
+}
+
+func renderTable(out io.Writer, res *mtreescale.Result) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\n", strings.Join(res.Header, "\t"))
+	for _, row := range res.Rows {
+		fmt.Fprintf(tw, "%s\n", strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+func renderTableCSV(out io.Writer, res *mtreescale.Result) error {
+	fmt.Fprintln(out, strings.Join(res.Header, ","))
+	for _, row := range res.Rows {
+		fmt.Fprintln(out, strings.Join(row, ","))
+	}
+	return nil
+}
+
+func writeAll(dir string, res *mtreescale.Result, w, h int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	txt, err := os.Create(filepath.Join(dir, res.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	if res.Figure != nil {
+		s, err := mtreescale.RenderASCII(res.Figure, mtreescale.ASCIIOptions{Width: w, Height: h})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(txt, s)
+	} else {
+		if err := renderTable(txt, res); err != nil {
+			return err
+		}
+	}
+	renderNotes(txt, res)
+
+	if res.Figure != nil {
+		csvF, err := os.Create(filepath.Join(dir, res.ID+".csv"))
+		if err != nil {
+			return err
+		}
+		defer csvF.Close()
+		if err := mtreescale.WriteFigureCSV(csvF, res.Figure); err != nil {
+			return err
+		}
+		gpF, err := os.Create(filepath.Join(dir, res.ID+".gp"))
+		if err != nil {
+			return err
+		}
+		defer gpF.Close()
+		if err := mtreescale.WriteFigureGnuplot(gpF, res.Figure); err != nil {
+			return err
+		}
+	} else {
+		csvF, err := os.Create(filepath.Join(dir, res.ID+".csv"))
+		if err != nil {
+			return err
+		}
+		defer csvF.Close()
+		if err := renderTableCSV(csvF, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"table1", "fig1a", "fig9b", "ext-steiner"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-describe"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig9b") || !strings.Contains(out, "Metropolis") {
+		t.Fatalf("describe output:\n%s", out[:200])
+	}
+}
+
+func TestReportMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-report", "-profile", "quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# mtreescale experiment report") || !strings.Contains(out, "## fig8") {
+		t.Fatalf("report output:\n%s", out[:120])
+	}
+}
+
+func TestMissingExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("no arguments must error")
+	}
+}
+
+func TestUnknownProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "fig8", "-profile", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown profile must error")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "nope", "-profile", "quick"}, &buf); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "fig8", "-profile", "quick", "-format", "png"}, &buf); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+func TestTableASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "table1", "-profile", "quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "arpa") || !strings.Contains(out, "avg degree") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}
+
+func TestTableCSVAndGnuplotRejection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "table1", "-profile", "quick", "-format", "csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "name,style") {
+		t.Fatalf("csv header missing:\n%s", buf.String())
+	}
+	if err := run([]string{"-experiment", "table1", "-profile", "quick", "-format", "gnuplot"}, &buf); err == nil {
+		t.Fatal("gnuplot of a table must error")
+	}
+}
+
+func TestFigureFormats(t *testing.T) {
+	for _, format := range []string{"ascii", "csv", "gnuplot", "notes"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-experiment", "fig8", "-profile", "quick", "-format", format}, &buf); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s: empty output", format)
+		}
+	}
+}
+
+func TestOutDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "fig8", "-profile", "quick", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".txt", ".csv", ".gp"} {
+		if _, err := os.Stat(filepath.Join(dir, "fig8"+ext)); err != nil {
+			t.Fatalf("missing fig8%s: %v", ext, err)
+		}
+	}
+	// Table writes txt + csv only.
+	if err := run([]string{"-experiment", "table1", "-profile", "quick", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1.csv")); err != nil {
+		t.Fatal(err)
+	}
+}

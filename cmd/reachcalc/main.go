@@ -1,0 +1,79 @@
+// Command reachcalc measures the reachability function of a topology (the
+// paper's §4): S(r), T(r), the average path length, the growth class, and
+// optionally the expected tree sizes of Equations 23/30.
+//
+// Usage:
+//
+//	reachcalc -name ts1000                       # standard topology
+//	reachcalc < topology.graph                   # edge-list on stdin
+//	reachcalc -name ti5000 -sources 50 -tree 100 # Eq 30 at n=100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	mtreescale "mtreescale"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "reachcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("reachcalc", flag.ContinueOnError)
+	var (
+		name    = fs.String("name", "", "standard topology name (default: read edge list from stdin)")
+		scale   = fs.Float64("scale", 1, "scale for standard topologies")
+		sources = fs.Int("sources", 100, "number of random BFS sources to average")
+		seed    = fs.Int64("seed", 1, "sampling seed")
+		treeN   = fs.Int("tree", 0, "also print Eq 23/30 expected tree sizes at this n")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *mtreescale.Topology
+	var err error
+	if *name != "" {
+		g, err = mtreescale.GenerateTopologySeeded(*name, 0, *scale)
+	} else {
+		g, err = mtreescale.ReadTopology(in)
+	}
+	if err != nil {
+		return err
+	}
+	r, err := mtreescale.MeasureReachability(g, *sources, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "nodes %d  links %d  avg degree %.2f\n", g.N(), g.M(), g.AvgDegree())
+	fmt.Fprintf(out, "sites %.1f  depth %d  avg dist %.3f\n", r.Sites(), r.Depth(), r.AvgDist())
+	if cls, err := r.Classify(0.5); err == nil {
+		fmt.Fprintf(out, "T(r) growth: %s\n", cls)
+	} else {
+		fmt.Fprintf(out, "T(r) growth: unclassifiable (%v)\n", err)
+	}
+	fmt.Fprintln(out, "r\tS(r)\tT(r)")
+	rs, ts := r.TCurve()
+	for i := range rs {
+		fmt.Fprintf(out, "%d\t%.2f\t%.2f\n", rs[i], r.S[rs[i]], ts[i])
+	}
+	if *treeN > 0 {
+		leaves, err := r.ExpectedTreeLeaves(float64(*treeN))
+		if err != nil {
+			return err
+		}
+		thr, err := r.ExpectedTreeThroughout(float64(*treeN))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Eq23 L̄(%d) leaves-only = %.2f\n", *treeN, leaves)
+		fmt.Fprintf(out, "Eq30 L̄(%d) throughout  = %.2f\n", *treeN, thr)
+	}
+	return nil
+}

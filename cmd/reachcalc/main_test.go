@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReachStandard(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "arpa", "-sources", "10"}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"nodes 47", "T(r) growth", "r\tS(r)\tT(r)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReachWithTree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "r100", "-sources", "5", "-tree", "20"}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Eq23") || !strings.Contains(out, "Eq30") {
+		t.Fatalf("tree sizes missing:\n%s", out)
+	}
+}
+
+func TestReachBadName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "bogus"}, nil, &buf); err == nil {
+		t.Fatal("bad name must error")
+	}
+}
+
+func TestReachScaled(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "ts1000", "-scale", "0.1", "-sources", "5"}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nodes 10") { // 100-node scale
+		t.Fatalf("scaled run:\n%s", buf.String()[:60])
+	}
+}
+
+func TestReachFromStdin(t *testing.T) {
+	in := strings.NewReader("name ring\nnodes 6\n0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n")
+	var buf bytes.Buffer
+	if err := run([]string{"-sources", "4"}, in, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nodes 6") {
+		t.Fatalf("stdin topology not parsed:\n%s", buf.String())
+	}
+}
+
+func TestReachBadStdin(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader("garbage"), &buf); err == nil {
+		t.Fatal("bad stdin must error")
+	}
+}

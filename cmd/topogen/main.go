@@ -1,0 +1,100 @@
+// Command topogen generates network topologies in the textual edge-list
+// format.
+//
+// Usage:
+//
+//	topogen -name ts1000 > ts1000.graph          # a Table 1 standard topology
+//	topogen -name ts1000 -seed 7 -scale 0.5      # reseeded / rescaled
+//	topogen -kind kary -k 2 -depth 10            # a binary tree
+//	topogen -kind gnp -n 500 -p 0.02             # G(n,p) giant component
+//	topogen -kind waxman -n 500 -alpha .4 -beta .2
+//	topogen -kind ts -n 1000 -deg 3.6            # transit-stub
+//	topogen -kind tiers -n 5000                  # TIERS
+//	topogen -kind pa -n 4000 -edges 2 -shortcuts 100
+//	topogen -name arpa -stats                    # print metrics instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	mtreescale "mtreescale"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		name      = fs.String("name", "", "standard topology name (see -listnames)")
+		listNames = fs.Bool("listnames", false, "list standard topology names and exit")
+		kind      = fs.String("kind", "", "generator: kary|gnp|waxman|ts|tiers|pa")
+		seed      = fs.Int64("seed", 1, "generator seed (0 = canonical for -name)")
+		scale     = fs.Float64("scale", 1, "scale for standard topologies, (0,1]")
+		n         = fs.Int("n", 1000, "node count")
+		k         = fs.Int("k", 2, "k-ary branching factor")
+		depth     = fs.Int("depth", 10, "k-ary tree depth")
+		p         = fs.Float64("p", 0.01, "G(n,p) edge probability")
+		alpha     = fs.Float64("alpha", 0.4, "Waxman alpha")
+		beta      = fs.Float64("beta", 0.2, "Waxman beta")
+		deg       = fs.Float64("deg", 3.6, "transit-stub target average degree")
+		edges     = fs.Int("edges", 2, "preferential attachment edges per node")
+		shortcuts = fs.Int("shortcuts", 0, "preferential attachment extra shortcuts")
+		stats     = fs.Bool("stats", false, "print metrics instead of the edge list")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listNames {
+		for _, nm := range mtreescale.StandardTopologies() {
+			fmt.Fprintln(out, nm)
+		}
+		return nil
+	}
+
+	var g *mtreescale.Topology
+	var err error
+	switch {
+	case *name != "":
+		s := *seed
+		if s == 1 {
+			s = 0 // canonical
+		}
+		g, err = mtreescale.GenerateTopologySeeded(*name, s, *scale)
+	case *kind == "kary":
+		var tr *mtreescale.KAryTree
+		tr, err = mtreescale.NewKAryTree(*k, *depth)
+		if err == nil {
+			g = tr.Graph
+		}
+	case *kind == "gnp":
+		g, err = mtreescale.GNP(*n, *p, *seed)
+	case *kind == "waxman":
+		g, err = mtreescale.Waxman(*n, *alpha, *beta, *seed)
+	case *kind == "ts":
+		g, err = mtreescale.TransitStubSized(*n, *deg, *seed)
+	case *kind == "tiers":
+		g, err = mtreescale.TiersSized(*n, *seed)
+	case *kind == "pa":
+		g, err = mtreescale.PreferentialAttachment(*n, *edges, *shortcuts, *seed)
+	default:
+		fs.Usage()
+		return fmt.Errorf("need -name or -kind")
+	}
+	if err != nil {
+		return err
+	}
+	if *stats {
+		m := mtreescale.ComputeMetrics(g, 100, *seed)
+		fmt.Fprintln(out, m.String())
+		return nil
+	}
+	return mtreescale.WriteTopology(out, g)
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-listnames"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ts1000") || !strings.Contains(buf.String(), "arpa") {
+		t.Fatalf("names:\n%s", buf.String())
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing -name/-kind must error")
+	}
+}
+
+func TestStandardTopologyEdgeList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "arpa"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "name arpa") || !strings.Contains(out, "nodes 47") {
+		t.Fatalf("edge list:\n%s", out[:100])
+	}
+}
+
+func TestStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "arpa", "-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nodes=47") {
+		t.Fatalf("stats:\n%s", buf.String())
+	}
+}
+
+func TestAllKinds(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "kary", "-k", "3", "-depth", "4"},
+		{"-kind", "gnp", "-n", "100", "-p", "0.05"},
+		{"-kind", "waxman", "-n", "100"},
+		{"-kind", "ts", "-n", "200", "-deg", "3.6"},
+		{"-kind", "tiers", "-n", "300"},
+		{"-kind", "pa", "-n", "200", "-edges", "2", "-shortcuts", "10"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.Contains(buf.String(), "nodes ") {
+			t.Fatalf("%v: no node count emitted", args)
+		}
+	}
+}
+
+func TestBadKindParams(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "kary", "-k", "0"}, &buf); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if err := run([]string{"-name", "bogus"}, &buf); err == nil {
+		t.Fatal("bad name must error")
+	}
+}

@@ -1,0 +1,98 @@
+// Command treecalc runs the paper's §2 Monte-Carlo protocol on one topology
+// and prints the L(m) curve, the Chuang-Sirbu fit, and the PST fit.
+//
+// Usage:
+//
+//	treecalc -name ts1000 -nsource 100 -nrcvr 100
+//	treecalc -name arpa -sizes 1,2,5,10,20,40
+//	treecalc < topology.graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	mtreescale "mtreescale"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "treecalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("treecalc", flag.ContinueOnError)
+	var (
+		name    = fs.String("name", "", "standard topology name (default: edge list on stdin)")
+		scale   = fs.Float64("scale", 1, "scale for standard topologies")
+		nsource = fs.Int("nsource", 100, "source draws (paper: 100)")
+		nrcvr   = fs.Int("nrcvr", 100, "receiver sets per source and size (paper: 100)")
+		seed    = fs.Int64("seed", 1, "protocol seed")
+		points  = fs.Int("points", 16, "log-spaced group sizes")
+		sizes   = fs.String("sizes", "", "explicit comma-separated group sizes (overrides -points)")
+		repl    = fs.Bool("replacement", false, "draw receivers with replacement (L̄(n) protocol)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *mtreescale.Topology
+	var err error
+	if *name != "" {
+		g, err = mtreescale.GenerateTopologySeeded(*name, 0, *scale)
+	} else {
+		g, err = mtreescale.ReadTopology(in)
+	}
+	if err != nil {
+		return err
+	}
+
+	var ms []int
+	if *sizes != "" {
+		for _, f := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("bad size %q: %v", f, err)
+			}
+			ms = append(ms, v)
+		}
+	} else {
+		ms = mtreescale.LogSpacedSizes(g.N()-1, *points)
+	}
+	mode := mtreescale.Distinct
+	if *repl {
+		mode = mtreescale.WithReplacement
+	}
+	pts, err := mtreescale.MeasureCurve(g, ms, mode, mtreescale.Protocol{
+		NSource: *nsource, NRcvr: *nrcvr, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "topology %s: N=%d M=%d (mode: %s)\n", g.Name(), g.N(), g.M(), mode)
+	fmt.Fprintln(out, "size\tL\tū\tL/ū\t±SE\tefficiency")
+	curve := mtreescale.CurveFromPoints(pts)
+	for i, pt := range pts {
+		fmt.Fprintf(out, "%d\t%.2f\t%.3f\t%.3f\t%.3f\t%.1f%%\n",
+			pt.Size, pt.MeanLinks, pt.MeanUnicast, pt.MeanRatio, pt.RatioStdErr,
+			100*curve.Efficiency(i))
+	}
+	if fit, err := curve.FitChuangSirbu(); err == nil {
+		fmt.Fprintf(out, "Chuang-Sirbu fit: L/ū ≈ %.3f·m^%.3f (R²=%.4f, SE=%.4f) — paper: exponent ≈ 0.8\n",
+			fit.Constant, fit.Exponent, fit.R2, fit.ExponentStdErr)
+	}
+	if fit, err := curve.FitPST(); err == nil {
+		impl := ""
+		if !math.IsNaN(fit.ImpliedLnK) && fit.ImpliedLnK > 0 {
+			impl = fmt.Sprintf(", implied k ≈ %.2f", math.Exp(fit.ImpliedLnK))
+		}
+		fmt.Fprintf(out, "PST fit: L/(n·ū) ≈ %.4f %+.4f·ln n (R²=%.4f%s)\n", fit.A, fit.B, fit.R2, impl)
+	}
+	return nil
+}

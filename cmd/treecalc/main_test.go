@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTreecalcExplicitSizes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "arpa", "-nsource", "5", "-nrcvr", "5", "-sizes", "1,2,5,10"}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"topology arpa", "Chuang-Sirbu fit", "PST fit", "efficiency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTreecalcReplacementMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "arpa", "-nsource", "3", "-nrcvr", "3", "-points", "5", "-replacement"}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "with-replacement") {
+		t.Fatalf("mode missing:\n%s", buf.String())
+	}
+}
+
+func TestTreecalcBadSize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "arpa", "-sizes", "1,zap"}, nil, &buf); err == nil {
+		t.Fatal("bad size must error")
+	}
+	if err := run([]string{"-name", "arpa", "-nsource", "1", "-nrcvr", "1", "-sizes", "100"}, nil, &buf); err == nil {
+		t.Fatal("m > population must error")
+	}
+}
+
+func TestTreecalcBadName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "bogus"}, nil, &buf); err == nil {
+		t.Fatal("bad name must error")
+	}
+}
+
+func TestTreecalcFromStdin(t *testing.T) {
+	in := strings.NewReader("name p6\nnodes 6\n0 1\n1 2\n2 3\n3 4\n4 5\n")
+	var buf bytes.Buffer
+	if err := run([]string{"-nsource", "3", "-nrcvr", "3", "-sizes", "1,3"}, in, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "topology p6") {
+		t.Fatalf("stdin topology not parsed:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,101 @@
+package mtreescale_test
+
+import (
+	"fmt"
+	"log"
+
+	mtreescale "mtreescale"
+)
+
+// ExampleSteinerTreeSize compares the shortest-path delivery tree to the
+// KMB near-optimal Steiner tree on a small fixed topology.
+func ExampleSteinerTreeSize() {
+	// A 3x3 grid; source at a corner, receivers at the two far corners.
+	g, err := mtreescale.Grid(3, 3, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	receivers := []int32{2, 6} // top-right, bottom-left
+	spt, err := g.BFS(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := mtreescale.NewTreeCounter(g.N())
+	fmt.Printf("shortest-path tree: %d links\n", c.TreeSize(spt, receivers))
+	steiner, err := mtreescale.SteinerTreeSize(g, 0, receivers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("KMB Steiner tree:   %d links\n", steiner)
+
+	// Output:
+	// shortest-path tree: 4 links
+	// KMB Steiner tree:   4 links
+}
+
+// ExampleMeasureReachability measures S(r)/T(r) for the ARPA map and
+// classifies its growth, reproducing the paper's Figure 7(b) judgment that
+// ARPA is sub-exponential.
+func ExampleMeasureReachability() {
+	g := mtreescale.ARPA()
+	r, err := mtreescale.MeasureReachability(g, 47, 1) // every source
+	if err != nil {
+		log.Fatal(err)
+	}
+	cls, err := r.Classify(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sites: %.0f, depth: %d, growth: %v\n", r.Sites(), r.Depth(), cls)
+
+	// Output:
+	// sites: 46, depth: 7, growth: sub-exponential
+}
+
+// ExampleMeasureSharedCurve reproduces the Wei-Estrin comparison deferred by
+// the paper's footnote 1: with the core at the source, shared and source
+// trees coincide exactly.
+func ExampleMeasureSharedCurve() {
+	g := mtreescale.ARPA()
+	pts, err := mtreescale.MeasureSharedCurve(g, []int{10}, mtreescale.CoreSource,
+		mtreescale.Protocol{NSource: 10, NRcvr: 10, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source-core overhead at m=10: %.3f\n", pts[0].MeanOverhead)
+
+	// Output:
+	// source-core overhead at m=10: 1.000
+}
+
+// ExampleAnalyticTree_HFunction evaluates the paper's Figure 2 diagnostic:
+// h(x) tracks the line x·k^{-1/2}, so the tree degree only rescales the
+// asymptotics.
+func ExampleAnalyticTree_HFunction() {
+	tr := mtreescale.AnalyticTree{K: 2, Depth: 14}
+	h, err := tr.HFunction(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("h(0.5) = %.4f, line = %.4f\n", h, tr.HApprox(0.5))
+
+	// Output:
+	// h(0.5) = 0.3491, line = 0.3536
+}
+
+// ExampleGrid shows the §4.3 power-law reachability case realized as a
+// torus: S(r) = 4r, decidedly non-exponential.
+func ExampleGrid() {
+	g, err := mtreescale.Grid(20, 20, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := mtreescale.MeasureReachability(g, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("S(1)=%.0f S(2)=%.0f S(3)=%.0f\n", r.S[1], r.S[2], r.S[3])
+
+	// Output:
+	// S(1)=4 S(2)=8 S(3)=12
+}

@@ -1,0 +1,127 @@
+package mtreescale_test
+
+import (
+	"fmt"
+	"log"
+
+	mtreescale "mtreescale"
+)
+
+// ExampleAnalyticTree_LeafTreeSize evaluates the paper's Equation 4: the
+// exact expected multicast tree size on a binary tree of depth 4 as the
+// number of (with-replacement) leaf receivers grows.
+func ExampleAnalyticTree_LeafTreeSize() {
+	tr := mtreescale.AnalyticTree{K: 2, Depth: 4}
+	for _, n := range []float64{1, 4, 16, 1e9} {
+		l, err := tr.LeafTreeSize(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("L(%g) = %.2f\n", n, l)
+	}
+	// A single receiver's tree is its depth-4 path; infinitely many
+	// receivers saturate all 30 links.
+
+	// Output:
+	// L(1) = 4.00
+	// L(4) = 11.56
+	// L(16) = 23.32
+	// L(1e+09) = 30.00
+}
+
+// ExampleExpectedDistinct converts between the paper's two group-size
+// notions (Equation 1): n with-replacement draws vs m̄ expected distinct
+// sites.
+func ExampleExpectedDistinct() {
+	m, err := mtreescale.ExpectedDistinct(1024, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1024 draws from 1024 sites hit %.0f distinct sites\n", m)
+	n, err := mtreescale.RequiredDraws(1024, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hitting 512 distinct sites takes %.0f draws\n", n)
+
+	// Output:
+	// 1024 draws from 1024 sites hit 647 distinct sites
+	// hitting 512 distinct sites takes 709 draws
+}
+
+// ExamplePricing applies the Chuang-Sirbu cost-based tariff that motivated
+// the original scaling law.
+func ExamplePricing() {
+	p := mtreescale.DefaultPricing(1.00) // $1 per unicast
+	for _, m := range []int{1, 10, 100, 1000} {
+		gp, err := p.GroupPrice(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("group of %4d: $%7.2f total, $%.3f per receiver\n",
+			m, gp, gp/float64(m))
+	}
+
+	// Output:
+	// group of    1: $   1.00 total, $1.000 per receiver
+	// group of   10: $   6.31 total, $0.631 per receiver
+	// group of  100: $  39.81 total, $0.398 per receiver
+	// group of 1000: $ 251.19 total, $0.251 per receiver
+}
+
+// ExampleMeasureCurve runs the paper's §2 Monte-Carlo protocol on the ARPA
+// map and prints the normalized tree sizes. Results are deterministic for a
+// fixed seed.
+func ExampleMeasureCurve() {
+	g := mtreescale.ARPA()
+	pts, err := mtreescale.MeasureCurve(g, []int{1, 46}, mtreescale.Distinct,
+		mtreescale.Protocol{NSource: 20, NRcvr: 20, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// m=1 is exactly 1 by definition; m=N−1 spans the whole network.
+	fmt.Printf("L/ū at m=1:  %.2f\n", pts[0].MeanRatio)
+	fmt.Printf("L at m=46:   %.0f (of %d links)\n", pts[1].MeanLinks, g.N()-1)
+
+	// Output:
+	// L/ū at m=1:  1.00
+	// L at m=46:   46 (of 46 links)
+}
+
+// ExampleAnalyticTree_ExtremeAffinityTreeSize shows the §5 closed forms:
+// clustered receivers share almost the whole tree, spread-out receivers
+// force maximal trees.
+func ExampleAnalyticTree_ExtremeAffinityTreeSize() {
+	tr := mtreescale.AnalyticTree{K: 2, Depth: 10}
+	packed, err := tr.ExtremeAffinityTreeSize(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spread, err := tr.ExtremeDisaffinityTreeSize(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("64 receivers, packed:   %.0f links\n", packed)
+	fmt.Printf("64 receivers, spread:   %.0f links\n", spread)
+
+	// Output:
+	// 64 receivers, packed:   130 links
+	// 64 receivers, spread:   382 links
+}
+
+// ExampleRunExperiment regenerates one of the paper's figures and lists its
+// series.
+func ExampleRunExperiment() {
+	res, err := mtreescale.RunExperiment("fig8", mtreescale.QuickProfile())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range res.Figure.Series {
+		fmt.Println(s.Name)
+	}
+
+	// Output:
+	// S(r)=2^r
+	// S(r)∝r^3
+	// S(r)∝e^{λr²}
+}

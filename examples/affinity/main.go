@@ -1,0 +1,75 @@
+// Affinity: §5 of the paper. Receivers in real groups are not uniformly
+// scattered — teleconference participants cluster (affinity), sensor nodes
+// spread out (disaffinity). This example samples the paper's configuration
+// model W_α(β) ∝ exp(−β·d̂(α)) on a binary tree (Figure 9's setup) and on a
+// realistic transit-stub graph, showing how clustering changes the
+// delivery-tree size and hence multicast's efficiency gain.
+//
+//	go run ./examples/affinity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mtreescale "mtreescale"
+)
+
+func main() {
+	// Part 1: the paper's Figure 9 on a binary tree of depth 10.
+	model, err := mtreescale.NewAffinityTreeModel(2, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("binary tree D=10: %d sites\n\n", model.Sites())
+	fmt.Println("scenario            β      L̄_β(n=50)   d̂ (mean pair dist)   accept%")
+	scenarios := []struct {
+		name string
+		beta float64
+	}{
+		{"sensor net (spread)", -10},
+		{"mild disaffinity", -1},
+		{"uniform (paper §2-4)", 0},
+		{"mild affinity", 1},
+		{"teleconference", 10},
+	}
+	for _, sc := range scenarios {
+		est, err := mtreescale.EstimateAffinity(model, 50, sc.beta, mtreescale.AffinityParams{
+			BurnInSweeps: 200, SampleSweeps: 400, Seed: 11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-19s %5.1f   %9.1f   %18.2f   %6.1f%%\n",
+			sc.name, sc.beta, est.MeanTreeSize, est.MeanPairDist, 100*est.AcceptanceRate)
+	}
+	fmt.Println("\nclustered receivers share most of their delivery tree; spread-out")
+	fmt.Println("receivers force the tree to span the network.")
+
+	// Part 2: the same model on a realistic topology via the general-graph
+	// chain (the paper only simulates trees; this is the library extension).
+	g, err := mtreescale.TransitStubSized(600, 3.6, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntransit-stub network: %d nodes, %d links\n", g.N(), g.M())
+	fmt.Println("β      mean L over 200 sweeps")
+	for _, beta := range []float64{-5, 0, 5} {
+		chain, err := mtreescale.NewAffinityGraphChain(g, 0, 30, beta, 31)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 200; i++ { // burn-in
+			chain.Sweep()
+		}
+		sum := 0.0
+		for i := 0; i < 200; i++ {
+			chain.Sweep()
+			sum += float64(chain.TreeSize())
+		}
+		fmt.Printf("%5.1f  %.1f\n", beta, sum/200)
+	}
+	fmt.Println("\nthe paper's §5.4 conjecture: at fixed n the β effect is real, but in")
+	fmt.Println("the large-network limit with fixed n/M it vanishes — the asymptotic")
+	fmt.Println("form of L̄(n) survives receiver affinity.")
+}

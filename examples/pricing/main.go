@@ -1,0 +1,70 @@
+// Pricing: the application that motivated Chuang-Sirbu's study. A provider
+// prices multicast sessions by the network resources they consume. Because
+// L(m) ∝ m^0.8, the tariff P(m) = u·m^0.8 recovers cost, and the
+// per-receiver price falls with group size.
+//
+// This example measures a topology, calibrates a tariff from the *measured*
+// exponent (not the canonical 0.8), and prints a rate card.
+//
+//	go run ./examples/pricing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mtreescale "mtreescale"
+)
+
+func main() {
+	g, err := mtreescale.GenerateTopology("ts1008")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provider network: %s (%d nodes, %d links)\n\n", g.Name(), g.N(), g.M())
+
+	// Measure the actual scaling on this network.
+	sizes := mtreescale.LogSpacedSizes(900, 12)
+	pts, err := mtreescale.MeasureCurve(g, sizes, mtreescale.Distinct,
+		mtreescale.Protocol{NSource: 30, NRcvr: 30, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve := mtreescale.CurveFromPoints(pts)
+
+	const unicastPrice = 1.00 // $ per unicast session
+	tariff, err := mtreescale.CalibratedPricing(curve, unicastPrice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	canonical := mtreescale.DefaultPricing(unicastPrice)
+	fmt.Printf("measured exponent: %.3f (canonical Chuang-Sirbu: %.1f)\n\n", tariff.Exponent, canonical.Exponent)
+
+	fmt.Println("group size | group price | per receiver | vs m unicasts | measured efficiency")
+	for i, pt := range pts {
+		gp, err := tariff.GroupPrice(pt.Size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr, _ := tariff.PerReceiverPrice(pt.Size)
+		sv, _ := tariff.Savings(pt.Size)
+		fmt.Printf("%10d | $%10.2f | $%11.3f | %12.1f%% | %.1f%%\n",
+			pt.Size, gp, pr, 100*sv, 100*curve.Efficiency(i))
+	}
+
+	// How large must a group be before per-receiver price halves?
+	be, err := tariff.BreakEvenGroupSize(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper-receiver price halves at group size %d\n", be)
+
+	// Sanity: the tariff must track measured cost. Compare the tariff's
+	// prediction of relative cost against the measured tree sizes.
+	first, last := pts[0], pts[len(pts)-1]
+	measuredGrowth := last.MeanLinks / first.MeanLinks
+	p1, _ := tariff.GroupPrice(first.Size)
+	p2, _ := tariff.GroupPrice(last.Size)
+	fmt.Printf("cost growth m=%d→%d: measured ×%.1f, tariff ×%.1f\n",
+		first.Size, last.Size, measuredGrowth, p2/p1)
+}

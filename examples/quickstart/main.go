@@ -1,0 +1,63 @@
+// Quickstart: measure how multicast tree size scales with group size on one
+// topology, and compare the measured curve to the Chuang-Sirbu m^0.8 law and
+// to the paper's logarithmic-correction form.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	mtreescale "mtreescale"
+)
+
+func main() {
+	// 1. Build a transit-stub topology like the paper's ts1000.
+	g, err := mtreescale.GenerateTopology("ts1000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology %s: %d nodes, %d links, average degree %.2f\n",
+		g.Name(), g.N(), g.M(), g.AvgDegree())
+
+	// 2. Run the paper's Monte-Carlo protocol: random sources, random
+	// receiver sets, measure the delivery tree each time.
+	sizes := mtreescale.LogSpacedSizes(900, 14)
+	pts, err := mtreescale.MeasureCurve(g, sizes, mtreescale.Distinct,
+		mtreescale.Protocol{NSource: 40, NRcvr: 40, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n  m     L(m)      L/ū    m^0.8")
+	for _, pt := range pts {
+		fmt.Printf("%5d %8.1f %8.2f %8.2f\n",
+			pt.Size, pt.MeanLinks, pt.MeanRatio, mtreescale.ChuangSirbuReference(float64(pt.Size)))
+	}
+
+	// 3. Fit both scaling models.
+	curve := mtreescale.CurveFromPoints(pts)
+	cs, err := curve.FitChuangSirbu()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pst, err := curve.FitPST()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nChuang-Sirbu power law:  L/ū ≈ %.2f·m^%.3f   (R² = %.4f)\n",
+		cs.Constant, cs.Exponent, cs.R2)
+	fmt.Printf("PST log correction:      L/(n·ū) ≈ %.3f %+.4f·ln n (R² = %.4f)\n",
+		pst.A, pst.B, pst.R2)
+	fmt.Printf("\nThe paper's point: both describe the data, because the exact\n")
+	fmt.Printf("k-ary form n(c − ln(n/M)/ln k) numerically mimics m^0.8.\n")
+
+	// 4. The same exponent from pure theory: a binary tree of similar size.
+	tr := mtreescale.AnalyticTree{K: 2, Depth: 10}
+	l256, _ := tr.DistinctTreeSize(256)
+	l16, _ := tr.DistinctTreeSize(16)
+	slope := (math.Log(l256) - math.Log(l16)) / (math.Log(256) - math.Log(16))
+	fmt.Printf("\nanalytic binary tree (D=10) log-log slope over m ∈ [16,256]: %.3f\n", slope)
+}

@@ -1,0 +1,60 @@
+// Scalinglaw: reproduce the paper's headline comparison across all eight
+// Table 1 topologies — does L(m) ∝ m^0.8 hold, and does the reachability
+// function S(r) predict *when* it holds?
+//
+// For every topology this example measures the Chuang-Sirbu exponent and
+// classifies T(r) growth, reproducing the paper's dichotomy: networks with
+// exponential reachability fit the law and the PST form well; strongly
+// sub-exponential networks (TIERS-like, MBone-like, ARPA-like) fit worse.
+//
+//	go run ./examples/scalinglaw           # quarter-scale, ~1 minute
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mtreescale "mtreescale"
+)
+
+func main() {
+	fmt.Println("topology   | exponent | R²     | T(r) growth      | verdict")
+	fmt.Println("-----------+----------+--------+------------------+--------")
+	for _, name := range mtreescale.StandardTopologies() {
+		g, err := mtreescale.GenerateTopologySeeded(name, 0, 0.25)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Measure the scaling curve.
+		maxM := g.N() - 1
+		if maxM > 4000 {
+			maxM = 4000
+		}
+		pts, err := mtreescale.MeasureCurve(g, mtreescale.LogSpacedSizes(maxM, 12),
+			mtreescale.Distinct, mtreescale.Protocol{NSource: 20, NRcvr: 20, Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fit, err := mtreescale.CurveFromPoints(pts).FitChuangSirbu()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Classify reachability growth.
+		r, err := mtreescale.MeasureReachability(g, 20, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		growth := "unclassifiable"
+		if cls, err := r.Classify(0.5); err == nil {
+			growth = cls.String()
+		}
+		verdict := "fits law"
+		if fit.Exponent < 0.65 || fit.Exponent > 0.95 || fit.R2 < 0.98 {
+			verdict = "deviates"
+		}
+		fmt.Printf("%-10s | %8.3f | %.4f | %-16s | %s\n",
+			name, fit.Exponent, fit.R2, growth, verdict)
+	}
+	fmt.Println("\npaper's conclusion: the law is 'by no means exact, but remarkably")
+	fmt.Println("good' — and the exceptions are exactly the sub-exponential networks.")
+}

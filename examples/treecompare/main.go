@@ -1,0 +1,87 @@
+// Treecompare: put the paper's shortest-path trees in context. For one
+// topology and a sweep of group sizes, compare three multicast tree types:
+//
+//   - source-rooted shortest-path trees (what the paper measures),
+//   - core-based shared trees (what the paper's footnote 1 defers to
+//     Wei-Estrin),
+//   - KMB approximate Steiner trees (the near-optimal cost baseline),
+//
+// and check whether the Chuang-Sirbu exponent depends on the routing
+// algorithm. (Spoiler, matching Wei-Estrin: it barely does.)
+//
+//	go run ./examples/treecompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	mtreescale "mtreescale"
+)
+
+func main() {
+	g, err := mtreescale.TransitStubSized(600, 3.6, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %s-style, %d nodes, %d links\n\n", "transit-stub", g.N(), g.M())
+
+	sizes := mtreescale.LogSpacedSizes(300, 8)
+	prot := mtreescale.Protocol{NSource: 8, NRcvr: 8, Seed: 3}
+
+	// Shared trees vs source trees (same receiver samples internally).
+	shared, err := mtreescale.MeasureSharedCurve(g, sizes, mtreescale.CoreCenter, prot)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Steiner trees, sampled independently.
+	spt, err := g.BFS(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counter := mtreescale.NewTreeCounter(g.N())
+	fmt.Println("  m   source-SPT   shared(center)   KMB-Steiner   SPT/Steiner")
+	var lx, lySPT, lySteiner []float64
+	for i, m := range sizes {
+		// One deterministic receiver sample per size for the Steiner column.
+		recv := make([]int32, 0, m)
+		for j := 0; len(recv) < m; j++ {
+			v := int32((j*7919 + 13) % g.N())
+			if v != 0 {
+				recv = append(recv, v)
+			}
+		}
+		sptSize := counter.TreeSize(spt, recv)
+		steinerSize, err := mtreescale.SteinerTreeSize(g, 0, recv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %10.1f %16.1f %13d %13.3f\n",
+			m, shared[i].MeanSourceTree, shared[i].MeanSharedTree,
+			steinerSize, float64(sptSize)/math.Max(1, float64(steinerSize)))
+		lx = append(lx, float64(m))
+		lySPT = append(lySPT, shared[i].MeanSourceTree)
+		lySteiner = append(lySteiner, float64(steinerSize))
+	}
+
+	slope := func(xs, ys []float64) float64 {
+		var sx, sy, sxx, sxy, n float64
+		for i := range xs {
+			if ys[i] <= 0 {
+				continue
+			}
+			x, y := math.Log(xs[i]), math.Log(ys[i])
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+			n++
+		}
+		return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	}
+	fmt.Printf("\nlog-log slope of tree size: source-SPT %.3f, Steiner %.3f\n",
+		slope(lx, lySPT), slope(lx, lySteiner))
+	fmt.Println("the scaling exponent is a property of the topology, not the tree algorithm.")
+}

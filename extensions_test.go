@@ -1,0 +1,96 @@
+package mtreescale_test
+
+import (
+	"testing"
+
+	mtreescale "mtreescale"
+)
+
+func TestSharedCurveThroughAPI(t *testing.T) {
+	g, err := mtreescale.TransitStubSized(200, 3.6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := mtreescale.MeasureSharedCurve(g, []int{2, 10}, mtreescale.CoreCenter,
+		mtreescale.Protocol{NSource: 5, NRcvr: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.MeanOverhead < 0.95 {
+			t.Fatalf("overhead %v below 1 at m=%d", pt.MeanOverhead, pt.Size)
+		}
+		if pt.MeanSharedTree < pt.MeanSourceTree*0.9 {
+			t.Fatalf("shared tree implausibly small: %+v", pt)
+		}
+	}
+}
+
+func TestEnsembleThroughAPI(t *testing.T) {
+	gen := func(seed int64) (*mtreescale.Topology, error) {
+		return mtreescale.TransitStubSized(120, 3.6, seed)
+	}
+	pts, err := mtreescale.MeasureEnsemble(gen, 3, []int{1, 8}, mtreescale.Distinct,
+		mtreescale.Protocol{NSource: 3, NRcvr: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Samples != 27 {
+		t.Fatalf("samples = %d", pts[0].Samples)
+	}
+	if pts[1].MeanRatio <= pts[0].MeanRatio {
+		t.Fatal("ratio must grow with m")
+	}
+}
+
+func TestSteinerThroughAPI(t *testing.T) {
+	g, err := mtreescale.TiersSized(200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := []int32{5, 50, 120, 180}
+	size, err := mtreescale.SteinerTreeSize(g, 0, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := mtreescale.SteinerTree(g, 0, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != size {
+		t.Fatalf("edge count %d != size %d", len(edges), size)
+	}
+	// Steiner must not beat the trivial lower bound (max distance) nor
+	// exceed the SPT tree by much on average; compare directly here.
+	spt, err := g.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mtreescale.NewTreeCounter(g.N())
+	sptSize := c.TreeSize(spt, recv)
+	if size > 2*sptSize {
+		t.Fatalf("KMB %d above 2× SPT %d", size, sptSize)
+	}
+	var maxD int32
+	for _, r := range recv {
+		if spt.Dist[r] > maxD {
+			maxD = spt.Dist[r]
+		}
+	}
+	if size < int(maxD) {
+		t.Fatalf("KMB %d below max distance %d", size, maxD)
+	}
+}
+
+func TestExtensionExperimentsRun(t *testing.T) {
+	p := mtreescale.QuickProfile()
+	for _, id := range []string{"ext-shared", "ext-steiner", "ext-ensemble", "ext-weighted", "ext-affinity-graph"} {
+		res, err := mtreescale.RunExperiment(id, p)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if res.Figure == nil || len(res.Notes) == 0 {
+			t.Fatalf("%s: incomplete result", id)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module mtreescale
+
+go 1.22

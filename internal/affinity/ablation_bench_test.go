@@ -1,0 +1,74 @@
+package affinity
+
+// Ablation benchmark for DESIGN.md §5 item 1: incremental O(depth)
+// per-move MCMC bookkeeping vs recomputing the pairwise-distance sum and
+// tree size from scratch (what a naive sampler would do after every move).
+
+import (
+	"testing"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/rng"
+)
+
+// BenchmarkAblationMCMCIncremental measures the production move path.
+func BenchmarkAblationMCMCIncremental(b *testing.B) {
+	m, err := NewTreeModel(2, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := m.NewChain(500, 1, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+// BenchmarkAblationMCMCRecompute measures a from-scratch recomputation of
+// the same bookkeeping (the per-move cost a non-incremental sampler pays).
+func BenchmarkAblationMCMCRecompute(b *testing.B) {
+	m, err := NewTreeModel(2, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := m.NewChain(500, 1, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+		if err := c.CheckInvariants(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphChainStep measures the general-graph O(n) move.
+func BenchmarkGraphChainStep(b *testing.B) {
+	g := smallBenchGraph(b)
+	c, err := NewGraphChain(g, 0, 200, 1, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+func smallBenchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	r := rng.New(9)
+	gb := graph.NewBuilder(800)
+	for v := 1; v < 800; v++ {
+		_ = gb.AddEdge(v, r.Intn(v))
+	}
+	for i := 0; i < 1200; i++ {
+		_ = gb.AddEdge(r.Intn(800), r.Intn(800))
+	}
+	return gb.Build()
+}

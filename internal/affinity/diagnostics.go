@@ -1,0 +1,57 @@
+package affinity
+
+import (
+	"fmt"
+	"math"
+)
+
+// IntegratedAutocorrTime estimates the integrated autocorrelation time τ of
+// a stationary series using Sokal's adaptive truncation (sum lags until
+// lag > 5τ̂). Effective sample size ≈ len(xs)/τ. MCMC users divide their
+// nominal sample counts by τ to size error bars honestly.
+func IntegratedAutocorrTime(xs []float64) (float64, error) {
+	n := len(xs)
+	if n < 8 {
+		return 0, fmt.Errorf("affinity: need at least 8 samples, got %d", n)
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var c0 float64
+	for _, x := range xs {
+		d := x - mean
+		c0 += d * d
+	}
+	c0 /= float64(n)
+	if c0 == 0 {
+		return 1, nil // constant series: perfectly decorrelated by convention
+	}
+	tau := 1.0
+	for lag := 1; lag < n/2; lag++ {
+		var c float64
+		for i := 0; i+lag < n; i++ {
+			c += (xs[i] - mean) * (xs[i+lag] - mean)
+		}
+		c /= float64(n - lag)
+		rho := c / c0
+		tau += 2 * rho
+		if float64(lag) > 5*tau {
+			break
+		}
+	}
+	if tau < 1 || math.IsNaN(tau) {
+		tau = 1
+	}
+	return tau, nil
+}
+
+// EffectiveSampleSize returns len(xs)/τ.
+func EffectiveSampleSize(xs []float64) (float64, error) {
+	tau, err := IntegratedAutocorrTime(xs)
+	if err != nil {
+		return 0, err
+	}
+	return float64(len(xs)) / tau, nil
+}

@@ -1,0 +1,107 @@
+package affinity
+
+import (
+	"fmt"
+
+	"mtreescale/internal/rng"
+	"mtreescale/internal/stats"
+)
+
+// Estimate is the Monte-Carlo estimate of L̄_β(n) for one (β, n) pair.
+type Estimate struct {
+	Beta float64
+	N    int
+	// MeanTreeSize is the weighted-average delivery-tree size L̄_β(n).
+	MeanTreeSize float64
+	// StdErr is a naive (autocorrelation-ignoring) standard error of
+	// MeanTreeSize; use it for trend checks only.
+	StdErr float64
+	// MeanPairDist is the average d̂ over sampled configurations.
+	MeanPairDist float64
+	// AcceptanceRate is the chain's overall Metropolis acceptance rate.
+	AcceptanceRate float64
+	// Samples is the number of post-burn-in samples.
+	Samples int
+}
+
+// Params controls the sampler.
+type Params struct {
+	// BurnInSweeps discarded before measuring. Default 50.
+	BurnInSweeps int
+	// SampleSweeps measured. Default 200.
+	SampleSweeps int
+	// Thin takes one sample every Thin sweeps. Default 1.
+	Thin int
+	// Seed drives the chain deterministically.
+	Seed int64
+}
+
+func (p *Params) normalize() error {
+	if p.BurnInSweeps == 0 {
+		p.BurnInSweeps = 50
+	}
+	if p.SampleSweeps == 0 {
+		p.SampleSweeps = 200
+	}
+	if p.Thin == 0 {
+		p.Thin = 1
+	}
+	if p.BurnInSweeps < 0 || p.SampleSweeps < 1 || p.Thin < 1 {
+		return fmt.Errorf("affinity: invalid sampler params %+v", *p)
+	}
+	return nil
+}
+
+// EstimateTreeSize samples L̄_β(n) on a k-ary tree with receivers at all
+// non-root sites (Figure 9's setup).
+func EstimateTreeSize(m *TreeModel, n int, beta float64, p Params) (Estimate, error) {
+	if err := p.normalize(); err != nil {
+		return Estimate{}, err
+	}
+	chain, err := m.NewChain(n, beta, rng.New(p.Seed))
+	if err != nil {
+		return Estimate{}, err
+	}
+	for i := 0; i < p.BurnInSweeps; i++ {
+		chain.Sweep()
+	}
+	var sizeW, distW stats.Welford
+	for i := 0; i < p.SampleSweeps; i++ {
+		for t := 0; t < p.Thin; t++ {
+			chain.Sweep()
+		}
+		sizeW.Add(float64(chain.TreeSize()))
+		distW.Add(chain.AvgPairDist())
+	}
+	if err := chain.CheckInvariants(); err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{
+		Beta:           beta,
+		N:              n,
+		MeanTreeSize:   sizeW.Mean(),
+		StdErr:         sizeW.StdErr(),
+		MeanPairDist:   distW.Mean(),
+		AcceptanceRate: chain.AcceptanceRate(),
+		Samples:        sizeW.N(),
+	}, nil
+}
+
+// Sweep9 runs the Figure 9 protocol: for each β and each group size n,
+// estimate L̄_β(n)/n. Returns estimates indexed [beta][n].
+func Sweep9(m *TreeModel, betas []float64, ns []int, p Params) ([][]Estimate, error) {
+	out := make([][]Estimate, len(betas))
+	for bi, beta := range betas {
+		out[bi] = make([]Estimate, len(ns))
+		for ni, n := range ns {
+			q := p
+			q.Seed = rng.Split(p.Seed, int64(bi*1000003+ni))
+			est, err := EstimateTreeSize(m, n, beta, q)
+			if err != nil {
+				return nil, err
+			}
+			out[bi][ni] = est
+		}
+	}
+	return out, nil
+}

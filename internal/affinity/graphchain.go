@@ -1,0 +1,214 @@
+package affinity
+
+import (
+	"fmt"
+	"math"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/mcast"
+)
+
+// MaxGraphChainNodes bounds the all-pairs distance matrix a GraphChain will
+// precompute (N² int16 entries).
+const MaxGraphChainNodes = 4096
+
+// GraphChain is the general-graph Metropolis sampler for W_α(β). It
+// precomputes all-pairs shortest-path distances (the affinity weight needs
+// arbitrary inter-receiver distances, not just source-rooted ones), keeps the
+// pairwise-distance sum incrementally (O(n) per move), and measures delivery
+// trees against the source's shortest-path tree on demand.
+//
+// The paper only simulates k-ary trees (Figure 9); this chain extends the
+// same model to any connected graph, which the examples use to study
+// affinity on realistic topologies.
+type GraphChain struct {
+	g      *graph.Graph
+	source int
+	beta   float64
+	n      int
+	rand   randSource
+
+	dist      [][]int16 // dist[u][v]: all-pairs hop distances
+	spt       *graph.SPT
+	counter   *mcast.TreeCounter
+	positions []int32
+	// sumTo[i] = Σ_j d(r_i, r_j): per-receiver distance load.
+	sumTo []int64
+	// pairSum = Σ_{i<j} d(r_i, r_j).
+	pairSum int64
+
+	accepted, proposed int64
+}
+
+// NewGraphChain builds a chain of n receivers on g with the given source.
+// The graph must be connected and have at most MaxGraphChainNodes nodes.
+func NewGraphChain(g *graph.Graph, source, n int, beta float64, r randSource) (*GraphChain, error) {
+	if g.N() < 2 {
+		return nil, fmt.Errorf("affinity: graph too small (N=%d)", g.N())
+	}
+	if g.N() > MaxGraphChainNodes {
+		return nil, fmt.Errorf("affinity: graph has %d nodes, above the %d all-pairs limit", g.N(), MaxGraphChainNodes)
+	}
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("affinity: source %d out of range", source)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("affinity: chain needs n >= 1, got %d", n)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("affinity: chain needs a random source")
+	}
+	c := &GraphChain{
+		g:       g,
+		source:  source,
+		beta:    beta,
+		n:       n,
+		rand:    r,
+		dist:    make([][]int16, g.N()),
+		counter: mcast.NewTreeCounter(g.N()),
+	}
+	var spt graph.SPT
+	for v := 0; v < g.N(); v++ {
+		if err := g.BFSInto(v, &spt); err != nil {
+			return nil, err
+		}
+		if spt.Reachable() != g.N() {
+			return nil, fmt.Errorf("affinity: graph not connected (source %d reaches %d of %d)", v, spt.Reachable(), g.N())
+		}
+		row := make([]int16, g.N())
+		for u := 0; u < g.N(); u++ {
+			row[u] = int16(spt.Dist[u])
+		}
+		c.dist[v] = row
+	}
+	var err error
+	c.spt, err = g.BFS(source)
+	if err != nil {
+		return nil, err
+	}
+	// Initial placement: uniform over non-source nodes.
+	c.positions = make([]int32, n)
+	for i := range c.positions {
+		c.positions[i] = c.randomSite()
+	}
+	c.recomputeSums()
+	return c, nil
+}
+
+func (c *GraphChain) randomSite() int32 {
+	v := c.rand.Intn(c.g.N() - 1)
+	if v >= c.source {
+		v++
+	}
+	return int32(v)
+}
+
+func (c *GraphChain) recomputeSums() {
+	c.sumTo = make([]int64, c.n)
+	c.pairSum = 0
+	for i := 0; i < c.n; i++ {
+		var s int64
+		ri := c.positions[i]
+		for j := 0; j < c.n; j++ {
+			if j != i {
+				s += int64(c.dist[ri][c.positions[j]])
+			}
+		}
+		c.sumTo[i] = s
+	}
+	for _, s := range c.sumTo {
+		c.pairSum += s
+	}
+	c.pairSum /= 2
+}
+
+// AvgPairDist returns d̂(α); 0 when n < 2.
+func (c *GraphChain) AvgPairDist() float64 {
+	if c.n < 2 {
+		return 0
+	}
+	pairs := int64(c.n) * int64(c.n-1) / 2
+	return float64(c.pairSum) / float64(pairs)
+}
+
+// TreeSize measures the delivery-tree size of the current configuration.
+func (c *GraphChain) TreeSize() int {
+	return c.counter.TreeSize(c.spt, c.positions)
+}
+
+// AcceptanceRate returns the fraction of accepted proposals.
+func (c *GraphChain) AcceptanceRate() float64 {
+	if c.proposed == 0 {
+		return 1
+	}
+	return float64(c.accepted) / float64(c.proposed)
+}
+
+// Step proposes one receiver move with Metropolis acceptance.
+func (c *GraphChain) Step() {
+	c.proposed++
+	i := c.rand.Intn(c.n)
+	from := c.positions[i]
+	to := c.randomSite()
+	if to == from {
+		c.accepted++
+		return
+	}
+	// Δ(Σ_j d(r_i, r_j)) when moving receiver i.
+	var newSum int64
+	for j := 0; j < c.n; j++ {
+		if j != i {
+			newSum += int64(c.dist[to][c.positions[j]])
+		}
+	}
+	delta := newSum - c.sumTo[i]
+	accept := true
+	if c.beta != 0 && c.n >= 2 {
+		pairs := float64(int64(c.n) * int64(c.n-1) / 2)
+		deltaD := float64(delta) / pairs
+		if (c.beta > 0 && deltaD > 0) || (c.beta < 0 && deltaD < 0) {
+			accept = c.rand.Float64() < math.Exp(-c.beta*deltaD)
+		}
+	}
+	if !accept {
+		return
+	}
+	c.accepted++
+	// Update sums: every other receiver's load changes by d(to,·)−d(from,·).
+	for j := 0; j < c.n; j++ {
+		if j != i {
+			c.sumTo[j] += int64(c.dist[to][c.positions[j]]) - int64(c.dist[from][c.positions[j]])
+		}
+	}
+	c.sumTo[i] = newSum
+	c.pairSum += delta
+	c.positions[i] = to
+}
+
+// Sweep performs n Steps.
+func (c *GraphChain) Sweep() {
+	for i := 0; i < c.n; i++ {
+		c.Step()
+	}
+}
+
+// CheckInvariants recomputes the distance bookkeeping from scratch.
+func (c *GraphChain) CheckInvariants() error {
+	oldPair := c.pairSum
+	oldSum := append([]int64(nil), c.sumTo...)
+	c.recomputeSums()
+	if c.pairSum != oldPair {
+		return fmt.Errorf("affinity: graph chain pairSum %d, recomputed %d", oldPair, c.pairSum)
+	}
+	for i := range oldSum {
+		if oldSum[i] != c.sumTo[i] {
+			return fmt.Errorf("affinity: graph chain sumTo[%d] %d, recomputed %d", i, oldSum[i], c.sumTo[i])
+		}
+	}
+	return nil
+}
+
+// Positions returns a copy of the current placement.
+func (c *GraphChain) Positions() []int32 {
+	return append([]int32(nil), c.positions...)
+}

@@ -1,0 +1,194 @@
+package affinity
+
+import (
+	"math"
+	"testing"
+
+	"mtreescale/internal/analytic"
+	"mtreescale/internal/rng"
+)
+
+func TestLeafChainSitesAreLeaves(t *testing.T) {
+	m, err := NewTreeModel(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Leaves() != 32 {
+		t.Fatalf("leaves = %d", m.Leaves())
+	}
+	c, err := m.NewLeafChain(10, 0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLeaf := m.Nodes() - m.Leaves()
+	for s := 0; s < 50; s++ {
+		c.Sweep()
+		for _, p := range c.Positions() {
+			if int(p) < firstLeaf {
+				t.Fatalf("receiver at non-leaf site %d", p)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafChainBetaZeroMatchesEquation4(t *testing.T) {
+	// Uniform leaf receivers: L̄_0(n) must match the paper's Equation 4.
+	m, _ := NewTreeModel(2, 7)
+	tr := analytic.Tree{K: 2, Depth: 7}
+	for _, n := range []int{3, 12, 50} {
+		c, err := m.NewLeafChain(n, 0, rng.New(int64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 50; s++ {
+			c.Sweep()
+		}
+		sum := 0.0
+		const sweeps = 600
+		for s := 0; s < sweeps; s++ {
+			c.Sweep()
+			sum += float64(c.TreeSize())
+		}
+		got := sum / sweeps
+		want, err := tr.LeafTreeSize(float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.05*want+1 {
+			t.Fatalf("n=%d: MCMC %.2f vs Eq4 %.2f", n, got, want)
+		}
+	}
+}
+
+func TestLeafChainExtremeAffinityApproachesClosedForm(t *testing.T) {
+	// At very large β, distinct leaf receivers... note the chain draws with
+	// replacement, so at β→∞ everyone collapses onto one leaf and the tree
+	// approaches D links — the §5.3 with-replacement limit ("L∞(n) = D for
+	// all n").
+	m, _ := NewTreeModel(2, 8)
+	c, err := m.NewLeafChain(20, 60, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 1500; s++ {
+		c.Sweep()
+	}
+	sum := 0.0
+	const sweeps = 300
+	for s := 0; s < sweeps; s++ {
+		c.Sweep()
+		sum += float64(c.TreeSize())
+	}
+	got := sum / sweeps
+	// Collapse is not total at finite β, but the tree must be within a
+	// small factor of D = 8 and far below the uniform size (~Eq4(20) ≈ 100).
+	if got > 3*8 {
+		t.Fatalf("β=60 leaf tree %.1f not collapsed toward D=8", got)
+	}
+}
+
+func TestLeafChainDisaffinityApproachesSpread(t *testing.T) {
+	// At strongly negative β, receivers spread across distinct leaves; the
+	// tree size must approach the β=−∞ greedy bound from below.
+	m, _ := NewTreeModel(2, 6)
+	tr := analytic.Tree{K: 2, Depth: 6}
+	n := 16
+	c, err := m.NewLeafChain(n, -40, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 1500; s++ {
+		c.Sweep()
+	}
+	sum := 0.0
+	const sweeps = 300
+	for s := 0; s < sweeps; s++ {
+		c.Sweep()
+		sum += float64(c.TreeSize())
+	}
+	got := sum / sweeps
+	bound, err := tr.ExtremeDisaffinityTreeSize(int64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > bound+1e-9 {
+		t.Fatalf("β=-40 tree %.1f above the -∞ bound %.0f", got, bound)
+	}
+	uniform, _ := tr.LeafTreeSize(float64(n))
+	if got <= uniform {
+		t.Fatalf("β=-40 tree %.1f not above the uniform size %.1f", got, uniform)
+	}
+}
+
+func TestIntegratedAutocorrTime(t *testing.T) {
+	// IID noise: τ ≈ 1.
+	r := rng.New(7)
+	iid := make([]float64, 4000)
+	for i := range iid {
+		iid[i] = r.Float64()
+	}
+	tau, err := IntegratedAutocorrTime(iid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau > 1.5 {
+		t.Fatalf("iid τ = %v", tau)
+	}
+	// Strongly correlated AR(1): τ must be much larger.
+	ar := make([]float64, 4000)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.95*ar[i-1] + (r.Float64() - 0.5)
+	}
+	tauAR, err := IntegratedAutocorrTime(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tauAR < 5*tau {
+		t.Fatalf("AR τ = %v not ≫ iid τ = %v", tauAR, tau)
+	}
+	ess, err := EffectiveSampleSize(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ess >= float64(len(ar)) {
+		t.Fatalf("ESS %v must shrink below n", ess)
+	}
+}
+
+func TestIntegratedAutocorrTimeEdgeCases(t *testing.T) {
+	if _, err := IntegratedAutocorrTime([]float64{1, 2, 3}); err == nil {
+		t.Fatal("too-short series must error")
+	}
+	tau, err := IntegratedAutocorrTime(make([]float64, 100)) // constant zeros
+	if err != nil || tau != 1 {
+		t.Fatalf("constant series: τ=%v err=%v", tau, err)
+	}
+}
+
+func TestChainAutocorrelationReported(t *testing.T) {
+	// Integration check: the chain's tree-size series has measurable but
+	// finite autocorrelation.
+	m, _ := NewTreeModel(2, 6)
+	c, err := m.NewChain(15, 1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 50; s++ {
+		c.Sweep()
+	}
+	series := make([]float64, 500)
+	for s := range series {
+		c.Sweep()
+		series[s] = float64(c.TreeSize())
+	}
+	tau, err := IntegratedAutocorrTime(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 0.5 || tau > 100 {
+		t.Fatalf("chain τ = %v implausible", tau)
+	}
+}

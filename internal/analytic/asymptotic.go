@@ -1,0 +1,149 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// HFunction evaluates the paper's Equation 11 diagnostic from the exact
+// second derivative:
+//
+//	h(x) = −ln( −x·(M ln M)·Δ²L̄(xM) / C̄ )
+//
+// where M = k^D is the leaf count and C̄ = D the average unicast path
+// length for leaf receivers. Section 3.2 shows h(x) ≈ x·k^{-1/2}
+// (Equation 12): the tree degree only rescales the line's slope, which is
+// the paper's candidate explanation for the universality of the
+// Chuang-Sirbu law.
+func (t Tree) HFunction(x float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if x <= 0 {
+		return 0, fmt.Errorf("analytic: h(x) needs x > 0, got %v", x)
+	}
+	M := t.Leaves()
+	d2, err := t.LeafDelta2(x * M)
+	if err != nil {
+		return 0, err
+	}
+	cbar := float64(t.Depth)
+	arg := -x * (M * math.Log(M)) * d2 / cbar
+	if arg <= 0 {
+		return 0, fmt.Errorf("analytic: h(%v) undefined (argument %v)", x, arg)
+	}
+	return -math.Log(arg), nil
+}
+
+// HApprox is Equation 12, h(x) ≈ x·k^{-1/2}.
+func (t Tree) HApprox(x float64) float64 {
+	return x / math.Sqrt(float64(t.K))
+}
+
+// AsymptoticRatio evaluates Equation 16's prediction for L̄(n)/n in terms of
+// x = n/M:
+//
+//	L̄(n)/n ≈ 1/ln k − ln(x)/ln k
+//
+// (using D = ln M / ln k to absorb the depth term). This is the straight
+// line the paper draws through Figures 3 and 5.
+func (t Tree) AsymptoticRatio(x float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if x <= 0 {
+		return 0, fmt.Errorf("analytic: asymptotic ratio needs x > 0, got %v", x)
+	}
+	if t.K == 1 {
+		return 0, fmt.Errorf("analytic: asymptotic form diverges at k = 1")
+	}
+	lnk := math.Log(float64(t.K))
+	return 1/lnk - math.Log(x)/lnk, nil
+}
+
+// AsymptoticTreeSize evaluates Equation 17, L̄(n) ≈ n(c − ln(n/M)/ln k)
+// with c = 1/ln k.
+func (t Tree) AsymptoticTreeSize(n float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("analytic: asymptotic size needs n > 0, got %v", n)
+	}
+	r, err := t.AsymptoticRatio(n / t.Leaves())
+	if err != nil {
+		return 0, err
+	}
+	return n * r, nil
+}
+
+// AsymptoticTreeSizeEq14 evaluates the paper's intermediate Equation 14,
+// obtained by integrating the crude ΔL̄ approximation of Equation 13 with
+// boundary conditions L̄(0) = 0, L̄(1) = D:
+//
+//	L̄(n) ≈ n·D − [(n+1)·ln(n+1) − (n+1)] / ln k
+//
+// It keeps the depth term explicit (Equation 17 absorbs it via D = ln M/ln k)
+// and is the form Figure 3's intercept discussion refers to.
+func (t Tree) AsymptoticTreeSizeEq14(n float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if t.K == 1 {
+		return 0, fmt.Errorf("analytic: Eq 14 diverges at k = 1")
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("analytic: negative n = %v", n)
+	}
+	lnk := math.Log(float64(t.K))
+	np1 := n + 1
+	return n*float64(t.Depth) - (np1*math.Log(np1)-np1)/lnk, nil
+}
+
+// ValidRange reports the regime 5 < n < M in which the paper finds the
+// asymptotic form accurate ("the approximation is reasonably accurate for
+// 5 < n < M").
+func (t Tree) ValidRange() (lo, hi float64) {
+	return 5, t.Leaves()
+}
+
+// ChuangSirbuReference returns the m^0.8 reference value the paper plots
+// against every L(m) curve, normalized to pass through 1 at m = 1.
+func ChuangSirbuReference(m float64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return math.Pow(m, 0.8)
+}
+
+// DistinctTreeSize composes Equations 4 and 1 to produce the paper's
+// "exact" L(m) for k-ary trees with receivers at the leaves: invert
+// m̄ = M(1−(1−1/M)^n) for n and evaluate Equation 4 there (Figure 4's
+// curves).
+func (t Tree) DistinctTreeSize(m float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	M := t.Leaves()
+	n, err := RequiredDraws(M, m)
+	if err != nil {
+		return 0, err
+	}
+	return t.LeafTreeSize(n)
+}
+
+// DistinctTreeSizeApprox is Equation 18, the closed-form approximation for
+// L(m) obtained by pushing the conversion through Equation 17:
+//
+//	L(m) ≈ [ln(−M·ln(1−m/M)/M) ... ]   — in code form:
+//	n(m) = −M·ln(1−m/M);  L(m) ≈ n(m)·(1/ln k − ln(n(m)/M)/ln k)
+//
+// using the large-M limit n ≈ −M ln(1−m/M) from Equation 2.
+func (t Tree) DistinctTreeSizeApprox(m float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	M := t.Leaves()
+	if m <= 0 || m >= M {
+		return 0, fmt.Errorf("analytic: m must be in (0, M), got %v (M=%v)", m, M)
+	}
+	n := -M * math.Log(1-m/M)
+	return t.AsymptoticTreeSize(n)
+}

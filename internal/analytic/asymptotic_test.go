@@ -1,0 +1,264 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHFunctionApproachesLine(t *testing.T) {
+	// Figure 2: h(x) tracks x·k^{-1/2} for k=2 once x > 1/M.
+	tr := Tree{K: 2, Depth: 14}
+	for _, x := range []float64{0.1, 0.2, 0.4, 0.6, 0.8} {
+		h, err := tr.HFunction(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tr.HApprox(x)
+		if math.Abs(h-want) > 0.06 {
+			t.Fatalf("x=%v: h=%v approx=%v", x, h, want)
+		}
+	}
+}
+
+func TestHFunctionK4Oscillates(t *testing.T) {
+	// The paper reports k=4 oscillates early but follows the linear trend;
+	// check the trend by comparing endpoints of the range.
+	tr := Tree{K: 4, Depth: 7}
+	h2, err := tr.HFunction(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h8, err := tr.HFunction(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope := (h8 - h2) / 0.6
+	want := 1 / math.Sqrt(4.0)
+	if math.Abs(slope-want) > 0.2 {
+		t.Fatalf("k=4 long-run slope %.3f, want ≈ %.3f", slope, want)
+	}
+}
+
+func TestHFunctionDegreeOnlyRescales(t *testing.T) {
+	// Equation 12's claim: h(x)/x ≈ k^{-1/2}; the *form* (linear in x) is
+	// degree-independent.
+	for _, k := range []int{2, 3} {
+		tr := Tree{K: k, Depth: 12}
+		ratios := []float64{}
+		for _, x := range []float64{0.3, 0.5, 0.7} {
+			h, err := tr.HFunction(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratios = append(ratios, h/x)
+		}
+		want := 1 / math.Sqrt(float64(k))
+		for _, r := range ratios {
+			if math.Abs(r-want) > 0.15 {
+				t.Fatalf("k=%d: h(x)/x = %v, want ≈ %v", k, r, want)
+			}
+		}
+	}
+}
+
+func TestHFunctionErrors(t *testing.T) {
+	tr := Tree{K: 2, Depth: 10}
+	if _, err := tr.HFunction(0); err == nil {
+		t.Fatal("x=0 must error")
+	}
+	if _, err := tr.HFunction(-1); err == nil {
+		t.Fatal("x<0 must error")
+	}
+	if _, err := (Tree{K: 0, Depth: 3}).HFunction(0.5); err == nil {
+		t.Fatal("invalid tree must error")
+	}
+}
+
+func TestAsymptoticRatioMatchesExact(t *testing.T) {
+	// Figure 3: in the regime 5 < n < M, Equation 16 captures L̄(n)/n to
+	// within an additive constant; verify slope agreement in ln(n/M).
+	tr := Tree{K: 2, Depth: 14}
+	M := tr.Leaves()
+	type pt struct{ lnx, exact, approx float64 }
+	var pts []pt
+	for _, x := range []float64{1e-3, 1e-2, 1e-1} {
+		n := x * M
+		l, err := tr.LeafTreeSize(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := tr.AsymptoticRatio(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, pt{math.Log(x), l / n, a})
+	}
+	// Slopes between consecutive points must agree within 10%.
+	for i := 1; i < len(pts); i++ {
+		se := (pts[i].exact - pts[i-1].exact) / (pts[i].lnx - pts[i-1].lnx)
+		sa := (pts[i].approx - pts[i-1].approx) / (pts[i].lnx - pts[i-1].lnx)
+		if math.Abs(se-sa) > 0.1*math.Abs(sa) {
+			t.Fatalf("slope mismatch: exact %.4f approx %.4f", se, sa)
+		}
+	}
+	// The paper's additive error: intercepts deviate "slightly"; allow 1.5.
+	for _, p := range pts {
+		if math.Abs(p.exact-p.approx) > 1.5 {
+			t.Fatalf("ln x = %.2f: exact %.3f approx %.3f", p.lnx, p.exact, p.approx)
+		}
+	}
+}
+
+func TestAsymptoticRatioSlopeIs1OverLnK(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		tr := Tree{K: k, Depth: 9}
+		a, _ := tr.AsymptoticRatio(0.01)
+		b, _ := tr.AsymptoticRatio(0.1)
+		slope := (b - a) / (math.Log(0.1) - math.Log(0.01))
+		if math.Abs(slope+1/math.Log(float64(k))) > 1e-9 {
+			t.Fatalf("k=%d slope = %v", k, slope)
+		}
+	}
+}
+
+func TestAsymptoticErrors(t *testing.T) {
+	tr := Tree{K: 2, Depth: 10}
+	if _, err := tr.AsymptoticRatio(0); err == nil {
+		t.Fatal("x=0 must error")
+	}
+	if _, err := (Tree{K: 1, Depth: 5}).AsymptoticRatio(0.5); err == nil {
+		t.Fatal("k=1 diverges and must error")
+	}
+	if _, err := tr.AsymptoticTreeSize(0); err == nil {
+		t.Fatal("n=0 must error")
+	}
+}
+
+func TestAsymptoticTreeSizeEq14TracksExact(t *testing.T) {
+	// In the paper's valid regime 5 < n < M, Equation 14 captures Equation 4
+	// to within the documented additive error (a few·n at worst; relatively
+	// within ~15% mid-range).
+	tr := Tree{K: 2, Depth: 14}
+	M := tr.Leaves()
+	for _, n := range []float64{10, 100, 1000, M / 4} {
+		exact, err := tr.LeafTreeSize(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := tr.AsymptoticTreeSizeEq14(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(approx-exact) > 0.15*exact+2 {
+			t.Fatalf("n=%v: Eq14 %.1f vs Eq4 %.1f", n, approx, exact)
+		}
+	}
+}
+
+func TestAsymptoticTreeSizeEq14Errors(t *testing.T) {
+	tr := Tree{K: 2, Depth: 8}
+	if _, err := tr.AsymptoticTreeSizeEq14(-1); err == nil {
+		t.Fatal("negative n must error")
+	}
+	if _, err := (Tree{K: 1, Depth: 8}).AsymptoticTreeSizeEq14(5); err == nil {
+		t.Fatal("k=1 must error")
+	}
+	if _, err := (Tree{K: 0, Depth: 8}).AsymptoticTreeSizeEq14(5); err == nil {
+		t.Fatal("invalid tree must error")
+	}
+	// Boundary condition: L̄(0) = (ln 1 − 1)·(−1/ln k)... evaluates to 1/ln k,
+	// the documented constant offset at the origin (not exactly 0 — the
+	// approximation is asymptotic). Just ensure it's finite and small.
+	v, err := tr.AsymptoticTreeSizeEq14(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v) > 2 {
+		t.Fatalf("Eq14(0) = %v", v)
+	}
+}
+
+func TestValidRange(t *testing.T) {
+	tr := Tree{K: 2, Depth: 10}
+	lo, hi := tr.ValidRange()
+	if lo != 5 || hi != 1024 {
+		t.Fatalf("range = [%v, %v]", lo, hi)
+	}
+}
+
+func TestChuangSirbuReference(t *testing.T) {
+	if ChuangSirbuReference(1) != 1 {
+		t.Fatal("reference must pass through (1,1)")
+	}
+	if math.Abs(ChuangSirbuReference(10)-math.Pow(10, 0.8)) > 1e-12 {
+		t.Fatal("reference must be m^0.8")
+	}
+	if ChuangSirbuReference(0) != 0 || ChuangSirbuReference(-5) != 0 {
+		t.Fatal("non-positive m must yield 0")
+	}
+}
+
+func TestDistinctTreeSizeAgreesWithChuangSirbuShape(t *testing.T) {
+	// Figure 4's claim: L(m)/C̄ from Equations 4+1 tracks m^0.8 well over
+	// orders of magnitude. Fit the log-log slope over the interior range
+	// and expect ≈ 0.8 (the paper calls the agreement "remarkably good").
+	tr := Tree{K: 2, Depth: 14}
+	M := tr.Leaves()
+	var sx, sy, sxx, sxy, n float64
+	for m := 4.0; m < M/4; m *= 2 {
+		l, err := tr.DistinctTreeSize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, y := math.Log(m), math.Log(l/float64(tr.Depth))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	if slope < 0.7 || slope > 0.9 {
+		t.Fatalf("k-ary L(m) log-log slope = %.3f, want ≈ 0.8", slope)
+	}
+}
+
+func TestDistinctTreeSizeApproxTracksExact(t *testing.T) {
+	tr := Tree{K: 2, Depth: 14}
+	M := tr.Leaves()
+	for _, m := range []float64{50, 500, 5000} {
+		exact, err := tr.DistinctTreeSize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := tr.DistinctTreeSizeApprox(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(approx-exact) > 0.25*exact {
+			t.Fatalf("m=%v: exact %.1f approx %.1f", m, exact, approx)
+		}
+		_ = M
+	}
+	if _, err := tr.DistinctTreeSizeApprox(0); err == nil {
+		t.Fatal("m=0 must error")
+	}
+	if _, err := tr.DistinctTreeSizeApprox(M); err == nil {
+		t.Fatal("m=M must error")
+	}
+}
+
+func TestDistinctTreeSizeMonotone(t *testing.T) {
+	tr := Tree{K: 4, Depth: 7}
+	prev := 0.0
+	for m := 1.0; m < tr.Leaves(); m *= 2 {
+		l, err := tr.DistinctTreeSize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l <= prev {
+			t.Fatalf("L(m) not increasing at m=%v: %v <= %v", m, l, prev)
+		}
+		prev = l
+	}
+}

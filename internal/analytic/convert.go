@@ -1,0 +1,63 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpectedDistinct evaluates Equation 1's coupon-collector relation: the
+// expected number m̄ of distinct sites hit by n uniform draws (with
+// replacement) from a population of M sites:
+//
+//	m̄ = M(1 − (1 − 1/M)^n)
+func ExpectedDistinct(M, n float64) (float64, error) {
+	if M < 1 {
+		return 0, fmt.Errorf("analytic: population M must be >= 1, got %v", M)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("analytic: negative draw count %v", n)
+	}
+	if M == 1 {
+		if n == 0 {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	return M * (1 - pow1mEpsN(1/M, n)), nil
+}
+
+// RequiredDraws inverts Equation 1: the number of with-replacement draws n
+// whose expected distinct-site count is m:
+//
+//	n = ln(1 − m/M) / ln(1 − 1/M)
+//
+// m must lie in [0, M).
+func RequiredDraws(M, m float64) (float64, error) {
+	if M < 2 {
+		return 0, fmt.Errorf("analytic: population M must be >= 2, got %v", M)
+	}
+	if m < 0 || m >= M {
+		return 0, fmt.Errorf("analytic: m must be in [0, M), got %v (M=%v)", m, M)
+	}
+	if m == 0 {
+		return 0, nil
+	}
+	return math.Log1p(-m/M) / math.Log1p(-1/M), nil
+}
+
+// LimitXY computes the paper's large-M limit variables: given x = n/M the
+// limiting distinct fraction is y = m/M = 1 − e^{−x}.
+func LimitXY(x float64) (y float64, err error) {
+	if x < 0 {
+		return 0, fmt.Errorf("analytic: x must be >= 0, got %v", x)
+	}
+	return -math.Expm1(-x), nil
+}
+
+// LimitYX inverts LimitXY: x = −ln(1 − y) for y in [0, 1).
+func LimitYX(y float64) (x float64, err error) {
+	if y < 0 || y >= 1 {
+		return 0, fmt.Errorf("analytic: y must be in [0,1), got %v", y)
+	}
+	return -math.Log1p(-y), nil
+}

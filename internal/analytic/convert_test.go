@@ -1,0 +1,171 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mtreescale/internal/rng"
+)
+
+func TestExpectedDistinctBasics(t *testing.T) {
+	m, err := ExpectedDistinct(100, 0)
+	if err != nil || m != 0 {
+		t.Fatalf("n=0: %v, %v", m, err)
+	}
+	m, _ = ExpectedDistinct(100, 1)
+	if math.Abs(m-1) > 1e-12 {
+		t.Fatalf("n=1: %v", m)
+	}
+	// n → ∞ saturates at M.
+	m, _ = ExpectedDistinct(100, 1e9)
+	if math.Abs(m-100) > 1e-6 {
+		t.Fatalf("saturation: %v", m)
+	}
+	if _, err := ExpectedDistinct(0, 5); err == nil {
+		t.Fatal("M=0 must error")
+	}
+	if _, err := ExpectedDistinct(10, -1); err == nil {
+		t.Fatal("n<0 must error")
+	}
+}
+
+func TestExpectedDistinctSingleton(t *testing.T) {
+	m, err := ExpectedDistinct(1, 0)
+	if err != nil || m != 0 {
+		t.Fatalf("M=1 n=0: %v %v", m, err)
+	}
+	m, err = ExpectedDistinct(1, 7)
+	if err != nil || m != 1 {
+		t.Fatalf("M=1 n=7: %v %v", m, err)
+	}
+}
+
+func TestExpectedDistinctMatchesSimulation(t *testing.T) {
+	const M, n, reps = 50, 30, 20000
+	r := rng.New(3)
+	sum := 0.0
+	var seen [M]bool
+	for rep := 0; rep < reps; rep++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		distinct := 0
+		for i := 0; i < n; i++ {
+			v := r.Intn(M)
+			if !seen[v] {
+				seen[v] = true
+				distinct++
+			}
+		}
+		sum += float64(distinct)
+	}
+	got := sum / reps
+	want, _ := ExpectedDistinct(M, n)
+	if math.Abs(got-want) > 0.1 {
+		t.Fatalf("simulated %.3f vs Eq1 %.3f", got, want)
+	}
+}
+
+func TestRequiredDrawsInverse(t *testing.T) {
+	f := func(mRaw uint16, MRaw uint16) bool {
+		M := float64(MRaw%5000) + 2
+		m := float64(mRaw) * (M - 1) / 65535 // m in [0, M-1]
+		n, err := RequiredDraws(M, m)
+		if err != nil {
+			return false
+		}
+		back, err := ExpectedDistinct(M, n)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-m) < 1e-6*(m+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequiredDrawsErrors(t *testing.T) {
+	if _, err := RequiredDraws(1, 0); err == nil {
+		t.Fatal("M<2 must error")
+	}
+	if _, err := RequiredDraws(10, 10); err == nil {
+		t.Fatal("m=M must error")
+	}
+	if _, err := RequiredDraws(10, -1); err == nil {
+		t.Fatal("m<0 must error")
+	}
+	n, err := RequiredDraws(10, 0)
+	if err != nil || n != 0 {
+		t.Fatalf("m=0: %v, %v", n, err)
+	}
+}
+
+func TestRequiredDrawsAtLeastM(t *testing.T) {
+	// With replacement you always need at least m draws for m distinct.
+	for _, c := range []struct{ M, m float64 }{{10, 5}, {100, 50}, {1000, 999}} {
+		n, err := RequiredDraws(c.M, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < c.m {
+			t.Fatalf("M=%v m=%v: n=%v < m", c.M, c.m, n)
+		}
+	}
+}
+
+func TestLimitXYRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		x := float64(raw) / 65535 * 10
+		y, err := LimitXY(x)
+		if err != nil {
+			return false
+		}
+		if y < 0 || y >= 1 {
+			return false
+		}
+		back, err := LimitYX(y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-x) < 1e-6*(x+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLimitXYKnown(t *testing.T) {
+	y, err := LimitXY(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-(1-math.Exp(-1))) > 1e-12 {
+		t.Fatalf("y(1) = %v", y)
+	}
+	if _, err := LimitXY(-1); err == nil {
+		t.Fatal("x<0 must error")
+	}
+	if _, err := LimitYX(1); err == nil {
+		t.Fatal("y=1 must error")
+	}
+	if _, err := LimitYX(-0.1); err == nil {
+		t.Fatal("y<0 must error")
+	}
+}
+
+func TestLimitMatchesFiniteM(t *testing.T) {
+	// Equation 1 at large M with fixed x=n/M must approach y = 1 - e^{-x}.
+	const M = 1e6
+	for _, x := range []float64{0.1, 0.5, 1, 2} {
+		mbar, err := ExpectedDistinct(M, x*M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yLimit, _ := LimitXY(x)
+		if math.Abs(mbar/M-yLimit) > 1e-4 {
+			t.Fatalf("x=%v: finite %v vs limit %v", x, mbar/M, yLimit)
+		}
+	}
+}

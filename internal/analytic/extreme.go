@@ -1,0 +1,141 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements §5.2–5.3: delivery-tree sizes for m distinct leaf
+// receivers under extreme disaffinity (β = −∞: receivers spread out to
+// maximize added links at every step) and extreme affinity (β = +∞:
+// receivers pack to minimize added links).
+
+// ExtremeDisaffinityTreeSize returns L_{−∞}(m) for m distinct leaf
+// receivers in a k-ary tree of depth D: receivers are added in the order
+// that maximizes each increment, so the j-th receiver (0-based) adds
+// D − ⌊log_k j⌋ links (D for j = 0). Valid for 1 ≤ m ≤ k^D.
+func (t Tree) ExtremeDisaffinityTreeSize(m int64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	M := int64(t.Leaves())
+	if m < 1 || m > M {
+		return 0, fmt.Errorf("analytic: m = %d out of [1, %d]", m, M)
+	}
+	k := int64(t.K)
+	// Sum increments level by level: receivers k^i .. min(m, k^{i+1})-1 add
+	// (D - i - 1) ... careful: j in [k^i, k^{i+1}) adds D - (i+1)? From the
+	// paper's sequence: ΔL(0..k-1) = D, ΔL(k..k²-1) = D−1, ΔL(k²..k³−1) = D−2.
+	// So j = 0 adds D; j in [k^i, k^{i+1}) for i >= 1 adds D − i; and
+	// j in [1, k) also adds D (i = 0 gives D − 0).
+	total := float64(t.Depth) // j = 0
+	j := int64(1)
+	block := k // upper bound of current i-block, exclusive
+	i := int64(0)
+	for j < m {
+		hi := block
+		if hi > m {
+			hi = m
+		}
+		total += float64(hi-j) * float64(int64(t.Depth)-i)
+		j = hi
+		i++
+		if block > M/k {
+			block = M
+		} else {
+			block *= k
+		}
+	}
+	return total, nil
+}
+
+// ExtremeDisaffinityClosedForm is Equation 36's closed form at m = k^l:
+//
+//	L_{−∞}(k^l) = D + Σ_{i=0..l-1} k^i (k−1)(D−i)
+//	            = D·k^l − (k/(k−1))·(k^{l−1}(lk − k − l) + 1)   [paper form]
+//
+// The summation form is used directly; it is exact for every k ≥ 2.
+func (t Tree) ExtremeDisaffinityClosedForm(l int) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if t.K < 2 {
+		return 0, fmt.Errorf("analytic: closed form needs k >= 2")
+	}
+	if l < 0 || l > t.Depth {
+		return 0, fmt.Errorf("analytic: l = %d out of [0, %d]", l, t.Depth)
+	}
+	k := float64(t.K)
+	D := float64(t.Depth)
+	total := D
+	ki := 1.0
+	for i := 0; i < l; i++ {
+		total += ki * (k - 1) * (D - float64(i))
+		ki *= k
+	}
+	// The i = 0 term above double-counts the very first receiver: the
+	// sequence gives k·D for the first k receivers total, i.e. D (first) +
+	// (k−1)·D (rest), which is exactly D + k^0(k−1)D. So no correction needed.
+	return total, nil
+}
+
+// ExtremeAffinityTreeSize returns L_{+∞}(m) for m distinct leaf receivers:
+// receivers pack into one subtree, so the j-th receiver (1-based, j ≥ 2)
+// adds ν_k(j−1)+1 links where ν_k is the k-adic valuation; the first adds D.
+// At m = k^l this telescopes to Equation 38:
+//
+//	L_{+∞}(k^l) = D − l + (k^{l+1} − k)/(k − 1)
+func (t Tree) ExtremeAffinityTreeSize(m int64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	M := int64(t.Leaves())
+	if m < 1 || m > M {
+		return 0, fmt.Errorf("analytic: m = %d out of [1, %d]", m, M)
+	}
+	if t.K == 1 {
+		return float64(t.Depth), nil
+	}
+	k := int64(t.K)
+	// L(m) = D + Σ_{j=1..m-1} (ν_k(j) + 1)
+	//      = D + (m−1) + Σ_{i>=1} ⌊(m−1)/k^i⌋
+	total := float64(t.Depth) + float64(m-1)
+	for p := k; p <= m-1 && p > 0; p *= k {
+		total += float64((m - 1) / p)
+		if p > M { // guard overflow for huge k^i
+			break
+		}
+	}
+	return total, nil
+}
+
+// ExtremeAffinityClosedForm is Equation 38 at m = k^l.
+func (t Tree) ExtremeAffinityClosedForm(l int) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if t.K < 2 {
+		return 0, fmt.Errorf("analytic: closed form needs k >= 2")
+	}
+	if l < 0 || l > t.Depth {
+		return 0, fmt.Errorf("analytic: l = %d out of [0, %d]", l, t.Depth)
+	}
+	k := float64(t.K)
+	return float64(t.Depth) - float64(l) + (math.Pow(k, float64(l)+1)-k)/(k-1), nil
+}
+
+// ExtremeDisaffinityDelta2 is Equation 34's smoothed second derivative,
+// Δ²L_{−∞}(m) ≈ −1/(m(k−1)): under extreme disaffinity the marginal cost
+// decays like 1/m rather than exponentially.
+func (t Tree) ExtremeDisaffinityDelta2(m float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if t.K < 2 {
+		return 0, fmt.Errorf("analytic: needs k >= 2")
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("analytic: m must be > 0, got %v", m)
+	}
+	return -1 / (m * float64(t.K-1)), nil
+}

@@ -1,0 +1,200 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"mtreescale/internal/mcast"
+)
+
+// greedyExtreme computes L(m) on a real k-ary tree graph by greedily adding
+// the leaf that maximizes (disaffinity) or minimizes (affinity) the number
+// of links added at each step. It is the brute-force reference for the
+// closed forms of §5.2–5.3.
+func greedyExtreme(t *testing.T, k, depth, m int, maximize bool) int {
+	t.Helper()
+	tr, spt := buildKAryGraph(t, k, depth)
+	inTree := make([]bool, tr.Graph.N())
+	inTree[0] = true
+	links := 0
+	used := make([]bool, tr.Graph.N())
+	for step := 0; step < m; step++ {
+		bestLeaf, bestCost := -1, -1
+		for i := 0; i < tr.Leaves; i++ {
+			leaf := tr.Leaf(i)
+			if used[leaf] {
+				continue
+			}
+			// Cost = new links on the path to the current tree.
+			cost := 0
+			for v := int32(leaf); !inTree[v]; v = spt.Parent[v] {
+				cost++
+			}
+			better := cost > bestCost
+			if !maximize {
+				better = bestCost == -1 || cost < bestCost
+			}
+			if better {
+				bestLeaf, bestCost = leaf, cost
+			}
+		}
+		used[bestLeaf] = true
+		links += bestCost
+		for v := int32(bestLeaf); !inTree[v]; v = spt.Parent[v] {
+			inTree[v] = true
+		}
+	}
+	return links
+}
+
+func TestExtremeDisaffinityMatchesGreedy(t *testing.T) {
+	for _, c := range []struct{ k, depth int }{{2, 4}, {3, 3}, {4, 2}} {
+		tr := Tree{K: c.k, Depth: c.depth}
+		M := int(tr.Leaves())
+		for m := 1; m <= M; m++ {
+			want := greedyExtreme(t, c.k, c.depth, m, true)
+			got, err := tr.ExtremeDisaffinityTreeSize(int64(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(got) != want {
+				t.Fatalf("k=%d D=%d m=%d: formula %v vs greedy %d", c.k, c.depth, m, got, want)
+			}
+		}
+	}
+}
+
+func TestExtremeAffinityMatchesGreedy(t *testing.T) {
+	for _, c := range []struct{ k, depth int }{{2, 4}, {3, 3}, {4, 2}} {
+		tr := Tree{K: c.k, Depth: c.depth}
+		M := int(tr.Leaves())
+		for m := 1; m <= M; m++ {
+			want := greedyExtreme(t, c.k, c.depth, m, false)
+			got, err := tr.ExtremeAffinityTreeSize(int64(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(got) != want {
+				t.Fatalf("k=%d D=%d m=%d: formula %v vs greedy %d", c.k, c.depth, m, got, want)
+			}
+		}
+	}
+}
+
+func TestExtremeClosedFormsAgree(t *testing.T) {
+	// Equations 36 and 38 at m = k^l must match the general-m formulas.
+	for _, c := range []struct{ k, depth int }{{2, 8}, {3, 5}, {4, 4}} {
+		tr := Tree{K: c.k, Depth: c.depth}
+		for l := 0; l <= c.depth; l++ {
+			m := int64(math.Pow(float64(c.k), float64(l)))
+			d1, err := tr.ExtremeDisaffinityTreeSize(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, err := tr.ExtremeDisaffinityClosedForm(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(d1-d2) > 1e-9 {
+				t.Fatalf("disaffinity k=%d D=%d l=%d: %v vs %v", c.k, c.depth, l, d1, d2)
+			}
+			a1, err := tr.ExtremeAffinityTreeSize(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := tr.ExtremeAffinityClosedForm(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(a1-a2) > 1e-9 {
+				t.Fatalf("affinity k=%d D=%d l=%d: %v vs %v", c.k, c.depth, l, a1, a2)
+			}
+		}
+	}
+}
+
+func TestExtremeBracketsUniform(t *testing.T) {
+	// For any m: L_{+∞}(m) ≤ E[L(m)] uniform ≤ L_{−∞}(m). Compare against
+	// the paper's exact uniform expectation via Eq 4 + Eq 1.
+	tr := Tree{K: 2, Depth: 8}
+	M := tr.Leaves()
+	for _, m := range []float64{2, 8, 32, 128} {
+		uniform, err := tr.DistinctTreeSize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, err := tr.ExtremeAffinityTreeSize(int64(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := tr.ExtremeDisaffinityTreeSize(int64(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uniform < lo-1e-9 || uniform > hi+1e-9 {
+			t.Fatalf("m=%v: uniform %v outside [%v, %v]", m, uniform, lo, hi)
+		}
+		_ = M
+	}
+}
+
+func TestExtremeBoundaries(t *testing.T) {
+	tr := Tree{K: 2, Depth: 6}
+	// m=1: both extremes equal D.
+	a, _ := tr.ExtremeAffinityTreeSize(1)
+	d, _ := tr.ExtremeDisaffinityTreeSize(1)
+	if a != 6 || d != 6 {
+		t.Fatalf("m=1: affinity %v disaffinity %v, want 6", a, d)
+	}
+	// m=M: both must equal the full tree, N-1 links = Σ k^l.
+	full := 2.0 * (math.Pow(2, 6) - 1)
+	aM, _ := tr.ExtremeAffinityTreeSize(64)
+	dM, _ := tr.ExtremeDisaffinityTreeSize(64)
+	if math.Abs(aM-full) > 1e-9 || math.Abs(dM-full) > 1e-9 {
+		t.Fatalf("m=M: affinity %v disaffinity %v, want %v", aM, dM, full)
+	}
+}
+
+func TestExtremeErrors(t *testing.T) {
+	tr := Tree{K: 2, Depth: 5}
+	if _, err := tr.ExtremeAffinityTreeSize(0); err == nil {
+		t.Fatal("m=0 must error")
+	}
+	if _, err := tr.ExtremeDisaffinityTreeSize(33); err == nil {
+		t.Fatal("m>M must error")
+	}
+	if _, err := tr.ExtremeAffinityClosedForm(-1); err == nil {
+		t.Fatal("l<0 must error")
+	}
+	if _, err := tr.ExtremeDisaffinityClosedForm(6); err == nil {
+		t.Fatal("l>D must error")
+	}
+	un := Tree{K: 1, Depth: 4}
+	if _, err := un.ExtremeDisaffinityClosedForm(1); err == nil {
+		t.Fatal("k=1 closed form must error")
+	}
+	if v, err := un.ExtremeAffinityTreeSize(1); err != nil || v != 4 {
+		t.Fatalf("k=1 affinity: %v, %v", v, err)
+	}
+	if _, err := tr.ExtremeDisaffinityDelta2(0); err == nil {
+		t.Fatal("m=0 delta2 must error")
+	}
+}
+
+func TestExtremeDisaffinityDelta2Shape(t *testing.T) {
+	// Equation 34: Δ² ≈ -1/(m(k-1)); verify decay is ~1/m, i.e. the ratio
+	// of values at m and 2m is 2.
+	tr := Tree{K: 3, Depth: 8}
+	a, _ := tr.ExtremeDisaffinityDelta2(10)
+	b, _ := tr.ExtremeDisaffinityDelta2(20)
+	if math.Abs(a/b-2) > 1e-9 {
+		t.Fatalf("delta2 decay: %v / %v", a, b)
+	}
+	if a >= 0 {
+		t.Fatal("delta2 must be negative")
+	}
+}
+
+// Keep a compile-time reference so the mcast import (used by kary_test
+// helpers) stays justified in this package's test build.
+var _ = mcast.NewTreeCounter

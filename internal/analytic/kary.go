@@ -1,0 +1,192 @@
+// Package analytic implements the paper's closed-form theory for k-ary
+// trees (§3 and §5.2–5.3): the exact expected delivery-tree size L̄(n) and
+// its discrete derivatives, the h(x) diagnostic, the asymptotic forms, the
+// n↔m conversion between with-replacement draws and distinct sites, and the
+// extreme affinity/disaffinity tree sizes.
+//
+// Throughout, the model is a k-ary tree of depth D with the source at the
+// root. M = k^D is the number of leaves; when receivers are spread over the
+// whole tree the site population is T(D) = Σ_{j=1..D} k^j (root excluded).
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tree identifies a k-ary tree shape.
+type Tree struct {
+	K     int // branching factor, >= 1 (k=1 is the paper's limiting path case)
+	Depth int // depth D >= 1
+}
+
+// Validate checks the shape parameters.
+func (t Tree) Validate() error {
+	if t.K < 1 {
+		return fmt.Errorf("analytic: k must be >= 1, got %d", t.K)
+	}
+	if t.Depth < 1 {
+		return fmt.Errorf("analytic: depth must be >= 1, got %d", t.Depth)
+	}
+	if float64(t.Depth)*math.Log(float64(t.K)) > 45 { // k^D must fit in float64 comfortably
+		return fmt.Errorf("analytic: k=%d depth=%d too large", t.K, t.Depth)
+	}
+	return nil
+}
+
+// Leaves returns M = k^D.
+func (t Tree) Leaves() float64 {
+	return math.Pow(float64(t.K), float64(t.Depth))
+}
+
+// Sites returns T(D) = Σ_{l=1..D} k^l, the number of non-root sites.
+func (t Tree) Sites() float64 {
+	k := float64(t.K)
+	if t.K == 1 {
+		return float64(t.Depth)
+	}
+	return k * (math.Pow(k, float64(t.Depth)) - 1) / (k - 1)
+}
+
+// pow1mEpsN computes (1-eps)^n stably for tiny eps and huge n.
+func pow1mEpsN(eps, n float64) float64 {
+	if eps >= 1 {
+		return 0
+	}
+	return math.Exp(n * math.Log1p(-eps))
+}
+
+// LeafTreeSize evaluates the paper's Equation 4 — the exact expected number
+// of links L̄(n) in the delivery tree when n receivers are drawn uniformly
+// with replacement from the M leaves:
+//
+//	L̄(n) = Σ_{l=1..D} k^l (1 - (1 - k^{-l})^n)
+//
+// n may be any non-negative real (the formula extends naturally, which §3
+// uses when substituting n(m)).
+func (t Tree) LeafTreeSize(n float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("analytic: negative n = %v", n)
+	}
+	k := float64(t.K)
+	sum := 0.0
+	kl := 1.0
+	for l := 1; l <= t.Depth; l++ {
+		kl *= k
+		sum += kl * (1 - pow1mEpsN(1/kl, n))
+	}
+	return sum, nil
+}
+
+// LeafDelta evaluates Equation 5, the first discrete derivative
+// ΔL̄(n) = L̄(n+1) − L̄(n) = Σ_{l=1..D} (1−k^{-l})^n.
+func (t Tree) LeafDelta(n float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("analytic: negative n = %v", n)
+	}
+	k := float64(t.K)
+	sum := 0.0
+	kl := 1.0
+	for l := 1; l <= t.Depth; l++ {
+		kl *= k
+		sum += pow1mEpsN(1/kl, n)
+	}
+	return sum, nil
+}
+
+// LeafDelta2 evaluates Equation 6, the second discrete derivative
+// Δ²L̄(n) = −Σ_{l=1..D} k^{-l} (1−k^{-l})^n. It is always negative: the
+// marginal cost of an extra receiver shrinks as the tree fills in.
+func (t Tree) LeafDelta2(n float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("analytic: negative n = %v", n)
+	}
+	k := float64(t.K)
+	sum := 0.0
+	kl := 1.0
+	for l := 1; l <= t.Depth; l++ {
+		kl *= k
+		sum += (1 / kl) * pow1mEpsN(1/kl, n)
+	}
+	return -sum, nil
+}
+
+// ThroughoutTreeSize evaluates Equation 21 — the exact expected tree size
+// when n receivers are drawn with replacement from all non-root sites:
+//
+//	L̄(n) = Σ_{l=1..D} k^l (1 − (1 − p_l)^n),
+//	p_l = [(T(D) − T(l−1)) / T(D)] · k^{-l}
+//
+// where T(r) = Σ_{j=1..r} k^j counts sites within r hops. The first factor
+// is the probability a receiver lands at depth ≥ l; the second is the
+// conditional probability it sits under one particular level-l link (Eq 19).
+func (t Tree) ThroughoutTreeSize(n float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("analytic: negative n = %v", n)
+	}
+	k := float64(t.K)
+	total := t.Sites()
+	sum := 0.0
+	kl := 1.0    // k^l
+	tPrev := 0.0 // T(l-1)
+	for l := 1; l <= t.Depth; l++ {
+		kl *= k
+		pl := ((total - tPrev) / total) / kl
+		sum += kl * (1 - pow1mEpsN(pl, n))
+		tPrev += kl
+	}
+	return sum, nil
+}
+
+// LinkProbabilityLeaf returns Equation 3: the probability that a given
+// level-l link is in the delivery tree after n leaf draws.
+func (t Tree) LinkProbabilityLeaf(l int, n float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if l < 1 || l > t.Depth {
+		return 0, fmt.Errorf("analytic: level %d out of [1,%d]", l, t.Depth)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("analytic: negative n = %v", n)
+	}
+	kl := math.Pow(float64(t.K), float64(l))
+	return 1 - pow1mEpsN(1/kl, n), nil
+}
+
+// LinkProbabilityThroughout returns Equation 19: the probability that a
+// given level-l link is in the tree after n draws over all non-root sites.
+func (t Tree) LinkProbabilityThroughout(l int, n float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if l < 1 || l > t.Depth {
+		return 0, fmt.Errorf("analytic: level %d out of [1,%d]", l, t.Depth)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("analytic: negative n = %v", n)
+	}
+	k := float64(t.K)
+	total := t.Sites()
+	tPrev := 0.0
+	kl := 1.0
+	for j := 1; j < l; j++ {
+		kl *= k
+		tPrev += kl
+	}
+	kl *= k // now k^l
+	pl := ((total - tPrev) / total) / kl
+	return 1 - pow1mEpsN(pl, n), nil
+}

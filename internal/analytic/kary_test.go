@@ -1,0 +1,289 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/mcast"
+	"mtreescale/internal/rng"
+	"mtreescale/internal/topology"
+)
+
+func TestTreeValidate(t *testing.T) {
+	bad := []Tree{{0, 3}, {2, 0}, {2, -1}, {2, 100}}
+	for _, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("Tree%+v must not validate", tr)
+		}
+	}
+	good := []Tree{{1, 5}, {2, 17}, {4, 9}, {10, 4}}
+	for _, tr := range good {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("Tree%+v: %v", tr, err)
+		}
+	}
+}
+
+func TestLeavesAndSites(t *testing.T) {
+	tr := Tree{K: 2, Depth: 3}
+	if tr.Leaves() != 8 {
+		t.Fatalf("leaves = %v", tr.Leaves())
+	}
+	if tr.Sites() != 14 { // 2+4+8
+		t.Fatalf("sites = %v", tr.Sites())
+	}
+	un := Tree{K: 1, Depth: 5}
+	if un.Leaves() != 1 || un.Sites() != 5 {
+		t.Fatalf("unary: leaves=%v sites=%v", un.Leaves(), un.Sites())
+	}
+}
+
+func TestLeafTreeSizeBoundaries(t *testing.T) {
+	tr := Tree{K: 2, Depth: 4}
+	l0, err := tr.LeafTreeSize(0)
+	if err != nil || l0 != 0 {
+		t.Fatalf("L(0) = %v, %v", l0, err)
+	}
+	// L̄(1) = D: a single receiver's path has exactly D links.
+	l1, _ := tr.LeafTreeSize(1)
+	if math.Abs(l1-4) > 1e-9 {
+		t.Fatalf("L(1) = %v, want 4", l1)
+	}
+	// n → ∞ saturates at the full tree: Σ k^l = 2+4+8+16 = 30.
+	lInf, _ := tr.LeafTreeSize(1e9)
+	if math.Abs(lInf-30) > 1e-6 {
+		t.Fatalf("L(∞) = %v, want 30", lInf)
+	}
+	if _, err := tr.LeafTreeSize(-1); err == nil {
+		t.Fatal("negative n must error")
+	}
+}
+
+// simulateLeafTree Monte-Carlo estimates L̄(n) for leaf receivers drawn with
+// replacement on a real k-ary tree graph.
+func simulateLeafTree(t *testing.T, k, depth, n, reps int, seed int64) float64 {
+	t.Helper()
+	tr, err := topology.NewKAryTree(k, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spt, err := tr.Graph.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := make([]int32, tr.Leaves)
+	for i := range leaves {
+		leaves[i] = int32(tr.Leaf(i))
+	}
+	smp, err := mcast.NewSiteSampler(leaves, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mcast.NewTreeCounter(tr.Graph.N())
+	var recv []int32
+	sum := 0.0
+	for rep := 0; rep < reps; rep++ {
+		recv, err = smp.WithReplacement(n, recv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(c.TreeSize(spt, recv))
+	}
+	return sum / float64(reps)
+}
+
+func TestEquation4MatchesSimulation(t *testing.T) {
+	// The paper's central exact formula must agree with brute-force
+	// simulation on real tree graphs.
+	cases := []struct {
+		k, depth, n int
+	}{
+		{2, 6, 1}, {2, 6, 5}, {2, 6, 20}, {2, 6, 100},
+		{3, 4, 7}, {4, 4, 30}, {2, 8, 50},
+	}
+	for _, c := range cases {
+		tr := Tree{K: c.k, Depth: c.depth}
+		want, err := tr.LeafTreeSize(float64(c.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := simulateLeafTree(t, c.k, c.depth, c.n, 4000, int64(c.k*100+c.n))
+		if math.Abs(got-want) > 0.03*want+0.5 {
+			t.Fatalf("k=%d D=%d n=%d: sim %.2f vs Eq4 %.2f", c.k, c.depth, c.n, got, want)
+		}
+	}
+}
+
+func TestEquation21MatchesSimulation(t *testing.T) {
+	// Receivers throughout the tree (all non-root sites).
+	cases := []struct {
+		k, depth, n int
+	}{
+		{2, 6, 5}, {2, 6, 40}, {3, 4, 10}, {4, 3, 25},
+	}
+	for _, c := range cases {
+		tr := Tree{K: c.k, Depth: c.depth}
+		want, err := tr.ThroughoutTreeSize(float64(c.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kt, err := topology.NewKAryTree(c.k, c.depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spt, _ := kt.Graph.BFS(0)
+		smp, err := mcast.NewSampler(kt.Graph.N(), 0, rng.New(int64(c.n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt := mcast.NewTreeCounter(kt.Graph.N())
+		var recv []int32
+		sum := 0.0
+		const reps = 4000
+		for rep := 0; rep < reps; rep++ {
+			recv, _ = smp.WithReplacement(c.n, recv)
+			sum += float64(cnt.TreeSize(spt, recv))
+		}
+		got := sum / reps
+		if math.Abs(got-want) > 0.03*want+0.5 {
+			t.Fatalf("k=%d D=%d n=%d: sim %.2f vs Eq21 %.2f", c.k, c.depth, c.n, got, want)
+		}
+	}
+}
+
+func TestDeltaConsistency(t *testing.T) {
+	// ΔL̄(n) and Δ²L̄(n) must match finite differences of Equation 4.
+	tr := Tree{K: 3, Depth: 7}
+	for _, n := range []float64{0, 1, 5, 50, 500} {
+		l0, _ := tr.LeafTreeSize(n)
+		l1, _ := tr.LeafTreeSize(n + 1)
+		l2, _ := tr.LeafTreeSize(n + 2)
+		d, _ := tr.LeafDelta(n)
+		d2, _ := tr.LeafDelta2(n)
+		if math.Abs(d-(l1-l0)) > 1e-6 {
+			t.Fatalf("n=%v: ΔL = %v, finite diff %v", n, d, l1-l0)
+		}
+		if math.Abs(d2-(l2+l0-2*l1)) > 1e-6 {
+			t.Fatalf("n=%v: Δ²L = %v, finite diff %v", n, d2, l2+l0-2*l1)
+		}
+	}
+}
+
+func TestDelta2NonPositive(t *testing.T) {
+	// Δ²L̄ ≤ 0 always; strictly negative for k ≥ 2 at moderate n (for huge n
+	// the terms underflow to exactly 0 in float64, and for k = 1 the tree is
+	// a path where L̄(n) = D for every n ≥ 1).
+	f := func(kRaw, dRaw uint8, nRaw uint16) bool {
+		k := int(kRaw%5) + 1
+		tr := Tree{K: k, Depth: int(dRaw%10) + 1}
+		n := float64(nRaw)
+		d2, err := tr.LeafDelta2(n)
+		if err != nil {
+			return false
+		}
+		if d2 > 0 {
+			return false
+		}
+		if k >= 2 && n < 256 && d2 >= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafTreeSizeMonotoneProperty(t *testing.T) {
+	// L̄ is nondecreasing and concave in n.
+	f := func(kRaw, dRaw uint8, nRaw uint16) bool {
+		tr := Tree{K: int(kRaw%5) + 2, Depth: int(dRaw%9) + 1}
+		n := float64(nRaw % 5000)
+		a, err1 := tr.LeafTreeSize(n)
+		b, err2 := tr.LeafTreeSize(n + 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b >= a-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafVsThroughoutLimit(t *testing.T) {
+	// Section 3.4: in the limit of large D at fixed l, the per-link
+	// probability with receivers throughout approaches the leaf-only one.
+	trBig := Tree{K: 2, Depth: 20}
+	for _, l := range []int{1, 2, 3} {
+		pl, _ := trBig.LinkProbabilityLeaf(l, 64)
+		pt, _ := trBig.LinkProbabilityThroughout(l, 64)
+		if math.Abs(pl-pt) > 0.01 {
+			t.Fatalf("l=%d: leaf %v vs throughout %v", l, pl, pt)
+		}
+	}
+}
+
+func TestLinkProbabilityBounds(t *testing.T) {
+	tr := Tree{K: 3, Depth: 5}
+	for l := 1; l <= 5; l++ {
+		for _, n := range []float64{0, 1, 10, 1e6} {
+			p1, err := tr.LinkProbabilityLeaf(l, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := tr.LinkProbabilityThroughout(l, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []float64{p1, p2} {
+				if p < 0 || p > 1 {
+					t.Fatalf("l=%d n=%v: probability %v out of range", l, n, p)
+				}
+			}
+		}
+	}
+	if _, err := tr.LinkProbabilityLeaf(0, 1); err == nil {
+		t.Fatal("l=0 must error")
+	}
+	if _, err := tr.LinkProbabilityThroughout(6, 1); err == nil {
+		t.Fatal("l>D must error")
+	}
+}
+
+func TestThroughoutMatchesLeafStructure(t *testing.T) {
+	// Sanity: L̄_throughout(1) equals the mean receiver depth C̄ < D.
+	tr := Tree{K: 2, Depth: 8}
+	l1, err := tr.ThroughoutTreeSize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean depth over all non-root sites: Σ l·k^l / Σ k^l.
+	var num, den float64
+	kl := 1.0
+	for l := 1; l <= tr.Depth; l++ {
+		kl *= 2
+		num += float64(l) * kl
+		den += kl
+	}
+	want := num / den
+	if math.Abs(l1-want) > 1e-9 {
+		t.Fatalf("L(1) throughout = %v, want mean depth %v", l1, want)
+	}
+}
+
+// buildKAryGraph is a helper shared with extreme tests.
+func buildKAryGraph(t *testing.T, k, depth int) (*topology.KAryTree, *graph.SPT) {
+	t.Helper()
+	tr, err := topology.NewKAryTree(k, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spt, err := tr.Graph.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, spt
+}

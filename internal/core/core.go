@@ -1,0 +1,205 @@
+// Package core is the scaling-law engine — the paper's primary contribution
+// expressed as a library. It turns measured multicast-tree curves into the
+// two competing scaling models and quantifies how well each describes a
+// topology:
+//
+//   - The Chuang-Sirbu law: L(m)/ū ∝ m^0.8 (a pure power law).
+//   - The Phillips-Shenker-Tangmunarunkit (PST) form: L̄(n) ≈ n(c − ln(n/M)/ln k),
+//     i.e. L̄(n)/n is linear in ln n — "roughly linear with a logarithmic
+//     correction", which the paper derives for k-ary trees and argues holds
+//     for any network with exponential reachability.
+//
+// It also hosts the law's practical application from Chuang-Sirbu: cost-based
+// multicast pricing.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mtreescale/internal/mcast"
+	"mtreescale/internal/stats"
+)
+
+// Curve is a measured normalized tree-size curve for one topology.
+type Curve struct {
+	// Sizes are the group sizes (m or n depending on protocol).
+	Sizes []int
+	// Ratio[i] = E[L/ū] at Sizes[i] — the paper's normalized tree size.
+	Ratio []float64
+	// TreeSize[i] = E[L] at Sizes[i].
+	TreeSize []float64
+	// Unicast[i] = E[ū] at Sizes[i].
+	Unicast []float64
+}
+
+// FromPoints converts estimator output into a Curve.
+func FromPoints(pts []mcast.Point) Curve {
+	c := Curve{
+		Sizes:    make([]int, len(pts)),
+		Ratio:    make([]float64, len(pts)),
+		TreeSize: make([]float64, len(pts)),
+		Unicast:  make([]float64, len(pts)),
+	}
+	for i, p := range pts {
+		c.Sizes[i] = p.Size
+		c.Ratio[i] = p.MeanRatio
+		c.TreeSize[i] = p.MeanLinks
+		c.Unicast[i] = p.MeanUnicast
+	}
+	return c
+}
+
+// Validate checks internal consistency.
+func (c Curve) Validate() error {
+	if len(c.Sizes) == 0 {
+		return errors.New("core: empty curve")
+	}
+	if len(c.Ratio) != len(c.Sizes) || len(c.TreeSize) != len(c.Sizes) || len(c.Unicast) != len(c.Sizes) {
+		return errors.New("core: ragged curve columns")
+	}
+	for i, s := range c.Sizes {
+		if s <= 0 {
+			return fmt.Errorf("core: non-positive size %d at index %d", s, i)
+		}
+		if i > 0 && c.Sizes[i] <= c.Sizes[i-1] {
+			return fmt.Errorf("core: sizes not strictly increasing at index %d", i)
+		}
+	}
+	return nil
+}
+
+// FitChuangSirbu fits Ratio = C·m^e in log-log space. The paper's claim is
+// e ≈ 0.8 over a wide range of networks.
+func (c Curve) FitChuangSirbu() (stats.PowerLawFit, error) {
+	if err := c.Validate(); err != nil {
+		return stats.PowerLawFit{}, err
+	}
+	xs := make([]float64, len(c.Sizes))
+	for i, s := range c.Sizes {
+		xs[i] = float64(s)
+	}
+	return stats.PowerLaw(xs, c.Ratio)
+}
+
+// PSTFit is the paper's logarithmic-correction model fitted to a curve:
+// L̄(n)/(n·ū) = A + B·ln n. For a k-ary tree B = −1/(D·ln k) after the ū=D
+// normalization; ImpliedLnK back-solves the effective ln k given the
+// topology's average path length.
+type PSTFit struct {
+	A, B float64
+	R2   float64
+	// ImpliedLnK is −1/(B·C̄), the effective branching the slope implies,
+	// using C̄ = the curve's large-m unicast average. NaN if undefined.
+	ImpliedLnK float64
+}
+
+// FitPST fits the PST linear-in-ln(n) model to the normalized per-receiver
+// tree size L̄/(n·ū).
+func (c Curve) FitPST() (PSTFit, error) {
+	if err := c.Validate(); err != nil {
+		return PSTFit{}, err
+	}
+	xs := make([]float64, 0, len(c.Sizes))
+	ys := make([]float64, 0, len(c.Sizes))
+	for i, s := range c.Sizes {
+		if c.Unicast[i] <= 0 {
+			continue
+		}
+		xs = append(xs, float64(s))
+		ys = append(ys, c.TreeSize[i]/(float64(s)*c.Unicast[i]))
+	}
+	lin, err := stats.LogLinear(xs, ys)
+	if err != nil {
+		return PSTFit{}, err
+	}
+	fit := PSTFit{A: lin.Intercept, B: lin.Slope, R2: lin.R2, ImpliedLnK: math.NaN()}
+	cbar := c.Unicast[len(c.Unicast)-1]
+	if fit.B != 0 && cbar > 0 {
+		fit.ImpliedLnK = -1 / (fit.B * cbar)
+	}
+	return fit, nil
+}
+
+// Comparison quantifies which scaling model describes the curve better.
+type Comparison struct {
+	ChuangSirbu stats.PowerLawFit
+	PST         PSTFit
+	// RMSEChuangSirbu and RMSEPST are root-mean-square errors of each
+	// model's prediction of ln(L/ū) over the curve.
+	RMSEChuangSirbu float64
+	RMSEPST         float64
+}
+
+// Compare fits both models and evaluates their log-space residuals.
+func (c Curve) Compare() (Comparison, error) {
+	cs, err := c.FitChuangSirbu()
+	if err != nil {
+		return Comparison{}, err
+	}
+	pst, err := c.FitPST()
+	if err != nil {
+		return Comparison{}, err
+	}
+	var sse1, sse2 float64
+	n := 0
+	for i, s := range c.Sizes {
+		if c.Ratio[i] <= 0 || c.Unicast[i] <= 0 {
+			continue
+		}
+		m := float64(s)
+		obs := math.Log(c.Ratio[i])
+		pred1 := math.Log(cs.Constant) + cs.Exponent*math.Log(m)
+		// PST predicts L/(n·ū) = A + B ln n, so L/ū = n(A + B ln n).
+		v := pst.A + pst.B*math.Log(m)
+		if v <= 0 {
+			continue
+		}
+		pred2 := math.Log(m * v)
+		sse1 += (obs - pred1) * (obs - pred1)
+		sse2 += (obs - pred2) * (obs - pred2)
+		n++
+	}
+	if n == 0 {
+		return Comparison{}, errors.New("core: no comparable points")
+	}
+	return Comparison{
+		ChuangSirbu:     cs,
+		PST:             pst,
+		RMSEChuangSirbu: math.Sqrt(sse1 / float64(n)),
+		RMSEPST:         math.Sqrt(sse2 / float64(n)),
+	}, nil
+}
+
+// Winner names the model with the lower log-space RMSE. The paper's finding
+// is that both fit exponential-reachability networks about equally well —
+// that near-tie is itself the result ("not too dissimilar in behavior").
+func (c Comparison) Winner() string {
+	switch {
+	case c.RMSEPST < c.RMSEChuangSirbu:
+		return "pst"
+	case c.RMSEChuangSirbu < c.RMSEPST:
+		return "chuang-sirbu"
+	default:
+		return "tie"
+	}
+}
+
+// Efficiency returns the multicast efficiency gain at index i:
+// 1 − L/(m·ū), the fraction of link-traversals saved versus m unicasts.
+// Zero group size or missing normalization yields 0.
+func (c Curve) Efficiency(i int) float64 {
+	if i < 0 || i >= len(c.Sizes) {
+		return 0
+	}
+	den := float64(c.Sizes[i]) * c.Unicast[i]
+	if den <= 0 {
+		return 0
+	}
+	e := 1 - c.TreeSize[i]/den
+	if e < 0 {
+		return 0
+	}
+	return e
+}

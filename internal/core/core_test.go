@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mtreescale/internal/mcast"
+	"mtreescale/internal/topology"
+)
+
+// syntheticCurve builds a Curve following an exact power law with unit ū.
+func syntheticCurve(exponent float64, sizes []int) Curve {
+	c := Curve{Sizes: sizes}
+	for _, s := range sizes {
+		ratio := math.Pow(float64(s), exponent)
+		c.Ratio = append(c.Ratio, ratio)
+		c.Unicast = append(c.Unicast, 5)
+		c.TreeSize = append(c.TreeSize, ratio*5)
+	}
+	return c
+}
+
+func TestFromPoints(t *testing.T) {
+	pts := []mcast.Point{
+		{Size: 1, MeanRatio: 1, MeanLinks: 5, MeanUnicast: 5},
+		{Size: 10, MeanRatio: 6, MeanLinks: 30, MeanUnicast: 5},
+	}
+	c := FromPoints(pts)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Sizes[1] != 10 || c.Ratio[1] != 6 || c.TreeSize[1] != 30 {
+		t.Fatalf("curve = %+v", c)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := (Curve{}).Validate(); err == nil {
+		t.Fatal("empty curve must error")
+	}
+	c := Curve{Sizes: []int{1, 2}, Ratio: []float64{1}, TreeSize: []float64{1, 2}, Unicast: []float64{1, 2}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("ragged curve must error")
+	}
+	c2 := syntheticCurve(0.8, []int{5, 2})
+	if err := c2.Validate(); err == nil {
+		t.Fatal("non-increasing sizes must error")
+	}
+	c3 := syntheticCurve(0.8, []int{0, 2})
+	if err := c3.Validate(); err == nil {
+		t.Fatal("zero size must error")
+	}
+}
+
+func TestFitChuangSirbuRecovers(t *testing.T) {
+	c := syntheticCurve(0.8, []int{1, 2, 4, 8, 16, 32, 64})
+	fit, err := c.FitChuangSirbu()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exponent-0.8) > 1e-9 {
+		t.Fatalf("exponent = %v", fit.Exponent)
+	}
+	if math.Abs(fit.Constant-1) > 1e-9 {
+		t.Fatalf("constant = %v", fit.Constant)
+	}
+}
+
+func TestFitPSTRecovers(t *testing.T) {
+	// Build an exact PST curve: L/(n·ū) = A + B ln n.
+	a, b := 2.0, -0.15
+	c := Curve{}
+	for _, s := range []int{1, 4, 16, 64, 256} {
+		v := a + b*math.Log(float64(s))
+		c.Sizes = append(c.Sizes, s)
+		c.Unicast = append(c.Unicast, 7)
+		c.TreeSize = append(c.TreeSize, v*float64(s)*7)
+		c.Ratio = append(c.Ratio, v*float64(s))
+	}
+	fit, err := c.FitPST()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.A-a) > 1e-9 || math.Abs(fit.B-b) > 1e-9 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+	wantLnK := -1 / (b * 7)
+	if math.Abs(fit.ImpliedLnK-wantLnK) > 1e-9 {
+		t.Fatalf("implied lnK = %v, want %v", fit.ImpliedLnK, wantLnK)
+	}
+}
+
+func TestCompareOnMeasuredTopology(t *testing.T) {
+	// On an exponential-reachability topology both models should fit well
+	// (that's the paper's point: the PST form mimics m^0.8); comparison
+	// must simply produce finite, small RMSEs.
+	g, err := topology.TransitStubSized(400, 3.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := mcast.LogSpacedSizes(300, 10)
+	pts, err := mcast.MeasureCurve(g, sizes, mcast.Distinct, mcast.Protocol{NSource: 15, NRcvr: 15, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := FromPoints(pts).Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.RMSEChuangSirbu > 0.35 {
+		t.Fatalf("Chuang-Sirbu RMSE %v too large", cmp.RMSEChuangSirbu)
+	}
+	if cmp.RMSEPST > 0.35 {
+		t.Fatalf("PST RMSE %v too large", cmp.RMSEPST)
+	}
+	if cmp.ChuangSirbu.Exponent < 0.5 || cmp.ChuangSirbu.Exponent > 1 {
+		t.Fatalf("exponent = %v", cmp.ChuangSirbu.Exponent)
+	}
+	if cmp.PST.B >= 0 {
+		t.Fatalf("PST slope must be negative (log correction), got %v", cmp.PST.B)
+	}
+}
+
+func TestComparisonWinner(t *testing.T) {
+	if (Comparison{RMSEChuangSirbu: 0.1, RMSEPST: 0.2}).Winner() != "chuang-sirbu" {
+		t.Fatal("CS should win")
+	}
+	if (Comparison{RMSEChuangSirbu: 0.3, RMSEPST: 0.2}).Winner() != "pst" {
+		t.Fatal("PST should win")
+	}
+	if (Comparison{RMSEChuangSirbu: 0.2, RMSEPST: 0.2}).Winner() != "tie" {
+		t.Fatal("tie expected")
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	if _, err := (Curve{}).Compare(); err == nil {
+		t.Fatal("empty curve must error")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	c := syntheticCurve(0.8, []int{1, 10, 100})
+	if e := c.Efficiency(0); math.Abs(e) > 1e-9 {
+		t.Fatalf("m=1 efficiency = %v, want 0", e)
+	}
+	e10 := c.Efficiency(1)
+	want := 1 - math.Pow(10, -0.2)
+	if math.Abs(e10-want) > 1e-9 {
+		t.Fatalf("m=10 efficiency = %v, want %v", e10, want)
+	}
+	if c.Efficiency(2) <= e10 {
+		t.Fatal("efficiency must grow with m")
+	}
+	if c.Efficiency(-1) != 0 || c.Efficiency(99) != 0 {
+		t.Fatal("out-of-range index must yield 0")
+	}
+}
+
+func TestPricingBasics(t *testing.T) {
+	p := DefaultPricing(10)
+	g1, err := p.GroupPrice(1)
+	if err != nil || g1 != 10 {
+		t.Fatalf("P(1) = %v, %v", g1, err)
+	}
+	g100, _ := p.GroupPrice(100)
+	if math.Abs(g100-10*math.Pow(100, 0.8)) > 1e-9 {
+		t.Fatalf("P(100) = %v", g100)
+	}
+	pr, _ := p.PerReceiverPrice(100)
+	if pr >= 10 {
+		t.Fatal("per-receiver price must fall below unicast")
+	}
+	s, _ := p.Savings(100)
+	if math.Abs(s-(1-math.Pow(100, -0.2))) > 1e-9 {
+		t.Fatalf("savings = %v", s)
+	}
+}
+
+func TestPricingErrors(t *testing.T) {
+	if _, err := (Pricing{UnicastPrice: 0, Exponent: 0.8}).GroupPrice(5); err == nil {
+		t.Fatal("zero price must error")
+	}
+	if _, err := (Pricing{UnicastPrice: 1, Exponent: 1.5}).GroupPrice(5); err == nil {
+		t.Fatal("exponent > 1 must error")
+	}
+	p := DefaultPricing(1)
+	if _, err := p.GroupPrice(0); err == nil {
+		t.Fatal("m=0 must error")
+	}
+	if _, err := p.BreakEvenGroupSize(0); err == nil {
+		t.Fatal("frac=0 must error")
+	}
+	if _, err := p.BreakEvenGroupSize(1); err == nil {
+		t.Fatal("frac=1 must error")
+	}
+	one := Pricing{UnicastPrice: 1, Exponent: 1}
+	if _, err := one.BreakEvenGroupSize(0.5); err == nil {
+		t.Fatal("exponent 1 has no break-even")
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	p := DefaultPricing(1)
+	m, err := p.BreakEvenGroupSize(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m^-0.2 <= 0.5 → m >= 2^5 = 32.
+	if m != 32 {
+		t.Fatalf("break-even = %d, want 32", m)
+	}
+	pr, _ := p.PerReceiverPrice(m)
+	if pr > 0.5+1e-9 {
+		t.Fatalf("per-receiver price %v above target", pr)
+	}
+}
+
+func TestCalibratedPricing(t *testing.T) {
+	c := syntheticCurve(0.75, []int{1, 2, 4, 8, 16, 32})
+	p, err := CalibratedPricing(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Exponent-0.75) > 1e-9 || p.UnicastPrice != 3 {
+		t.Fatalf("pricing = %+v", p)
+	}
+	// A curve with a nonsense exponent must be rejected.
+	bad := syntheticCurve(1.6, []int{1, 2, 4, 8})
+	if _, err := CalibratedPricing(bad, 3); err == nil {
+		t.Fatal("exponent > 1 must be rejected for pricing")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pricing implements the application that motivated Chuang-Sirbu's study:
+// cost-based multicast pricing. If a unicast flow costs u (proportional to
+// its ū links), a multicast group of m receivers consumes L(m) ≈ ū·m^e
+// links, so a cost-based tariff charges
+//
+//	P(m) = u · m^e
+//
+// and the per-receiver price u·m^{e−1} falls as the group grows — the
+// quantitative form of "multicast is cheaper per receiver".
+type Pricing struct {
+	// UnicastPrice is the price of one unicast flow (m = 1).
+	UnicastPrice float64
+	// Exponent is the scaling exponent; Chuang-Sirbu's 0.8 by default.
+	Exponent float64
+}
+
+// DefaultPricing returns the canonical m^0.8 tariff.
+func DefaultPricing(unicastPrice float64) Pricing {
+	return Pricing{UnicastPrice: unicastPrice, Exponent: 0.8}
+}
+
+// Validate checks the tariff parameters.
+func (p Pricing) Validate() error {
+	if p.UnicastPrice <= 0 {
+		return fmt.Errorf("core: unicast price must be > 0, got %v", p.UnicastPrice)
+	}
+	if p.Exponent <= 0 || p.Exponent > 1 {
+		return fmt.Errorf("core: pricing exponent must be in (0, 1], got %v", p.Exponent)
+	}
+	return nil
+}
+
+// GroupPrice returns P(m) for a group of m receivers.
+func (p Pricing) GroupPrice(m int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if m < 1 {
+		return 0, fmt.Errorf("core: group size must be >= 1, got %d", m)
+	}
+	return p.UnicastPrice * math.Pow(float64(m), p.Exponent), nil
+}
+
+// PerReceiverPrice returns P(m)/m.
+func (p Pricing) PerReceiverPrice(m int) (float64, error) {
+	gp, err := p.GroupPrice(m)
+	if err != nil {
+		return 0, err
+	}
+	return gp / float64(m), nil
+}
+
+// Savings returns the fraction saved versus m independent unicasts:
+// 1 − P(m)/(m·u) = 1 − m^{e−1}.
+func (p Pricing) Savings(m int) (float64, error) {
+	pr, err := PerReceiverPrice(p, m)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - pr/p.UnicastPrice, nil
+}
+
+// PerReceiverPrice is a free-function form used by Savings to keep the
+// method value semantics explicit.
+func PerReceiverPrice(p Pricing, m int) (float64, error) { return p.PerReceiverPrice(m) }
+
+// BreakEvenGroupSize returns the smallest m whose per-receiver price is at
+// most the given fraction of the unicast price: m^{e−1} ≤ frac, i.e.
+// m ≥ frac^{1/(e−1)}.
+func (p Pricing) BreakEvenGroupSize(frac float64) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if frac <= 0 || frac >= 1 {
+		return 0, fmt.Errorf("core: fraction must be in (0,1), got %v", frac)
+	}
+	if p.Exponent == 1 {
+		return 0, fmt.Errorf("core: exponent 1 never reaches per-receiver savings")
+	}
+	m := math.Pow(frac, 1/(p.Exponent-1))
+	// Guard float round-up at exact solutions (e.g. 0.5^-5 = 32.0000000007).
+	return int(math.Ceil(m - 1e-9)), nil
+}
+
+// CalibratedPricing builds a tariff from a measured curve: the exponent is
+// the fitted Chuang-Sirbu exponent and the unit price is scaled so that
+// P(1) = unicastPrice.
+func CalibratedPricing(c Curve, unicastPrice float64) (Pricing, error) {
+	fit, err := c.FitChuangSirbu()
+	if err != nil {
+		return Pricing{}, err
+	}
+	p := Pricing{UnicastPrice: unicastPrice, Exponent: fit.Exponent}
+	if err := p.Validate(); err != nil {
+		return Pricing{}, fmt.Errorf("core: measured exponent unusable for pricing: %w", err)
+	}
+	return p, nil
+}

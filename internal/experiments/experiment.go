@@ -1,0 +1,218 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is registered under the paper's identifier
+// (table1, fig1a ... fig9b) and produces a structured Result: a plot.Figure
+// for figures, rows for tables, and Notes recording fitted slopes,
+// exponents and classifications for EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/plot"
+	"mtreescale/internal/topology"
+)
+
+// Profile scales an experiment between a seconds-long smoke run and the
+// paper-faithful protocol.
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+	// Scale shrinks the standard topologies, in (0, 1].
+	Scale float64
+	// NSource and NRcvr are the Monte-Carlo counts of §2 (paper: 100/100).
+	NSource, NRcvr int
+	// GridPoints is the number of group sizes per curve.
+	GridPoints int
+	// Seed drives every random stream.
+	Seed int64
+	// MCMCBurnIn and MCMCSamples control the affinity sampler sweeps.
+	MCMCBurnIn, MCMCSamples int
+	// MaxGroupSize caps the largest m/n measured on simulation-based
+	// figures (0 = population limit).
+	MaxGroupSize int
+}
+
+// Validate checks profile sanity.
+func (p Profile) Validate() error {
+	if p.Scale <= 0 || p.Scale > 1 {
+		return fmt.Errorf("experiments: scale must be in (0,1], got %v", p.Scale)
+	}
+	if p.NSource < 1 || p.NRcvr < 1 {
+		return fmt.Errorf("experiments: NSource/NRcvr must be >= 1 (got %d, %d)", p.NSource, p.NRcvr)
+	}
+	if p.GridPoints < 2 {
+		return fmt.Errorf("experiments: need >= 2 grid points, got %d", p.GridPoints)
+	}
+	if p.MCMCBurnIn < 0 || p.MCMCSamples < 1 {
+		return fmt.Errorf("experiments: bad MCMC sweeps (%d, %d)", p.MCMCBurnIn, p.MCMCSamples)
+	}
+	if p.MaxGroupSize < 0 {
+		return fmt.Errorf("experiments: negative MaxGroupSize")
+	}
+	return nil
+}
+
+// Paper is the paper-faithful profile (§2: Nrcvr = 100, Nsource = 100).
+// Full-size topologies; hours of CPU on the largest figures.
+func Paper() Profile {
+	return Profile{
+		Name: "paper", Scale: 1, NSource: 100, NRcvr: 100,
+		GridPoints: 24, Seed: 1999, MCMCBurnIn: 200, MCMCSamples: 400,
+	}
+}
+
+// Medium is the default CLI profile: quarter-scale topologies, 30×30
+// sampling. Minutes of CPU for the whole suite.
+func Medium() Profile {
+	return Profile{
+		Name: "medium", Scale: 0.25, NSource: 30, NRcvr: 30,
+		GridPoints: 16, Seed: 1999, MCMCBurnIn: 100, MCMCSamples: 200,
+	}
+}
+
+// Quick is the test/bench profile: seconds for the whole suite.
+func Quick() Profile {
+	return Profile{
+		Name: "quick", Scale: 0.05, NSource: 8, NRcvr: 8,
+		GridPoints: 8, Seed: 1999, MCMCBurnIn: 30, MCMCSamples: 60,
+		MaxGroupSize: 2000,
+	}
+}
+
+// ProfileByName resolves "paper", "medium" or "quick".
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "paper":
+		return Paper(), nil
+	case "medium":
+		return Medium(), nil
+	case "quick":
+		return Quick(), nil
+	default:
+		return Profile{}, fmt.Errorf("experiments: unknown profile %q (want paper|medium|quick)", name)
+	}
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig3a").
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// Figure holds the curves for figure experiments; nil for tables.
+	Figure *plot.Figure
+	// Header+Rows hold tabular output for table experiments.
+	Header []string
+	Rows   [][]string
+	// Notes records quantitative observations (fits, classifications)
+	// used by EXPERIMENTS.md.
+	Notes []string
+}
+
+// Runner executes one experiment under a profile.
+type Runner struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(p Profile) (*Result, error)
+}
+
+var registry = map[string]*Runner{}
+
+// paperOrder is the canonical presentation order (init order across files
+// is alphabetical by filename, which is not the paper's order).
+var paperOrder = []string{
+	"table1",
+	"fig1a", "fig1b",
+	"fig2a", "fig2b",
+	"fig3a", "fig3b",
+	"fig4a", "fig4b",
+	"fig5a", "fig5b",
+	"fig6a", "fig6b",
+	"fig7a", "fig7b",
+	"fig8",
+	"fig9a", "fig9b",
+	// Extensions beyond the paper (see extensions.go).
+	"ext-shared", "ext-steiner", "ext-ensemble", "ext-weighted", "ext-affinity-graph",
+}
+
+func register(r *Runner) {
+	if _, dup := registry[r.ID]; dup {
+		panic("experiments: duplicate id " + r.ID)
+	}
+	registry[r.ID] = r
+}
+
+// IDs returns all experiment ids in paper order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for _, id := range paperOrder {
+		if _, ok := registry[id]; ok {
+			out = append(out, id)
+		}
+	}
+	// Append any experiment not in the canonical list (future extensions).
+	for id := range registry {
+		found := false
+		for _, o := range paperOrder {
+			if o == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Lookup returns the Runner for an id.
+func Lookup(id string) (*Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		ids := IDs()
+		sort.Strings(ids)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, ids)
+	}
+	return r, nil
+}
+
+// Run executes the experiment with the given profile.
+func Run(id string, p Profile) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Run(p)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	return res, nil
+}
+
+// buildTopologies generates the named standard topologies at profile scale.
+func buildTopologies(names []string, p Profile) ([]*graph.Graph, error) {
+	out := make([]*graph.Graph, 0, len(names))
+	for _, name := range names {
+		g, err := topology.GenerateSeeded(name, 0, p.Scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// capSize applies the profile's MaxGroupSize cap.
+func (p Profile) capSize(max int) int {
+	if p.MaxGroupSize > 0 && max > p.MaxGroupSize {
+		return p.MaxGroupSize
+	}
+	return max
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mtreescale/internal/analytic"
+	"mtreescale/internal/plot"
+)
+
+// The paper's canonical k-ary cases: k = 2 with D ∈ {10, 14, 17} and k = 4
+// with D ∈ {5, 7, 9}.
+var (
+	karyK2Depths = []int{10, 14, 17}
+	karyK4Depths = []int{5, 7, 9}
+)
+
+func init() {
+	register(&Runner{
+		ID:          "fig2a",
+		Title:       "Figure 2(a): h(x) vs x, k=2",
+		Description: "Exact h(x) from Equations 6+11 for binary trees of depth 10/14/17 against the x·k^{-1/2} approximation (Equation 12).",
+		Run:         func(p Profile) (*Result, error) { return runFig2("fig2a", 2, karyK2Depths, p) },
+	})
+	register(&Runner{
+		ID:          "fig2b",
+		Title:       "Figure 2(b): h(x) vs x, k=4",
+		Description: "Exact h(x) for 4-ary trees of depth 5/7/9 against x·k^{-1/2}; shows the paper's early oscillations.",
+		Run:         func(p Profile) (*Result, error) { return runFig2("fig2b", 4, karyK4Depths, p) },
+	})
+	register(&Runner{
+		ID:          "fig3a",
+		Title:       "Figure 3(a): L̄(n)/n vs n/M, k=2, receivers at leaves",
+		Description: "Exact Equation 4 normalized per receiver against the asymptotic line 1/ln k − ln(n/M)/ln k (Equation 16).",
+		Run:         func(p Profile) (*Result, error) { return runFig35("fig3a", 2, karyK2Depths, false, p) },
+	})
+	register(&Runner{
+		ID:          "fig3b",
+		Title:       "Figure 3(b): L̄(n)/n vs n/M, k=4, receivers at leaves",
+		Description: "Exact Equation 4 for k=4 against the Equation 16 line.",
+		Run:         func(p Profile) (*Result, error) { return runFig35("fig3b", 4, karyK4Depths, false, p) },
+	})
+	register(&Runner{
+		ID:          "fig4a",
+		Title:       "Figure 4(a): ln(L(m)/C̄) vs ln m, k=2",
+		Description: "Equations 4+1 composed into L(m) for binary trees, compared to the Chuang-Sirbu m^0.8 line.",
+		Run:         func(p Profile) (*Result, error) { return runFig4("fig4a", 2, karyK2Depths, p) },
+	})
+	register(&Runner{
+		ID:          "fig4b",
+		Title:       "Figure 4(b): ln(L(m)/C̄) vs ln m, k=4",
+		Description: "Equations 4+1 for 4-ary trees against m^0.8.",
+		Run:         func(p Profile) (*Result, error) { return runFig4("fig4b", 4, karyK4Depths, p) },
+	})
+	register(&Runner{
+		ID:          "fig5a",
+		Title:       "Figure 5(a): L̄(n)/n vs n/M, k=2, receivers throughout",
+		Description: "Exact Equation 21 (receivers at all non-root sites) against the Equation 16 line; same slope, shifted constant.",
+		Run:         func(p Profile) (*Result, error) { return runFig35("fig5a", 2, karyK2Depths, true, p) },
+	})
+	register(&Runner{
+		ID:          "fig5b",
+		Title:       "Figure 5(b): L̄(n)/n vs n/M, k=4, receivers throughout",
+		Description: "Exact Equation 21 for k=4 against the Equation 16 line.",
+		Run:         func(p Profile) (*Result, error) { return runFig35("fig5b", 4, karyK4Depths, true, p) },
+	})
+}
+
+// xGrid returns points geometric grid over [lo, hi].
+func xGrid(lo, hi float64, points int) []float64 {
+	if points < 2 || lo <= 0 || hi <= lo {
+		return []float64{lo, hi}
+	}
+	out := make([]float64, points)
+	ratio := math.Pow(hi/lo, 1/float64(points-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	out[points-1] = hi
+	return out
+}
+
+func runFig2(id string, k int, depths []int, p Profile) (*Result, error) {
+	fig := &plot.Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("h(x) for k=%d trees, receivers at leaves", k),
+		XLabel: "x = n/M",
+		YLabel: "h(x)",
+	}
+	res := &Result{ID: id, Title: fig.Title, Figure: fig}
+	grid := xGrid(0.02, 1.0, p.GridPoints*3)
+	for _, d := range depths {
+		tr := analytic.Tree{K: k, Depth: d}
+		var xs, ys []float64
+		for _, x := range grid {
+			h, err := tr.HFunction(x)
+			if err != nil {
+				continue // tiny-x divergence region; the paper excludes it too
+			}
+			xs = append(xs, x)
+			ys = append(ys, h)
+		}
+		if err := fig.AddXY(fmt.Sprintf("k=%d,D=%d", k, d), xs, ys); err != nil {
+			return nil, err
+		}
+		// Note the deviation from the line at mid-range.
+		trMid := 0.5
+		h, err := tr.HFunction(trMid)
+		if err == nil {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"k=%d D=%d: h(0.5)=%.4f vs x·k^{-1/2}=%.4f", k, d, h, tr.HApprox(trMid)))
+		}
+	}
+	var rx, ry []float64
+	for _, x := range grid {
+		rx = append(rx, x)
+		ry = append(ry, x/math.Sqrt(float64(k)))
+	}
+	if err := fig.AddXY("x·k^{-1/2}", rx, ry); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runFig35(id string, k int, depths []int, throughout bool, p Profile) (*Result, error) {
+	where := "leaves"
+	if throughout {
+		where = "throughout"
+	}
+	fig := &plot.Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("L̄(n)/n for k=%d trees, receivers %s", k, where),
+		XLabel: "n/M",
+		YLabel: "L̄(n)/n",
+		XLog:   true,
+	}
+	res := &Result{ID: id, Title: fig.Title, Figure: fig}
+	for _, d := range depths {
+		tr := analytic.Tree{K: k, Depth: d}
+		M := tr.Leaves()
+		var xs, ys []float64
+		for _, x := range xGrid(1/M, 1, p.GridPoints*3) {
+			n := x * M
+			if n < 1 {
+				n = 1
+			}
+			var l float64
+			var err error
+			if throughout {
+				l, err = tr.ThroughoutTreeSize(n)
+			} else {
+				l, err = tr.LeafTreeSize(n)
+			}
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, x)
+			ys = append(ys, l/n)
+		}
+		if err := fig.AddXY(fmt.Sprintf("k=%d,D=%d", k, d), xs, ys); err != nil {
+			return nil, err
+		}
+		// Quantify the linear-regime slope agreement with -1/ln k.
+		slope := (ys[len(ys)*3/4] - ys[len(ys)/4]) /
+			(math.Log(xs[len(xs)*3/4]) - math.Log(xs[len(xs)/4]))
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"k=%d D=%d (%s): mid-range slope %.4f vs predicted %.4f",
+			k, d, where, slope, -1/math.Log(float64(k))))
+	}
+	// Equation 16 line.
+	lnk := math.Log(float64(k))
+	var rx, ry []float64
+	minX := 1 / analytic.Tree{K: k, Depth: depths[len(depths)-1]}.Leaves()
+	for _, x := range xGrid(minX, 1, p.GridPoints*3) {
+		rx = append(rx, x)
+		ry = append(ry, 1/lnk-math.Log(x)/lnk)
+	}
+	if err := fig.AddXY("1/ln k − ln(n/M)/ln k", rx, ry); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runFig4(id string, k int, depths []int, p Profile) (*Result, error) {
+	fig := &plot.Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("L(m)/C̄ for k=%d trees vs the Chuang-Sirbu law", k),
+		XLabel: "m",
+		YLabel: "L(m)/C̄",
+		XLog:   true,
+		YLog:   true,
+	}
+	res := &Result{ID: id, Title: fig.Title, Figure: fig}
+	maxM := 0.0
+	for _, d := range depths {
+		tr := analytic.Tree{K: k, Depth: d}
+		M := tr.Leaves()
+		var xs, ys []float64
+		for _, m := range xGrid(1, M-1, p.GridPoints*3) {
+			l, err := tr.DistinctTreeSize(m)
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, m)
+			ys = append(ys, l/float64(d))
+		}
+		if err := fig.AddXY(fmt.Sprintf("k=%d,D=%d", k, d), xs, ys); err != nil {
+			return nil, err
+		}
+		if M-1 > maxM {
+			maxM = M - 1
+		}
+		// Fit the log-log slope over the interior.
+		var sx, sy, sxx, sxy, n float64
+		for i := range xs {
+			if xs[i] < 2 || xs[i] > M/4 {
+				continue
+			}
+			lx, ly := math.Log(xs[i]), math.Log(ys[i])
+			sx += lx
+			sy += ly
+			sxx += lx * lx
+			sxy += lx * ly
+			n++
+		}
+		if n >= 2 {
+			slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"k=%d D=%d: interior log-log slope %.3f vs Chuang-Sirbu 0.8", k, d, slope))
+		}
+	}
+	var rx, ry []float64
+	for _, m := range xGrid(1, maxM, p.GridPoints*3) {
+		rx = append(rx, m)
+		ry = append(ry, math.Pow(m, 0.8))
+	}
+	if err := fig.AddXY("m^0.8", rx, ry); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

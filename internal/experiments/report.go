@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report runs every registered experiment under the profile and writes a
+// consolidated Markdown report: one section per experiment with its title,
+// description, quantitative notes, and table rows where applicable. It is
+// the automated skeleton of EXPERIMENTS.md.
+//
+// now is injected so tests can pin the timestamp; pass time.Now().
+func Report(w io.Writer, p Profile, now time.Time) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# mtreescale experiment report\n\n")
+	fmt.Fprintf(w, "Profile: **%s** (scale %.2g, %d×%d sampling, seed %d). Generated %s.\n\n",
+		p.Name, p.Scale, p.NSource, p.NRcvr, p.Seed, now.Format("2006-01-02 15:04 MST"))
+	for _, id := range IDs() {
+		r, err := Lookup(id)
+		if err != nil {
+			return err
+		}
+		res, err := Run(id, p)
+		if err != nil {
+			return fmt.Errorf("experiments: report: %s: %w", id, err)
+		}
+		fmt.Fprintf(w, "## %s — %s\n\n", id, res.Title)
+		if r.Description != "" {
+			fmt.Fprintf(w, "%s\n\n", r.Description)
+		}
+		if len(res.Rows) > 0 {
+			fmt.Fprintf(w, "| %s |\n", strings.Join(res.Header, " | "))
+			fmt.Fprintf(w, "|%s\n", strings.Repeat("---|", len(res.Header)))
+			for _, row := range res.Rows {
+				fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+			}
+			fmt.Fprintln(w)
+		}
+		if res.Figure != nil {
+			fmt.Fprintf(w, "Series: ")
+			for i, s := range res.Figure.Series {
+				if i > 0 {
+					fmt.Fprint(w, ", ")
+				}
+				fmt.Fprintf(w, "%s (%d pts)", s.Name, s.Len())
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintln(w)
+		}
+		for _, n := range res.Notes {
+			fmt.Fprintf(w, "- %s\n", n)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReportContainsEverySection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Report(&buf, Quick(), time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range IDs() {
+		if !strings.Contains(out, "## "+id) {
+			t.Fatalf("report missing section for %s", id)
+		}
+	}
+	if !strings.Contains(out, "2026-07-06") {
+		t.Fatal("report missing timestamp")
+	}
+	if !strings.Contains(out, "| name | style |") {
+		t.Fatal("report missing table1 markdown table")
+	}
+	if !strings.Contains(out, "Series: ") {
+		t.Fatal("report missing figure series listings")
+	}
+	// Every section with notes renders them as bullets.
+	if strings.Count(out, "\n- ") < len(IDs())-1 {
+		t.Fatalf("too few note bullets:\n%s", out[:400])
+	}
+}
+
+func TestReportInvalidProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Report(&buf, Profile{}, time.Now()); err == nil {
+		t.Fatal("invalid profile must error")
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+// These tests pin the *scientific* content of the figures — the slopes,
+// constants and orderings the paper's argument rests on — rather than just
+// the structural contract checked by TestRunAllQuick. Everything here is
+// analytic or cheap, so it runs at full paper fidelity even in quick mode.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mtreescale/internal/plot"
+)
+
+func seriesByName(t *testing.T, f *plot.Figure, name string) *plot.Series {
+	t.Helper()
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	t.Fatalf("series %q missing (have %v)", name, func() []string {
+		var out []string
+		for _, s := range f.Series {
+			out = append(out, s.Name)
+		}
+		return out
+	}())
+	return nil
+}
+
+func TestFig2HCloseToLine(t *testing.T) {
+	// Equation 12: h(x) ≈ x·k^{-1/2}; k=2 tight, k=4 within ~12%.
+	res, err := Run("fig2a", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Figure.Series {
+		if s.Name == "x·k^{-1/2}" {
+			continue
+		}
+		for i := range s.X {
+			x, h := s.X[i], s.Y[i]
+			if x < 0.1 {
+				continue // the paper excludes the tiny-x divergence region
+			}
+			want := x / math.Sqrt2
+			if math.Abs(h-want) > 0.05*want+0.01 {
+				t.Fatalf("%s: h(%.3f)=%.4f vs line %.4f", s.Name, x, h, want)
+			}
+		}
+	}
+}
+
+func TestFig3SlopeConvergesToPrediction(t *testing.T) {
+	// Equation 16's slope −1/ln k, approached from below as D grows.
+	res, err := Run("fig3a", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -1 / math.Ln2
+	var prevErr float64 = math.Inf(1)
+	for _, name := range []string{"k=2,D=10", "k=2,D=14", "k=2,D=17"} {
+		s := seriesByName(t, res.Figure, name)
+		q1, q3 := s.Len()/4, 3*s.Len()/4
+		slope := (s.Y[q3] - s.Y[q1]) / (math.Log(s.X[q3]) - math.Log(s.X[q1]))
+		e := math.Abs(slope - want)
+		if e > 0.1 {
+			t.Fatalf("%s: slope %.4f vs %.4f", name, slope, want)
+		}
+		if e > prevErr+1e-9 {
+			t.Fatalf("%s: error %.5f did not shrink with depth (prev %.5f)", name, e, prevErr)
+		}
+		prevErr = e
+	}
+}
+
+func TestFig4InteriorSlopeNear08(t *testing.T) {
+	res, err := Run("fig4a", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Notes {
+		if !strings.Contains(n, "interior log-log slope") {
+			continue
+		}
+		// Parse the slope out of "... slope 0.797 vs ...".
+		var slope float64
+		if _, err := fmtSscanfSlope(n, &slope); err != nil {
+			t.Fatalf("unparseable note %q: %v", n, err)
+		}
+		if slope < 0.75 || slope > 0.9 {
+			t.Fatalf("interior slope %v outside the Chuang-Sirbu band: %q", slope, n)
+		}
+	}
+}
+
+// fmtSscanfSlope extracts the first float following "slope ".
+func fmtSscanfSlope(note string, out *float64) (int, error) {
+	idx := strings.Index(note, "slope ")
+	if idx < 0 {
+		return 0, errNoSlope
+	}
+	rest := note[idx+len("slope "):]
+	var v float64
+	n, err := sscanFloat(rest, &v)
+	if err != nil {
+		return n, err
+	}
+	*out = v
+	return n, nil
+}
+
+var errNoSlope = errorString("no slope in note")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func sscanFloat(s string, out *float64) (int, error) {
+	end := 0
+	for end < len(s) && (s[end] == '-' || s[end] == '.' || (s[end] >= '0' && s[end] <= '9')) {
+		end++
+	}
+	if end == 0 {
+		return 0, errNoSlope
+	}
+	var v float64
+	neg := false
+	i := 0
+	if s[0] == '-' {
+		neg = true
+		i = 1
+	}
+	frac := -1.0
+	for ; i < end; i++ {
+		if s[i] == '.' {
+			frac = 0.1
+			continue
+		}
+		d := float64(s[i] - '0')
+		if frac < 0 {
+			v = v*10 + d
+		} else {
+			v += d * frac
+			frac /= 10
+		}
+	}
+	if neg {
+		v = -v
+	}
+	*out = v
+	return end, nil
+}
+
+func TestFig5ThroughoutShiftsConstantOnly(t *testing.T) {
+	// Figures 3 vs 5: "the same behavior ... but the value of c has
+	// changed". Compare slopes (equal) and intercepts (different) at one
+	// depth.
+	f3, err := Run("fig3a", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := Run("fig5a", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := seriesByName(t, f3.Figure, "k=2,D=14")
+	s5 := seriesByName(t, f5.Figure, "k=2,D=14")
+	slope := func(s *plot.Series) float64 {
+		q1, q3 := s.Len()/4, 3*s.Len()/4
+		return (s.Y[q3] - s.Y[q1]) / (math.Log(s.X[q3]) - math.Log(s.X[q1]))
+	}
+	if math.Abs(slope(s3)-slope(s5)) > 0.08 {
+		t.Fatalf("slopes diverge: %.4f vs %.4f", slope(s3), slope(s5))
+	}
+	// Mid-curve offset must be nonzero (the changed constant).
+	mid3 := s3.Y[s3.Len()/2]
+	mid5 := s5.Y[s5.Len()/2]
+	if math.Abs(mid3-mid5) < 0.05 {
+		t.Fatalf("no constant shift between leaves (%.3f) and throughout (%.3f)", mid3, mid5)
+	}
+}
+
+func TestFig8CrossoverOrdering(t *testing.T) {
+	// Faster S(r) growth ⇒ earlier normalized-curve decay: the
+	// super-exponential model's curve must sit below the exponential one,
+	// which sits below the power law, at moderate n.
+	res, err := Run("fig8", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := seriesByName(t, res.Figure, "S(r)=2^r")
+	pow := seriesByName(t, res.Figure, "S(r)∝r^3")
+	gau := seriesByName(t, res.Figure, "S(r)∝e^{λr²}")
+	checked := 0
+	for i := range exp.X {
+		n := exp.X[i]
+		if n < 1e2 || n > 1e5 {
+			continue
+		}
+		if !(gau.Y[i] < exp.Y[i] && exp.Y[i] < pow.Y[i]) {
+			t.Fatalf("ordering violated at n=%g: gau %.4f exp %.4f pow %.4f",
+				n, gau.Y[i], exp.Y[i], pow.Y[i])
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no points in the comparison window")
+	}
+}
+
+func TestTable1DegreesInPaperRange(t *testing.T) {
+	res, err := Run("table1", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 4 is avg degree; the paper's range is 2.7–7.5, allow generous
+	// slack at quick scale.
+	for _, row := range res.Rows {
+		var deg float64
+		if _, err := sscanFloat(row[4], &deg); err != nil {
+			t.Fatalf("bad degree cell %q", row[4])
+		}
+		if deg < 1.8 || deg > 9 {
+			t.Fatalf("%s: degree %v far outside Table 1's range", row[0], deg)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComponentsSingle(t *testing.T) {
+	g := cycle(t, 8)
+	labels, count := g.Components()
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+	for v, l := range labels {
+		if l != 0 {
+			t.Fatalf("label[%d] = %d", v, l)
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("cycle is connected")
+	}
+}
+
+func TestComponentsMultiple(t *testing.T) {
+	b := NewBuilder(7)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(3, 4)
+	// 5, 6 isolated
+	g := b.Build()
+	labels, count := g.Components()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("0-1-2 must share a label")
+	}
+	if labels[3] != labels[4] {
+		t.Fatal("3-4 must share a label")
+	}
+	if labels[5] == labels[6] {
+		t.Fatal("isolated nodes must differ")
+	}
+	if g.Connected() {
+		t.Fatal("not connected")
+	}
+}
+
+func TestGiantComponent(t *testing.T) {
+	b := NewBuilder(10)
+	// Component A: 0..5 path (6 nodes). Component B: 6..9 cycle (4 nodes).
+	for i := 0; i < 5; i++ {
+		_ = b.AddEdge(i, i+1)
+	}
+	for i := 6; i < 10; i++ {
+		next := i + 1
+		if next == 10 {
+			next = 6
+		}
+		_ = b.AddEdge(i, next)
+	}
+	b.SetName("twoComp")
+	g := b.Build()
+	giant, oldIDs := g.GiantComponent()
+	if giant.N() != 6 || giant.M() != 5 {
+		t.Fatalf("giant N=%d M=%d", giant.N(), giant.M())
+	}
+	if giant.Name() != "twoComp" {
+		t.Fatalf("name lost: %q", giant.Name())
+	}
+	if len(oldIDs) != 6 {
+		t.Fatalf("oldIDs = %v", oldIDs)
+	}
+	for newID, oldID := range oldIDs {
+		if oldID < 0 || oldID > 5 {
+			t.Fatalf("newID %d maps to %d, outside giant component", newID, oldID)
+		}
+	}
+	if !giant.Connected() {
+		t.Fatal("giant component must be connected")
+	}
+}
+
+func TestGiantComponentAlreadyConnected(t *testing.T) {
+	g := cycle(t, 5)
+	giant, oldIDs := g.GiantComponent()
+	if giant != g {
+		t.Fatal("connected graph must be returned unchanged")
+	}
+	for i, id := range oldIDs {
+		if int(id) != i {
+			t.Fatalf("identity mapping expected, got %v", oldIDs)
+		}
+	}
+}
+
+func TestGiantComponentProperty(t *testing.T) {
+	f := func(seed int64, nRaw, cutRaw uint8) bool {
+		n := int(nRaw%60) + 4
+		g := randomGraph(seed, n, n/4)
+		giant, oldIDs := g.GiantComponent()
+		if !giant.Connected() {
+			return false
+		}
+		if giant.N() != len(oldIDs) {
+			return false
+		}
+		// Every edge in the giant must exist in the original.
+		ok := true
+		giant.Edges(func(u, v int) {
+			if !g.HasEdge(int(oldIDs[u]), int(oldIDs[v])) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentCountMatchesBFSProperty(t *testing.T) {
+	// Component count from labeling must equal the count of BFS restarts
+	// needed to visit everything.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		b := NewBuilder(n)
+		r := seed
+		// A sparse random graph that is usually disconnected.
+		for i := 0; i < n/2; i++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			u := int(uint64(r)>>33) % n
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int(uint64(r)>>33) % n
+			_ = b.AddEdge(u, v)
+		}
+		g := b.Build()
+		_, count := g.Components()
+		visited := make([]bool, n)
+		restarts := 0
+		for v := 0; v < n; v++ {
+			if visited[v] {
+				continue
+			}
+			restarts++
+			spt, err := g.BFS(v)
+			if err != nil {
+				return false
+			}
+			for _, u := range spt.Order {
+				visited[u] = true
+			}
+		}
+		return count == restarts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+type errWriter struct{ budget int }
+
+var errFull = errors.New("disk full")
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, errFull
+	}
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, errFull
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+func TestWritePropagatesWriteErrors(t *testing.T) {
+	g := path(t, 200).WithName("p200") // big enough to overflow bufio's buffer
+	if err := Write(&errWriter{budget: 0}, g); err == nil {
+		t.Fatal("zero-budget write must error")
+	}
+	if err := Write(&errWriter{budget: 64}, g); err == nil {
+		t.Fatal("tiny-budget write must error")
+	}
+}
+
+func TestWriteLargeGraphSucceedsWithExactBudget(t *testing.T) {
+	// Sanity check on the harness itself: enough budget means no error.
+	g := path(t, 10)
+	if err := Write(&errWriter{budget: 1 << 16}, g); err != nil {
+		t.Fatal(err)
+	}
+}

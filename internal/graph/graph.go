@@ -1,0 +1,201 @@
+// Package graph implements the undirected-graph substrate used by the
+// multicast-tree simulator: a compact immutable adjacency representation,
+// breadth-first shortest paths, shortest-path trees, connected components,
+// topology metrics and a plain-text edge-list interchange format.
+//
+// Nodes are dense integers 0..N-1. All edges are unweighted and
+// bidirectional; the paper ("All topologies were cleaned by removing
+// duplicate edges and all remaining edges were then assumed to be
+// bi-directional") counts hops only, never link weights.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected graph in compressed-sparse-row form.
+// Build one with a Builder. The zero value is an empty graph.
+type Graph struct {
+	offsets []int32 // len N+1; neighbors of v are adj[offsets[v]:offsets[v+1]]
+	adj     []int32
+	name    string
+}
+
+// Builder accumulates edges for a Graph. Duplicate edges and self-loops are
+// removed at Build time, mirroring the paper's topology cleaning step.
+type Builder struct {
+	n     int
+	edges [][2]int32
+	name  string
+}
+
+// NewBuilder returns a Builder for a graph with n nodes (0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	return &Builder{n: n}
+}
+
+// SetName attaches a human-readable topology name (e.g. "ts1000").
+func (b *Builder) SetName(name string) { b.name = name }
+
+// N returns the number of nodes the builder was created with.
+func (b *Builder) N() int { return b.n }
+
+// AddEdge records an undirected edge between u and v. Out-of-range endpoints
+// return an error; self-loops are silently dropped (they can never appear in
+// a delivery tree). Duplicates are allowed here and removed by Build.
+func (b *Builder) AddEdge(u, v int) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return nil
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+	return nil
+}
+
+// Grow extends the node range to at least n nodes.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// Build produces the immutable Graph. The builder may be reused afterwards.
+func (b *Builder) Build() *Graph {
+	// Deduplicate canonicalized edges.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	uniq := b.edges[:0:len(b.edges)]
+	var last [2]int32 = [2]int32{-1, -1}
+	for _, e := range b.edges {
+		if e != last {
+			uniq = append(uniq, e)
+			last = e
+		}
+	}
+
+	deg := make([]int32, b.n)
+	for _, e := range uniq {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	offsets := make([]int32, b.n+1)
+	for v := 0; v < b.n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj := make([]int32, offsets[b.n])
+	cursor := make([]int32, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, e := range uniq {
+		adj[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+		adj[cursor[e[1]]] = e[0]
+		cursor[e[1]]++
+	}
+	return &Graph{offsets: offsets, adj: adj, name: b.name}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of (undirected) edges.
+func (g *Graph) M() int { return len(g.adj) / 2 }
+
+// Name returns the topology name, if any.
+func (g *Graph) Name() string { return g.name }
+
+// WithName returns a shallow copy of g carrying the given name.
+func (g *Graph) WithName(name string) *Graph {
+	cp := *g
+	cp.name = name
+	return &cp
+}
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the adjacency slice of v. The slice aliases internal
+// storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the edge (u,v) exists. O(deg) scan; adjacency
+// slices are sorted by construction so binary search keeps it O(log deg).
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.N() || v >= g.N() {
+		return false
+	}
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= int32(v) })
+	return i < len(ns) && ns[i] == int32(v)
+}
+
+// Edges calls fn once per undirected edge with u < v.
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u := 0; u < g.N(); u++ {
+		for _, w := range g.Neighbors(u) {
+			if int32(u) < w {
+				fn(u, int(w))
+			}
+		}
+	}
+}
+
+// AvgDegree returns 2M/N, the paper's Table 1 "average degree" column.
+func (g *Graph) AvgDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.M()) / float64(g.N())
+}
+
+// Validate checks internal invariants (sorted adjacency, symmetric edges, no
+// self-loops). It is used by tests and by topology generators in debug mode.
+func (g *Graph) Validate() error {
+	if len(g.offsets) == 0 || g.offsets[0] != 0 {
+		return errors.New("graph: bad offsets header")
+	}
+	for v := 0; v < g.N(); v++ {
+		ns := g.Neighbors(v)
+		for i, w := range ns {
+			if w < 0 || int(w) >= g.N() {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", v, w)
+			}
+			if int(w) == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if i > 0 && ns[i-1] >= w {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
+			}
+			if !g.HasEdge(int(w), v) {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	name := g.name
+	if name == "" {
+		name = "graph"
+	}
+	return fmt.Sprintf("%s{N=%d M=%d degavg=%.2f}", name, g.N(), g.M(), g.AvgDegree())
+}

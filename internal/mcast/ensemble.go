@@ -1,0 +1,69 @@
+package mcast
+
+import (
+	"fmt"
+	"math"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/rng"
+)
+
+// MeasureEnsemble runs the original Chuang-Sirbu protocol variant the paper
+// notes in footnote 4: for generated topologies, [3] additionally averages
+// over N_network independent creations of each network. gen must build one
+// topology instance from a seed; the protocol then averages MeasureCurve
+// results across nNetworks instances, weighting each instance's point by
+// its sample count.
+func MeasureEnsemble(gen func(seed int64) (*graph.Graph, error), nNetworks int, sizes []int, mode Mode, p Protocol) ([]Point, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("mcast: nil generator")
+	}
+	if nNetworks < 1 {
+		return nil, fmt.Errorf("mcast: nNetworks must be >= 1, got %d", nNetworks)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	acc := make([]Point, len(sizes))
+	for k := range acc {
+		acc[k].Size = sizes[k]
+	}
+	for net := 0; net < nNetworks; net++ {
+		g, err := gen(rng.Split(p.Seed, int64(net)))
+		if err != nil {
+			return nil, fmt.Errorf("mcast: generating network %d: %w", net, err)
+		}
+		q := p
+		q.Seed = rng.Split(p.Seed, int64(1000000+net))
+		pts, err := MeasureCurve(g, sizes, mode, q)
+		if err != nil {
+			return nil, fmt.Errorf("mcast: measuring network %d: %w", net, err)
+		}
+		for k, pt := range pts {
+			w := float64(pt.Samples)
+			acc[k].MeanRatio += pt.MeanRatio * w
+			acc[k].MeanLinks += pt.MeanLinks * w
+			acc[k].MeanUnicast += pt.MeanUnicast * w
+			// Pool the per-network standard errors conservatively.
+			acc[k].RatioStdErr += pt.RatioStdErr * pt.RatioStdErr * w * w
+			acc[k].Samples += pt.Samples
+		}
+	}
+	for k := range acc {
+		if acc[k].Samples > 0 {
+			n := float64(acc[k].Samples)
+			acc[k].MeanRatio /= n
+			acc[k].MeanLinks /= n
+			acc[k].MeanUnicast /= n
+			acc[k].RatioStdErr = sqrtNonNeg(acc[k].RatioStdErr) / n
+		}
+	}
+	return acc, nil
+}
+
+func sqrtNonNeg(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,268 @@
+package mcast
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/rng"
+)
+
+// Protocol is the Monte-Carlo measurement protocol of §2 of the paper:
+// NSource random sources (drawn with replacement), and for each source and
+// each group size, NRcvr random receiver sets.
+type Protocol struct {
+	// NSource is the number of source draws (paper default 100).
+	NSource int
+	// NRcvr is the number of receiver sets per source and group size
+	// (paper default 100).
+	NRcvr int
+	// Seed makes the whole sweep deterministic.
+	Seed int64
+	// IncludeSource lets the source site also be drawn as a receiver.
+	// The paper excludes it (receivers are *other* sites).
+	IncludeSource bool
+	// Workers bounds the number of concurrent source workers;
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Validate checks protocol sanity.
+func (p Protocol) Validate() error {
+	if p.NSource <= 0 || p.NRcvr <= 0 {
+		return fmt.Errorf("mcast: protocol needs NSource > 0 and NRcvr > 0 (got %d, %d)", p.NSource, p.NRcvr)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("mcast: negative worker count %d", p.Workers)
+	}
+	return nil
+}
+
+// DefaultProtocol is the paper's 100×100 protocol.
+func DefaultProtocol(seed int64) Protocol {
+	return Protocol{NSource: 100, NRcvr: 100, Seed: seed}
+}
+
+// Point is the aggregated observation for one group size.
+type Point struct {
+	// Size is the group size: m (distinct mode) or n (replacement mode).
+	Size int
+	// MeanRatio is the average of L/ū over all samples — the y-value of
+	// the paper's Figure 1 (before taking logs).
+	MeanRatio float64
+	// RatioStdErr is the standard error of MeanRatio.
+	RatioStdErr float64
+	// MeanLinks is the average delivery-tree size L.
+	MeanLinks float64
+	// MeanUnicast is the average per-sample unicast path length ū.
+	MeanUnicast float64
+	// Samples is the number of Monte-Carlo samples aggregated.
+	Samples int
+}
+
+// Mode selects between the paper's two receiver-drawing protocols.
+type Mode int
+
+const (
+	// Distinct draws exactly m distinct receiver sites: the L(m) protocol.
+	Distinct Mode = iota
+	// WithReplacement draws n sites with replacement: the L̄(n) protocol.
+	WithReplacement
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Distinct:
+		return "distinct"
+	case WithReplacement:
+		return "with-replacement"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// MeasureCurve runs the full §2 protocol on g for every group size in sizes
+// and returns one aggregated Point per size, in input order.
+//
+// The computation parallelizes over sources; results are deterministic for a
+// fixed Protocol regardless of scheduling, because each source draw has its
+// own derived RNG stream and partial sums are reduced in source order.
+func MeasureCurve(g *graph.Graph, sizes []int, mode Mode, p Protocol) ([]Point, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if g.N() < 2 {
+		return nil, fmt.Errorf("mcast: graph too small (N=%d)", g.N())
+	}
+	maxPop := g.N()
+	if !p.IncludeSource {
+		maxPop--
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("mcast: group size %d must be positive", s)
+		}
+		if mode == Distinct && s > maxPop {
+			return nil, fmt.Errorf("mcast: m=%d exceeds receiver population %d", s, maxPop)
+		}
+	}
+
+	// Pre-draw the source sequence deterministically.
+	srcRand := rng.NewChild(p.Seed, -1)
+	sources := make([]int, p.NSource)
+	for i := range sources {
+		sources[i] = srcRand.Intn(g.N())
+	}
+
+	type partial struct {
+		ratioSum, ratioSq  []float64
+		linkSum, unicastSm []float64
+		samples            []int
+	}
+	partials := make([]*partial, p.NSource)
+
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > p.NSource {
+		workers = p.NSource
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var spt graph.SPT
+			counter := NewTreeCounter(g.N())
+			var recv []int32
+			for si := range jobs {
+				pt := &partial{
+					ratioSum:  make([]float64, len(sizes)),
+					ratioSq:   make([]float64, len(sizes)),
+					linkSum:   make([]float64, len(sizes)),
+					unicastSm: make([]float64, len(sizes)),
+					samples:   make([]int, len(sizes)),
+				}
+				partials[si] = pt
+				src := sources[si]
+				if err := g.BFSInto(src, &spt); err != nil {
+					errs[w] = err
+					return
+				}
+				exclude := src
+				if p.IncludeSource {
+					exclude = -1
+				}
+				r := rng.NewChild(p.Seed, int64(si))
+				smp, err := NewSampler(g.N(), exclude, r)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for k, size := range sizes {
+					for rep := 0; rep < p.NRcvr; rep++ {
+						switch mode {
+						case Distinct:
+							recv, err = smp.Distinct(size, recv)
+						case WithReplacement:
+							recv, err = smp.WithReplacement(size, recv)
+						default:
+							err = fmt.Errorf("mcast: unknown mode %v", mode)
+						}
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						meas := counter.Measure(&spt, recv)
+						if meas.Receivers == 0 {
+							continue // source in a tiny component; skip sample
+						}
+						ratio := meas.Ratio()
+						pt.ratioSum[k] += ratio
+						pt.ratioSq[k] += ratio * ratio
+						pt.linkSum[k] += float64(meas.Links)
+						pt.unicastSm[k] += meas.AvgUnicast()
+						pt.samples[k]++
+					}
+				}
+			}
+		}(w)
+	}
+	for si := 0; si < p.NSource; si++ {
+		jobs <- si
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Sequential reduction in source order: deterministic float result.
+	points := make([]Point, len(sizes))
+	for k := range sizes {
+		var links, unicast, ratioSum, ratioSq float64
+		n := 0
+		for si := 0; si < p.NSource; si++ {
+			pt := partials[si]
+			links += pt.linkSum[k]
+			unicast += pt.unicastSm[k]
+			ratioSum += pt.ratioSum[k]
+			ratioSq += pt.ratioSq[k]
+			n += pt.samples[k]
+		}
+		points[k] = Point{Size: sizes[k], Samples: n}
+		if n > 0 {
+			mean := ratioSum / float64(n)
+			points[k].MeanRatio = mean
+			points[k].MeanLinks = links / float64(n)
+			points[k].MeanUnicast = unicast / float64(n)
+			if n > 1 {
+				variance := (ratioSq - float64(n)*mean*mean) / float64(n-1)
+				if variance < 0 {
+					variance = 0 // float cancellation guard
+				}
+				points[k].RatioStdErr = math.Sqrt(variance / float64(n))
+			}
+		}
+	}
+	return points, nil
+}
+
+// LogSpacedSizes returns up to count distinct group sizes spanning [1, max],
+// approximately geometrically spaced — the x-grid of the paper's log-scale
+// figures.
+func LogSpacedSizes(max, count int) []int {
+	if max < 1 || count < 1 {
+		return nil
+	}
+	if count > max {
+		count = max
+	}
+	out := make([]int, 0, count)
+	last := 0
+	for i := 0; i < count; i++ {
+		var v int
+		if count == 1 {
+			v = max
+		} else {
+			v = int(math.Pow(float64(max), float64(i)/float64(count-1)) + 0.5)
+		}
+		if v <= last {
+			v = last + 1
+		}
+		if v > max {
+			break
+		}
+		out = append(out, v)
+		last = v
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package mcast
+
+import (
+	"math"
+	"testing"
+
+	"mtreescale/internal/topology"
+)
+
+func TestMeasureCurveBasic(t *testing.T) {
+	g := randGraph(1, 200, 300)
+	sizes := []int{1, 2, 5, 10, 50}
+	pts, err := MeasureCurve(g, sizes, Distinct, Protocol{NSource: 10, NRcvr: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(sizes) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Size != sizes[i] {
+			t.Fatalf("point %d size %d", i, pt.Size)
+		}
+		if pt.Samples != 100 {
+			t.Fatalf("point %d samples %d", i, pt.Samples)
+		}
+		if pt.MeanLinks <= 0 || pt.MeanRatio <= 0 || pt.MeanUnicast <= 0 {
+			t.Fatalf("point %d has zero stats: %+v", i, pt)
+		}
+	}
+	// L(1)/ū == 1 by definition: one receiver's tree is exactly its path.
+	if math.Abs(pts[0].MeanRatio-1) > 1e-9 {
+		t.Fatalf("ratio at m=1 is %v, want 1", pts[0].MeanRatio)
+	}
+	// MeanLinks must increase with m.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MeanLinks <= pts[i-1].MeanLinks {
+			t.Fatalf("L̄ not increasing: %v -> %v", pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestMeasureCurveDeterministic(t *testing.T) {
+	g := randGraph(2, 150, 200)
+	p := Protocol{NSource: 8, NRcvr: 6, Seed: 42, Workers: 4}
+	a, err := MeasureCurve(g, []int{1, 10, 40}, Distinct, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureCurve(g, []int{1, 10, 40}, Distinct, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic point %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// And independent of worker count.
+	p.Workers = 1
+	c, err := MeasureCurve(g, []int{1, 10, 40}, Distinct, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("worker-count-dependent point %d: %+v vs %+v", i, a[i], c[i])
+		}
+	}
+}
+
+func TestMeasureCurveWithReplacement(t *testing.T) {
+	g := randGraph(3, 100, 150)
+	pts, err := MeasureCurve(g, []int{1, 10, 100, 1000}, WithReplacement, Protocol{NSource: 5, NRcvr: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With replacement, n can exceed the population; L̄ saturates below N-1.
+	last := pts[len(pts)-1]
+	if last.MeanLinks >= float64(g.N()) {
+		t.Fatalf("L̄(%d) = %v exceeds N-1", last.Size, last.MeanLinks)
+	}
+	// Saturation: L̄(1000) should be close to the full tree size.
+	if last.MeanLinks < 0.9*float64(g.N()-1) {
+		t.Fatalf("L̄(1000) = %v; expected near-saturation of %d", last.MeanLinks, g.N()-1)
+	}
+}
+
+func TestMeasureCurveModeDifference(t *testing.T) {
+	// At n == m == population/2, with-replacement draws fewer distinct
+	// sites, so its tree must be smaller on average.
+	g := randGraph(4, 120, 200)
+	m := 60
+	dist, err := MeasureCurve(g, []int{m}, Distinct, Protocol{NSource: 20, NRcvr: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := MeasureCurve(g, []int{m}, WithReplacement, Protocol{NSource: 20, NRcvr: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl[0].MeanLinks >= dist[0].MeanLinks {
+		t.Fatalf("replacement tree (%.2f) not smaller than distinct tree (%.2f)",
+			repl[0].MeanLinks, dist[0].MeanLinks)
+	}
+}
+
+func TestMeasureCurveErrors(t *testing.T) {
+	g := randGraph(5, 50, 50)
+	if _, err := MeasureCurve(g, []int{1}, Distinct, Protocol{}); err == nil {
+		t.Fatal("zero protocol must error")
+	}
+	if _, err := MeasureCurve(g, []int{0}, Distinct, Protocol{NSource: 1, NRcvr: 1}); err == nil {
+		t.Fatal("size 0 must error")
+	}
+	if _, err := MeasureCurve(g, []int{50}, Distinct, Protocol{NSource: 1, NRcvr: 1}); err == nil {
+		t.Fatal("m == N must error when source excluded")
+	}
+	if _, err := MeasureCurve(g, []int{1}, Distinct, Protocol{NSource: 1, NRcvr: 1, Workers: -1}); err == nil {
+		t.Fatal("negative workers must error")
+	}
+	tiny := randGraph(5, 1, 0)
+	if _, err := MeasureCurve(tiny, []int{1}, Distinct, Protocol{NSource: 1, NRcvr: 1}); err == nil {
+		t.Fatal("N=1 must error")
+	}
+	if _, err := MeasureCurve(g, []int{1}, Mode(99), Protocol{NSource: 1, NRcvr: 1}); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+}
+
+func TestMeasureCurveIncludeSource(t *testing.T) {
+	g := randGraph(6, 30, 40)
+	// m = N is only legal when the source is included.
+	pts, err := MeasureCurve(g, []int{30}, Distinct, Protocol{NSource: 2, NRcvr: 2, Seed: 1, IncludeSource: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].MeanLinks != float64(g.N()-1) {
+		t.Fatalf("spanning L = %v, want %d", pts[0].MeanLinks, g.N()-1)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Distinct.String() != "distinct" || WithReplacement.String() != "with-replacement" {
+		t.Fatal("mode strings")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode must still render")
+	}
+}
+
+func TestChuangSirbuExponentOnTransitStub(t *testing.T) {
+	// The headline reproduction check at test scale: the fitted exponent of
+	// the ratio curve on a transit-stub network should land in the broad
+	// vicinity of 0.8 (the paper calls the fit "by no means exact").
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g, err := topology.TransitStubSized(500, 3.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := LogSpacedSizes(400, 12)
+	pts, err := MeasureCurve(g, sizes, Distinct, Protocol{NSource: 25, NRcvr: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fit ln(ratio) = a + e*ln(m) by hand.
+	var sx, sy, sxx, sxy float64
+	n := 0.0
+	for _, pt := range pts {
+		x, y := math.Log(float64(pt.Size)), math.Log(pt.MeanRatio)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	if slope < 0.6 || slope > 0.95 {
+		t.Fatalf("Chuang-Sirbu exponent = %.3f, expected ~0.8 ± 0.15", slope)
+	}
+}

@@ -1,0 +1,125 @@
+package mcast
+
+import (
+	"fmt"
+
+	"mtreescale/internal/rng"
+)
+
+// Sampler draws receiver sets from a site population. The population is
+// either all nodes of a graph except the source (the paper's general-network
+// experiments) or the leaves of a k-ary tree (§3).
+type Sampler struct {
+	r rng.Source
+	// sites is the population to draw from.
+	sites []int32
+	// scratch for distinct sampling
+	buf []int32
+}
+
+// NewSampler builds a sampler over the population {0..n-1} \ {exclude}.
+// Pass exclude < 0 to include every node.
+func NewSampler(n int, exclude int, r rng.Source) (*Sampler, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mcast: sampler needs n > 0, got %d", n)
+	}
+	sites := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if v != exclude {
+			sites = append(sites, int32(v))
+		}
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("mcast: empty site population")
+	}
+	return &Sampler{r: r, sites: sites}, nil
+}
+
+// NewSiteSampler builds a sampler over an explicit site list (e.g. the
+// leaves of a k-ary tree).
+func NewSiteSampler(sites []int32, r rng.Source) (*Sampler, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("mcast: empty site population")
+	}
+	return &Sampler{r: r, sites: append([]int32(nil), sites...)}, nil
+}
+
+// Population returns the number of candidate sites (the paper's M).
+func (s *Sampler) Population() int { return len(s.sites) }
+
+// WithReplacement draws n sites uniformly with replacement (the paper's
+// L̄(n) protocol) into dst, growing it as needed, and returns it.
+func (s *Sampler) WithReplacement(n int, dst []int32) ([]int32, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("mcast: negative sample size %d", n)
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, s.sites[s.r.Intn(len(s.sites))])
+	}
+	return dst, nil
+}
+
+// Distinct draws m distinct sites uniformly (the paper's L(m) protocol) into
+// dst and returns it. It errors when m exceeds the population.
+//
+// For small m it uses Floyd's algorithm (O(m) expected); once m approaches
+// the population size it switches to a partial Fisher-Yates shuffle, which
+// is O(population) but has no rejection blow-up.
+func (s *Sampler) Distinct(m int, dst []int32) ([]int32, error) {
+	M := len(s.sites)
+	if m < 0 || m > M {
+		return nil, fmt.Errorf("mcast: cannot draw %d distinct sites from %d", m, M)
+	}
+	dst = dst[:0]
+	if m == 0 {
+		return dst, nil
+	}
+	if m*4 >= M {
+		// Partial Fisher-Yates over a scratch copy.
+		if cap(s.buf) < M {
+			s.buf = make([]int32, M)
+		}
+		s.buf = s.buf[:M]
+		copy(s.buf, s.sites)
+		for i := 0; i < m; i++ {
+			j := i + s.r.Intn(M-i)
+			s.buf[i], s.buf[j] = s.buf[j], s.buf[i]
+			dst = append(dst, s.buf[i])
+		}
+		return dst, nil
+	}
+	// Floyd's sampling: for j = M-m .. M-1 pick t in [0..j]; take t unless
+	// already taken, else take j. Uses a small set.
+	seen := make(map[int32]bool, m)
+	for j := M - m; j < M; j++ {
+		t := int32(s.r.Intn(j + 1))
+		pick := t
+		if seen[pick] {
+			pick = int32(j)
+		}
+		seen[pick] = true
+		dst = append(dst, s.sites[pick])
+	}
+	return dst, nil
+}
+
+// DistinctRejection draws m distinct sites by rejection resampling. Kept as
+// the reference implementation for tests and the sampling ablation; Distinct
+// is the production path.
+func (s *Sampler) DistinctRejection(m int, dst []int32) ([]int32, error) {
+	M := len(s.sites)
+	if m < 0 || m > M {
+		return nil, fmt.Errorf("mcast: cannot draw %d distinct sites from %d", m, M)
+	}
+	seen := make(map[int32]bool, m)
+	dst = dst[:0]
+	for len(dst) < m {
+		c := s.sites[s.r.Intn(M)]
+		if !seen[c] {
+			seen[c] = true
+			dst = append(dst, c)
+		}
+	}
+	return dst, nil
+}

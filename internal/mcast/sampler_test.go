@@ -1,0 +1,208 @@
+package mcast
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mtreescale/internal/rng"
+)
+
+func TestSamplerExcludesSource(t *testing.T) {
+	s, err := NewSampler(10, 3, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Population() != 9 {
+		t.Fatalf("population = %d", s.Population())
+	}
+	var buf []int32
+	for trial := 0; trial < 100; trial++ {
+		buf, err = s.WithReplacement(20, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range buf {
+			if v == 3 {
+				t.Fatal("excluded site drawn")
+			}
+		}
+	}
+}
+
+func TestSamplerIncludeAll(t *testing.T) {
+	s, err := NewSampler(5, -1, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Population() != 5 {
+		t.Fatalf("population = %d", s.Population())
+	}
+}
+
+func TestSamplerErrors(t *testing.T) {
+	if _, err := NewSampler(0, -1, rng.New(1)); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := NewSampler(1, 0, rng.New(1)); err == nil {
+		t.Fatal("excluding the only node must error")
+	}
+	if _, err := NewSiteSampler(nil, rng.New(1)); err == nil {
+		t.Fatal("empty site list must error")
+	}
+	s, _ := NewSampler(5, -1, rng.New(1))
+	if _, err := s.WithReplacement(-1, nil); err == nil {
+		t.Fatal("negative n must error")
+	}
+	if _, err := s.Distinct(6, nil); err == nil {
+		t.Fatal("m > population must error")
+	}
+	if _, err := s.Distinct(-1, nil); err == nil {
+		t.Fatal("negative m must error")
+	}
+	if _, err := s.DistinctRejection(6, nil); err == nil {
+		t.Fatal("rejection m > population must error")
+	}
+}
+
+func TestDistinctIsDistinct(t *testing.T) {
+	s, _ := NewSampler(50, -1, rng.New(5))
+	var buf []int32
+	for m := 0; m <= 50; m++ {
+		var err error
+		buf, err = s.Distinct(m, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != m {
+			t.Fatalf("m=%d: got %d", m, len(buf))
+		}
+		seen := map[int32]bool{}
+		for _, v := range buf {
+			if seen[v] {
+				t.Fatalf("m=%d: duplicate %d", m, v)
+			}
+			if v < 0 || v >= 50 {
+				t.Fatalf("m=%d: out of range %d", m, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestDistinctFullPopulation(t *testing.T) {
+	s, _ := NewSampler(20, 7, rng.New(3))
+	buf, err := s.Distinct(19, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for _, v := range buf {
+		seen[v] = true
+	}
+	if len(seen) != 19 || seen[7] {
+		t.Fatalf("full draw wrong: %d distinct, excluded drawn: %v", len(seen), seen[7])
+	}
+}
+
+func TestDistinctRejectionAgrees(t *testing.T) {
+	// Both samplers must produce uniform distinct sets; compare coverage.
+	f := func(seed int64, mRaw uint8) bool {
+		n := 30
+		m := int(mRaw)%n + 1
+		s1, _ := NewSampler(n, -1, rng.New(seed))
+		s2, _ := NewSampler(n, -1, rng.New(seed+1))
+		a, err1 := s1.Distinct(m, nil)
+		b, err2 := s2.DistinctRejection(m, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(a) != m || len(b) != m {
+			return false
+		}
+		sa := map[int32]bool{}
+		sb := map[int32]bool{}
+		for i := range a {
+			sa[a[i]] = true
+			sb[b[i]] = true
+		}
+		return len(sa) == m && len(sb) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctUniformCoverage(t *testing.T) {
+	// Each site should be drawn with roughly equal frequency.
+	const n, m, trials = 20, 5, 20000
+	s, _ := NewSampler(n, -1, rng.New(9))
+	counts := make([]int, n)
+	var buf []int32
+	for trial := 0; trial < trials; trial++ {
+		var err error
+		buf, err = s.Distinct(m, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range buf {
+			counts[v]++
+		}
+	}
+	want := float64(trials*m) / n
+	for v, c := range counts {
+		if float64(c) < want*0.9 || float64(c) > want*1.1 {
+			t.Fatalf("site %d drawn %d times, want ≈ %.0f", v, c, want)
+		}
+	}
+}
+
+func TestWithReplacementLength(t *testing.T) {
+	s, _ := NewSampler(10, -1, rng.New(1))
+	buf, err := s.WithReplacement(1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 1000 {
+		t.Fatalf("len = %d", len(buf))
+	}
+	buf, err = s.WithReplacement(0, buf)
+	if err != nil || len(buf) != 0 {
+		t.Fatalf("n=0: len=%d err=%v", len(buf), err)
+	}
+}
+
+func TestSiteSamplerCopiesInput(t *testing.T) {
+	sites := []int32{1, 2, 3}
+	s, err := NewSiteSampler(sites, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites[0] = 99 // mutating the caller slice must not affect the sampler
+	buf, _ := s.WithReplacement(100, nil)
+	for _, v := range buf {
+		if v == 99 {
+			t.Fatal("sampler aliased caller slice")
+		}
+	}
+}
+
+func TestLogSpacedSizes(t *testing.T) {
+	sizes := LogSpacedSizes(1000, 10)
+	if len(sizes) == 0 || sizes[0] != 1 || sizes[len(sizes)-1] != 1000 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatalf("not strictly increasing: %v", sizes)
+		}
+	}
+	if got := LogSpacedSizes(5, 100); len(got) != 5 {
+		t.Fatalf("clamped sizes = %v", got)
+	}
+	if got := LogSpacedSizes(0, 5); got != nil {
+		t.Fatalf("max=0 must be nil, got %v", got)
+	}
+	if got := LogSpacedSizes(7, 1); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("count=1: %v", got)
+	}
+}

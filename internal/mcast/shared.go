@@ -1,0 +1,213 @@
+package mcast
+
+import (
+	"fmt"
+	"math"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/rng"
+)
+
+// This file implements shared-tree (core-based) multicast as a comparison
+// baseline. The paper restricts itself to source-specific shortest-path
+// trees (footnote 1: "we do not address the efficiency of shared tree
+// multicast algorithms. See [12] for one such comparison"); this extension
+// provides exactly that comparison, following Wei-Estrin's center-based
+// tree model: all group traffic flows over one tree rooted at a core,
+// which is the union of the shortest paths from the core to the source and
+// to every receiver.
+
+// CoreStrategy selects a shared-tree core for a group.
+type CoreStrategy int
+
+const (
+	// CoreRandom picks a uniformly random core (CBT with unmanaged core
+	// placement).
+	CoreRandom CoreStrategy = iota
+	// CoreSource places the core at the source: the shared tree then
+	// coincides with the source-based tree (useful as a consistency check).
+	CoreSource
+	// CoreCenter places the core at a low-eccentricity node (managed core
+	// placement, approximating the topology center).
+	CoreCenter
+)
+
+// String implements fmt.Stringer.
+func (s CoreStrategy) String() string {
+	switch s {
+	case CoreRandom:
+		return "random-core"
+	case CoreSource:
+		return "source-core"
+	case CoreCenter:
+		return "center-core"
+	default:
+		return fmt.Sprintf("CoreStrategy(%d)", int(s))
+	}
+}
+
+// SharedTreeSize returns the number of links in the core-based shared tree
+// for the given source and receivers: the union of the core-rooted
+// shortest-tree paths to every group member (source included — senders must
+// reach the core).
+func (c *TreeCounter) SharedTreeSize(coreSPT *graph.SPT, source int32, receivers []int32) int {
+	// Reuse TreeSize with the source appended conceptually: climb from the
+	// source too. TreeSize ignores duplicates, so just measure with an
+	// extended receiver view. To avoid allocating, climb source first, then
+	// receivers, under one epoch.
+	if len(coreSPT.Parent) > len(c.visited) {
+		c.visited = make([]int32, len(coreSPT.Parent))
+		c.epoch = 0
+	}
+	c.epoch++
+	links := 0
+	c.visited[coreSPT.Source] = c.epoch
+	climb := func(v int32) {
+		if v < 0 || int(v) >= len(coreSPT.Parent) || coreSPT.Dist[v] == graph.Unreachable {
+			return
+		}
+		for c.visited[v] != c.epoch {
+			c.visited[v] = c.epoch
+			links++
+			v = coreSPT.Parent[v]
+		}
+	}
+	climb(source)
+	for _, r := range receivers {
+		climb(r)
+	}
+	return links
+}
+
+// SharedPoint aggregates one group size of a shared-vs-source comparison.
+type SharedPoint struct {
+	Size int
+	// MeanSourceTree is E[L] for the source-rooted shortest-path tree.
+	MeanSourceTree float64
+	// MeanSharedTree is E[L] for the core-based shared tree.
+	MeanSharedTree float64
+	// MeanOverhead is E[shared/source], the per-sample cost ratio
+	// (Wei-Estrin report ≈1.0-1.4 for center-based vs source trees).
+	MeanOverhead float64
+	Samples      int
+}
+
+// MeasureSharedCurve runs the §2 protocol measuring both the source-based
+// and the shared (core-based) delivery tree on the same receiver samples.
+func MeasureSharedCurve(g *graph.Graph, sizes []int, strategy CoreStrategy, p Protocol) ([]SharedPoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if g.N() < 2 {
+		return nil, fmt.Errorf("mcast: graph too small (N=%d)", g.N())
+	}
+	maxPop := g.N() - 1
+	for _, s := range sizes {
+		if s <= 0 || s > maxPop {
+			return nil, fmt.Errorf("mcast: group size %d out of [1, %d]", s, maxPop)
+		}
+	}
+	var center int
+	if strategy == CoreCenter {
+		var err error
+		center, err = approxCenter(g, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	srcRand := rng.NewChild(p.Seed, -1)
+	coreRand := rng.NewChild(p.Seed, -2)
+	counter := NewTreeCounter(g.N())
+	out := make([]SharedPoint, len(sizes))
+	for k := range out {
+		out[k].Size = sizes[k]
+	}
+	var srcSPT, coreSPT graph.SPT
+	var recv []int32
+	for si := 0; si < p.NSource; si++ {
+		source := srcRand.Intn(g.N())
+		core := center
+		switch strategy {
+		case CoreRandom:
+			core = coreRand.Intn(g.N())
+		case CoreSource:
+			core = source
+		}
+		if err := g.BFSInto(source, &srcSPT); err != nil {
+			return nil, err
+		}
+		if err := g.BFSInto(core, &coreSPT); err != nil {
+			return nil, err
+		}
+		r := rng.NewChild(p.Seed, int64(si))
+		smp, err := NewSampler(g.N(), source, r)
+		if err != nil {
+			return nil, err
+		}
+		for k, size := range sizes {
+			for rep := 0; rep < p.NRcvr; rep++ {
+				recv, err = smp.Distinct(size, recv)
+				if err != nil {
+					return nil, err
+				}
+				src := counter.TreeSize(&srcSPT, recv)
+				shr := counter.SharedTreeSize(&coreSPT, int32(source), recv)
+				if src == 0 {
+					continue
+				}
+				out[k].MeanSourceTree += float64(src)
+				out[k].MeanSharedTree += float64(shr)
+				out[k].MeanOverhead += float64(shr) / float64(src)
+				out[k].Samples++
+			}
+		}
+	}
+	for k := range out {
+		if out[k].Samples > 0 {
+			n := float64(out[k].Samples)
+			out[k].MeanSourceTree /= n
+			out[k].MeanSharedTree /= n
+			out[k].MeanOverhead /= n
+		}
+	}
+	return out, nil
+}
+
+// approxCenter returns a node with approximately minimum eccentricity by
+// sampling BFS sources and picking the node minimizing the max distance to
+// the sampled sources — a cheap 2-approximation-flavor heuristic adequate
+// for core placement.
+func approxCenter(g *graph.Graph, seed int64) (int, error) {
+	if g.N() == 0 {
+		return 0, fmt.Errorf("mcast: empty graph")
+	}
+	r := rng.NewChild(seed, -3)
+	samples := 8
+	if samples > g.N() {
+		samples = g.N()
+	}
+	maxDist := make([]int32, g.N())
+	var spt graph.SPT
+	for i := 0; i < samples; i++ {
+		if err := g.BFSInto(r.Intn(g.N()), &spt); err != nil {
+			return 0, err
+		}
+		for v := 0; v < g.N(); v++ {
+			d := spt.Dist[v]
+			if d == graph.Unreachable {
+				d = math.MaxInt32
+			}
+			if d > maxDist[v] {
+				maxDist[v] = d
+			}
+		}
+	}
+	best := 0
+	for v := 1; v < g.N(); v++ {
+		if maxDist[v] < maxDist[best] {
+			best = v
+		}
+	}
+	return best, nil
+}

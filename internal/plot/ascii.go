@@ -1,0 +1,106 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// markers assigns one glyph per series, cycling if there are many.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// ASCIIOptions controls terminal rendering.
+type ASCIIOptions struct {
+	// Width and Height are the plot area size in characters.
+	// Defaults: 72×24.
+	Width, Height int
+}
+
+func (o ASCIIOptions) normalized() ASCIIOptions {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 24
+	}
+	if o.Width < 16 {
+		o.Width = 16
+	}
+	if o.Height < 8 {
+		o.Height = 8
+	}
+	return o
+}
+
+// RenderASCII draws the figure as text: a bordered scatter of per-series
+// markers with axis ranges and a legend. Log axes are applied before
+// gridding.
+func RenderASCII(f *Figure, opts ASCIIOptions) (string, error) {
+	opts = opts.normalized()
+	xmin, xmax, ymin, ymax, err := f.Bounds()
+	if err != nil {
+		return "", err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, opts.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range f.Series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if f.XLog {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if f.YLog {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			cx := int(math.Round((x - xmin) / (xmax - xmin) * float64(opts.Width-1)))
+			cy := int(math.Round((y - ymin) / (ymax - ymin) * float64(opts.Height-1)))
+			row := opts.Height - 1 - cy
+			if cx >= 0 && cx < opts.Width && row >= 0 && row < opts.Height {
+				grid[row][cx] = mk
+			}
+		}
+	}
+
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s [%s]\n", f.Title, f.ID)
+	}
+	border := "+" + strings.Repeat("-", opts.Width) + "+\n"
+	b.WriteString(border)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString(border)
+	xl, yl := f.XLabel, f.YLabel
+	if f.XLog {
+		xl = "log10 " + xl
+	}
+	if f.YLog {
+		yl = "log10 " + yl
+	}
+	fmt.Fprintf(&b, "x: %s ∈ [%.4g, %.4g]   y: %s ∈ [%.4g, %.4g]\n", xl, xmin, xmax, yl, ymin, ymax)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s (%d pts)\n", markers[si%len(markers)], s.Name, s.Len())
+	}
+	return b.String(), nil
+}

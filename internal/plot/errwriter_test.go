@@ -1,0 +1,49 @@
+package plot
+
+import (
+	"errors"
+	"testing"
+)
+
+// errWriter fails after allowing budget bytes: failure injection for the
+// serialization paths.
+type errWriter struct {
+	budget int
+}
+
+var errFull = errors.New("disk full")
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, errFull
+	}
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, errFull
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesWriteErrors(t *testing.T) {
+	f := &Figure{ID: "e"}
+	_ = f.AddXY("a", []float64{1, 2, 3}, []float64{4, 5, 6})
+	for _, budget := range []int{0, 5, 12} {
+		if err := WriteCSV(&errWriter{budget: budget}, f); err == nil {
+			t.Fatalf("budget %d: expected error", budget)
+		}
+	}
+}
+
+func TestWriteGnuplotPropagatesWriteErrors(t *testing.T) {
+	f := &Figure{ID: "e", Title: "t", XLog: true, YLog: true}
+	_ = f.AddXY("a", []float64{1, 2}, []float64{3, 4})
+	_ = f.AddXY("b", []float64{1, 2}, []float64{5, 6})
+	// Fail at a spread of byte offsets to cover every fprintf site.
+	for budget := 0; budget < 220; budget += 13 {
+		if err := WriteGnuplot(&errWriter{budget: budget}, f); err == nil {
+			t.Fatalf("budget %d: expected error", budget)
+		}
+	}
+}

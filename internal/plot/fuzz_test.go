@@ -1,0 +1,45 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV series parser never panics and that accepted
+// input re-serializes losslessly (up to float formatting).
+func FuzzReadCSV(f *testing.F) {
+	f.Add("series,x,y\na,1,2\n")
+	f.Add("series,x,y\na,1,2\nb,3,4\na,5,6\n")
+	f.Add("series,x,y\n")
+	f.Add("bogus")
+	f.Add("series,x,y\na,nan,inf\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		series, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		fig := &Figure{ID: "fuzz"}
+		for _, s := range series {
+			fig.Add(s)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, fig); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		var n1, n2 int
+		for _, s := range series {
+			n1 += s.Len()
+		}
+		for _, s := range back {
+			n2 += s.Len()
+		}
+		if n1 != n2 {
+			t.Fatalf("point count changed: %d vs %d", n1, n2)
+		}
+	})
+}

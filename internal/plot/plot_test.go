@@ -1,0 +1,165 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demoFigure(t *testing.T) *Figure {
+	t.Helper()
+	f := &Figure{ID: "demo", Title: "Demo", XLabel: "m", YLabel: "L", XLog: true}
+	if err := f.AddXY("a", []float64{1, 10, 100}, []float64{1, 5, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddXY("b", []float64{1, 10, 100}, []float64{2, 8, 30}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewSeriesMismatch(t *testing.T) {
+	if _, err := NewSeries("x", []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestSeriesAppend(t *testing.T) {
+	var s Series
+	s.Append(1, 2)
+	s.Append(3, 4)
+	if s.Len() != 2 || s.X[1] != 3 || s.Y[1] != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	f := demoFigure(t)
+	xmin, xmax, ymin, ymax, err := f.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XLog: bounds in log10 space.
+	if xmin != 0 || xmax != 2 {
+		t.Fatalf("x bounds [%v, %v]", xmin, xmax)
+	}
+	if ymin != 1 || ymax != 30 {
+		t.Fatalf("y bounds [%v, %v]", ymin, ymax)
+	}
+}
+
+func TestBoundsEmpty(t *testing.T) {
+	f := &Figure{ID: "e"}
+	if _, _, _, _, err := f.Bounds(); err == nil {
+		t.Fatal("empty figure must error")
+	}
+	// Figure whose only values are invalid under log must also error.
+	f.Add(Series{Name: "neg", X: []float64{-1}, Y: []float64{1}})
+	f.XLog = true
+	if _, _, _, _, err := f.Bounds(); err == nil {
+		t.Fatal("all-filtered figure must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := demoFigure(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for i, s := range series {
+		want := f.Series[i]
+		if s.Name != want.Name || s.Len() != want.Len() {
+			t.Fatalf("series %d: %+v vs %+v", i, s, want)
+		}
+		for j := range s.X {
+			if s.X[j] != want.X[j] || s.Y[j] != want.Y[j] {
+				t.Fatalf("series %d point %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"foo,x,y\n",
+		"series,x,y\na,notanumber,2\n",
+		"series,x,y\na,1,notanumber\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q must error", in)
+		}
+	}
+}
+
+func TestWriteGnuplot(t *testing.T) {
+	f := demoFigure(t)
+	f.YLog = true
+	var buf bytes.Buffer
+	if err := WriteGnuplot(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"set logscale x", "set logscale y", "$data0", "$data1", "with linespoints", `title "a"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gnuplot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	f := demoFigure(t)
+	out, err := RenderASCII(f, ASCIIOptions{Width: 40, Height: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a (3 pts)") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "log10 m") {
+		t.Fatalf("log axis label missing:\n%s", out)
+	}
+}
+
+func TestRenderASCIIDefaultsAndClamps(t *testing.T) {
+	f := demoFigure(t)
+	out, err := RenderASCII(f, ASCIIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// Default height 24 rows plus borders/labels.
+	if len(lines) < 26 {
+		t.Fatalf("unexpected output height %d", len(lines))
+	}
+	if _, err := RenderASCII(f, ASCIIOptions{Width: 1, Height: 1}); err != nil {
+		t.Fatal("tiny sizes must be clamped, not fail:", err)
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	f := &Figure{ID: "x"}
+	if _, err := RenderASCII(f, ASCIIOptions{}); err == nil {
+		t.Fatal("empty figure must error")
+	}
+}
+
+func TestRenderASCIIConstantSeries(t *testing.T) {
+	f := &Figure{ID: "const"}
+	_ = f.AddXY("flat", []float64{1, 2, 3}, []float64{5, 5, 5})
+	if _, err := RenderASCII(f, ASCIIOptions{}); err != nil {
+		t.Fatal("constant series must render:", err)
+	}
+}

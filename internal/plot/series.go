@@ -1,0 +1,98 @@
+// Package plot renders experiment results: structured series, CSV export,
+// gnuplot scripts, and ASCII terminal plots. The paper's figures are
+// log-scale line charts; this package reproduces them without any plotting
+// dependency, matching the repository's stdlib-only constraint.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// NewSeries builds a validated series.
+func NewSeries(name string, x, y []float64) (Series, error) {
+	if len(x) != len(y) {
+		return Series{}, fmt.Errorf("plot: series %q has %d x but %d y", name, len(x), len(y))
+	}
+	return Series{Name: name, X: x, Y: y}, nil
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Figure is a set of series with axis metadata, mirroring one paper figure.
+type Figure struct {
+	// ID is the experiment identifier, e.g. "fig1a".
+	ID string
+	// Title is the human-readable caption.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// XLog and YLog request log-scale axes.
+	XLog, YLog bool
+	Series     []Series
+}
+
+// Add appends a series to the figure.
+func (f *Figure) Add(s Series) { f.Series = append(f.Series, s) }
+
+// AddXY builds and appends a series.
+func (f *Figure) AddXY(name string, x, y []float64) error {
+	s, err := NewSeries(name, x, y)
+	if err != nil {
+		return err
+	}
+	f.Add(s)
+	return nil
+}
+
+// Bounds returns the data bounds across all series, applying log transforms
+// if requested (log-scale axes ignore non-positive values).
+func (f *Figure) Bounds() (xmin, xmax, ymin, ymax float64, err error) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	n := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if f.XLog {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if f.YLog {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			n++
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0, 0, errors.New("plot: figure has no plottable points")
+	}
+	return xmin, xmax, ymin, ymax, nil
+}

@@ -1,0 +1,111 @@
+package reach
+
+import (
+	"math"
+	"testing"
+
+	"mtreescale/internal/analytic"
+	"mtreescale/internal/topology"
+)
+
+func TestDelta2LeavesMatchesKAry(t *testing.T) {
+	// With S(r) = k^r, Delta2Leaves must reduce to the k-ary Equation 6.
+	r := karyReach(t, 2, 10)
+	tr := analytic.Tree{K: 2, Depth: 10}
+	for _, n := range []float64{0, 1, 10, 200} {
+		got, err := r.Delta2Leaves(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := tr.LeafDelta2(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9*(math.Abs(want)+1) {
+			t.Fatalf("n=%v: %v vs Eq6 %v", n, got, want)
+		}
+	}
+	if _, err := r.Delta2Leaves(-1); err == nil {
+		t.Fatal("negative n must error")
+	}
+}
+
+func TestHFunctionMatchesKAry(t *testing.T) {
+	// With S(r) = k^r, the general h(x) must coincide with the k-ary one.
+	r := karyReach(t, 2, 14)
+	tr := analytic.Tree{K: 2, Depth: 14}
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		got, err := r.HFunction(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := tr.HFunction(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("x=%v: %v vs k-ary %v", x, got, want)
+		}
+	}
+}
+
+func TestHFunctionExponentialModelTracksLine(t *testing.T) {
+	// Equation 28: for S(r) = e^{λr}, h(x) ≈ x·e^{−λ/2}.
+	lambda := math.Log(3.0)
+	r, err := Exponential(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.3, 0.5, 0.7} {
+		h, err := r.HFunction(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := x * math.Exp(-lambda/2)
+		if math.Abs(h-want) > 0.12*want+0.02 {
+			t.Fatalf("x=%v: h=%v vs x·e^{-λ/2}=%v", x, h, want)
+		}
+	}
+}
+
+func TestHFunctionErrors(t *testing.T) {
+	r := karyReach(t, 2, 8)
+	if _, err := r.HFunction(0); err == nil {
+		t.Fatal("x=0 must error")
+	}
+	flat := &Reachability{S: []float64{1, 1}}
+	if _, err := flat.HFunction(0.5); err == nil {
+		t.Fatal("S(D)=1 must error")
+	}
+	empty := &Reachability{S: []float64{1}}
+	if _, err := empty.HFunction(0.5); err == nil {
+		t.Fatal("no radii must error")
+	}
+}
+
+func TestGridReachabilityIsPowerLaw(t *testing.T) {
+	// A torus has S(r) ∝ r: the concrete §4.3 power-law case. Classify must
+	// call it sub-exponential, and its h(x) must *not* be linear the way the
+	// exponential case is.
+	g, err := topology.Grid(40, 40, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Measure(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := r.Classify(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls != GrowthSubExponential {
+		t.Fatalf("torus classified %v", cls)
+	}
+	// S(r) = 4r on an unbounded lattice; check the pre-saturation radii.
+	for _, d := range []int{1, 3, 7, 12} {
+		if math.Abs(r.S[d]-4*float64(d)) > 1e-9 {
+			t.Fatalf("torus S(%d) = %v, want %d", d, r.S[d], 4*d)
+		}
+	}
+}

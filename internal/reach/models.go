@@ -1,0 +1,79 @@
+package reach
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file builds the synthetic reachability functions of §4.2-4.3 and
+// Figure 8: exponential S(r) = k^r, sub-exponential S(r) ∝ r^λ, and
+// super-exponential S(r) ∝ e^{λr²}, normalized so that S(D) is the same
+// for all models (the paper: "The constants were normalized so that S(D) is
+// the same for all three networks").
+
+// Exponential returns S(r) = k^r for r = 0..depth.
+func Exponential(k float64, depth int) (*Reachability, error) {
+	if k <= 1 {
+		return nil, fmt.Errorf("reach: exponential model needs k > 1, got %v", k)
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("reach: depth must be >= 1, got %d", depth)
+	}
+	s := make([]float64, depth+1)
+	for r := 0; r <= depth; r++ {
+		s[r] = math.Pow(k, float64(r))
+	}
+	return &Reachability{S: s}, nil
+}
+
+// PowerLaw returns S(r) = c·r^lambda (S(0) = 1) with c chosen so that
+// S(depth) = target.
+func PowerLaw(lambda float64, depth int, target float64) (*Reachability, error) {
+	if lambda <= 0 {
+		return nil, fmt.Errorf("reach: power-law exponent must be > 0, got %v", lambda)
+	}
+	if depth < 1 || target < 1 {
+		return nil, fmt.Errorf("reach: need depth >= 1 and target >= 1 (got %d, %v)", depth, target)
+	}
+	c := target / math.Pow(float64(depth), lambda)
+	s := make([]float64, depth+1)
+	s[0] = 1
+	for r := 1; r <= depth; r++ {
+		s[r] = c * math.Pow(float64(r), lambda)
+	}
+	return &Reachability{S: s}, nil
+}
+
+// GaussianExponential returns S(r) = e^{lambda·r²} scaled so that
+// S(depth) = target — the paper's super-exponential case.
+func GaussianExponential(depth int, target float64) (*Reachability, error) {
+	if depth < 1 || target < 1 {
+		return nil, fmt.Errorf("reach: need depth >= 1 and target >= 1 (got %d, %v)", depth, target)
+	}
+	lambda := math.Log(target) / float64(depth*depth)
+	s := make([]float64, depth+1)
+	for r := 0; r <= depth; r++ {
+		s[r] = math.Exp(lambda * float64(r*r))
+	}
+	return &Reachability{S: s}, nil
+}
+
+// Figure8Models returns the paper's three Figure 8 reachability functions,
+// all normalized to the same S(D) = k^depth: the exponential base case
+// S(r) = k^r, the slower power law, and the faster Gaussian exponential.
+func Figure8Models(k float64, lambda float64, depth int) (exp, power, gaussian *Reachability, err error) {
+	exp, err = Exponential(k, depth)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	target := exp.S[depth]
+	power, err = PowerLaw(lambda, depth, target)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	gaussian, err = GaussianExponential(depth, target)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return exp, power, gaussian, nil
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"mtreescale/internal/rng"
+)
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+	// Level is the nominal coverage, e.g. 0.95.
+	Level float64
+}
+
+// zQuantile returns the standard-normal quantile for the given upper-tail
+// coverage using the Beasley-Springer-Moro rational approximation (accurate
+// to ~1e-9, far beyond what Monte-Carlo error bars need).
+func zQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	// Coefficients of the Acklam inverse-normal approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// MeanCI returns the normal-theory confidence interval for the mean of xs at
+// the given level (e.g. 0.95).
+func MeanCI(xs []float64, level float64) (Interval, error) {
+	if level <= 0 || level >= 1 {
+		return Interval{}, errors.New("stats: level must be in (0,1)")
+	}
+	if len(xs) < 2 {
+		if len(xs) == 0 {
+			return Interval{}, ErrEmpty
+		}
+		return Interval{}, ErrTooFew
+	}
+	m, _ := Mean(xs)
+	se, _ := StdErr(xs)
+	z := zQuantile(0.5 + level/2)
+	return Interval{Lo: m - z*se, Hi: m + z*se, Level: level}, nil
+}
+
+// BootstrapCI returns a percentile-bootstrap confidence interval for an
+// arbitrary statistic of xs using resamples resampling rounds and the given
+// deterministic seed.
+func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, resamples int, seed int64) (Interval, error) {
+	if len(xs) == 0 {
+		return Interval{}, ErrEmpty
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, errors.New("stats: level must be in (0,1)")
+	}
+	if resamples < 2 {
+		return Interval{}, errors.New("stats: need at least 2 resamples")
+	}
+	r := rng.New(seed)
+	vals := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for i := 0; i < resamples; i++ {
+		for j := range buf {
+			buf[j] = xs[r.Intn(len(xs))]
+		}
+		vals[i] = stat(buf)
+	}
+	sort.Float64s(vals)
+	alpha := (1 - level) / 2
+	lo, _ := Quantile(vals, alpha)
+	hi, _ := Quantile(vals, 1-alpha)
+	return Interval{Lo: lo, Hi: hi, Level: level}, nil
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"mtreescale/internal/rng"
+)
+
+func TestZQuantileKnown(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.841344746, 1.0},
+		{0.025, -1.959964},
+	}
+	for _, c := range cases {
+		got := zQuantile(c.p)
+		if !almostEq(got, c.want, 1e-4) {
+			t.Errorf("zQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestZQuantileOutOfRange(t *testing.T) {
+	if !math.IsNaN(zQuantile(0)) || !math.IsNaN(zQuantile(1)) || !math.IsNaN(zQuantile(-1)) {
+		t.Fatal("out-of-range p must return NaN")
+	}
+}
+
+func TestMeanCISymmetricAroundMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ci, err := MeanCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := Mean(xs)
+	if !almostEq(m-ci.Lo, ci.Hi-m, 1e-9) {
+		t.Fatalf("asymmetric CI: %+v around %v", ci, m)
+	}
+	if ci.Lo >= ci.Hi {
+		t.Fatalf("degenerate CI: %+v", ci)
+	}
+}
+
+func TestMeanCIWiderAtHigherLevel(t *testing.T) {
+	xs := make([]float64, 100)
+	r := rng.New(4)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	c90, _ := MeanCI(xs, 0.90)
+	c99, _ := MeanCI(xs, 0.99)
+	if c99.Hi-c99.Lo <= c90.Hi-c90.Lo {
+		t.Fatalf("99%% CI not wider than 90%%: %+v vs %+v", c99, c90)
+	}
+}
+
+func TestMeanCICoverage(t *testing.T) {
+	// Empirical coverage of the 95% CI over many repetitions should be near
+	// 95% for uniform data (CLT applies comfortably at n=50).
+	const trials = 400
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		r := rng.NewChild(99, int64(trial))
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.Float64() // true mean 0.5
+		}
+		ci, err := MeanCI(xs, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.Lo <= 0.5 && 0.5 <= ci.Hi {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("95%% CI covered the true mean in %.1f%% of trials", 100*frac)
+	}
+}
+
+func TestMeanCIErrors(t *testing.T) {
+	if _, err := MeanCI(nil, 0.95); err != ErrEmpty {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := MeanCI([]float64{1}, 0.95); err != ErrTooFew {
+		t.Fatalf("one: %v", err)
+	}
+	if _, err := MeanCI([]float64{1, 2}, 1.5); err == nil {
+		t.Fatal("bad level must error")
+	}
+}
+
+func TestBootstrapCIBracketsMedian(t *testing.T) {
+	r := rng.New(21)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.Float64() * 10
+	}
+	med := func(s []float64) float64 { v, _ := Median(s); return v }
+	ci, err := BootstrapCI(xs, med, 0.95, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueMed, _ := Median(xs)
+	if trueMed < ci.Lo || trueMed > ci.Hi {
+		t.Fatalf("sample median %v outside bootstrap CI %+v", trueMed, ci)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1, 5, 2, 8, 3}
+	mean := func(s []float64) float64 { v, _ := Mean(s); return v }
+	a, _ := BootstrapCI(xs, mean, 0.9, 100, 7)
+	b, _ := BootstrapCI(xs, mean, 0.9, 100, 7)
+	if a != b {
+		t.Fatalf("same seed gave different bootstrap CIs: %+v vs %+v", a, b)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	mean := func(s []float64) float64 { v, _ := Mean(s); return v }
+	if _, err := BootstrapCI(nil, mean, 0.9, 100, 1); err != ErrEmpty {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := BootstrapCI([]float64{1}, mean, 0.9, 1, 1); err == nil {
+		t.Fatal("1 resample must error")
+	}
+	if _, err := BootstrapCI([]float64{1}, mean, 0, 100, 1); err == nil {
+		t.Fatal("bad level must error")
+	}
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mtreescale/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasic(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1}, 1},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+		{[]float64{2.5, 2.5, 2.5, 2.5}, 2.5},
+	}
+	for _, c := range cases {
+		got, err := Mean(c.xs)
+		if err != nil {
+			t.Fatalf("Mean(%v): %v", c.xs, err)
+		}
+		if !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatalf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMeanKahanStability(t *testing.T) {
+	// 1e8 plus many tiny values: naive summation loses the tiny values.
+	xs := make([]float64, 1001)
+	xs[0] = 1e8
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-3
+	}
+	got, _ := Mean(xs)
+	want := (1e8 + 1.0) / 1001.0
+	if !almostEq(got, want, 1e-6) {
+		t.Fatalf("Mean = %.10g, want %.10g", got, want)
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+}
+
+func TestVarianceErrors(t *testing.T) {
+	if _, err := Variance(nil); err != ErrEmpty {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := Variance([]float64{1}); err != ErrTooFew {
+		t.Fatalf("one elem: %v", err)
+	}
+}
+
+func TestStdErrShrinks(t *testing.T) {
+	r := rng.New(5)
+	small := make([]float64, 100)
+	large := make([]float64, 10000)
+	for i := range small {
+		small[i] = r.Float64()
+	}
+	for i := range large {
+		large[i] = r.Float64()
+	}
+	seSmall, _ := StdErr(small)
+	seLarge, _ := StdErr(large)
+	if seLarge >= seSmall {
+		t.Fatalf("stderr must shrink with n: %v vs %v", seSmall, seLarge)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -2, 7, 0}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if mn != -2 || mx != 7 {
+		t.Fatalf("min/max = %v/%v", mn, mx)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	med, err := Median(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(med, 2.5, 1e-12) {
+		t.Fatalf("median = %v", med)
+	}
+	q0, _ := Quantile(xs, 0)
+	q1, _ := Quantile(xs, 1)
+	if q0 != 1 || q1 != 4 {
+		t.Fatalf("q0=%v q1=%v", q0, q1)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("expected error for q>1")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Median(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.StdDev <= 0 || s.StdErr <= 0 {
+		t.Fatalf("missing spread: %+v", s)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StdDev != 0 || s.StdErr != 0 {
+		t.Fatalf("singleton spread must be zero: %+v", s)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := rng.New(9)
+	xs := make([]float64, 5000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.Float64()*10 - 5
+		w.Add(xs[i])
+	}
+	m, _ := Mean(xs)
+	v, _ := Variance(xs)
+	if !almostEq(w.Mean(), m, 1e-9) {
+		t.Fatalf("welford mean %v vs %v", w.Mean(), m)
+	}
+	if !almostEq(w.Variance(), v, 1e-9) {
+		t.Fatalf("welford var %v vs %v", w.Variance(), v)
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("welford n = %d", w.N())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Fatal("empty welford must be all zeros")
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m, err := Mean(xs)
+		if err != nil {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return m >= mn-1e-9 && m <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		v, err := Variance(xs)
+		return err == nil && v >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

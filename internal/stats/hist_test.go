@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"mtreescale/internal/rng"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d = %d, want 1", i, c)
+		}
+	}
+	if h.Total() != 10 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	h.Add(-0.5)
+	h.Add(1.5)
+	h.Add(1.0) // hi edge is exclusive
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+}
+
+func TestHistogramEdgeJustBelowHi(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 3)
+	h.Add(0.9999999999999999) // rounds into top bin, not past it
+	if h.Counts[2] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("zero bins must error")
+	}
+	if _, err := NewHistogram(1, 1, 5); err == nil {
+		t.Fatal("lo==hi must error")
+	}
+	if _, err := NewHistogram(2, 1, 5); err == nil {
+		t.Fatal("lo>hi must error")
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("center(0) = %v", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Fatalf("center(4) = %v", got)
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 10)
+	r := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		h.Add(4 + r.Float64()) // everything lands in bin [4,5)
+	}
+	if got := h.Mode(); got != 4.5 {
+		t.Fatalf("mode = %v", got)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, _ := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(5)
+	s := h.String()
+	if !strings.Contains(s, "#") {
+		t.Fatalf("no bars rendered:\n%s", s)
+	}
+	if !strings.Contains(s, "over=1") {
+		t.Fatalf("overflow not reported:\n%s", s)
+	}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearFit is the result of an ordinary-least-squares fit y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// SlopeStdErr is the standard error of the slope estimate.
+	SlopeStdErr float64
+	// N is the number of points used.
+	N int
+}
+
+// Linear performs ordinary least squares on (xs, ys).
+func Linear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: x/y length mismatch")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, ErrTooFew
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate fit (all x equal)")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	var ssRes float64
+	for i := range xs {
+		r := ys[i] - (slope*xs[i] + intercept)
+		ssRes += r * r
+	}
+	fit := LinearFit{Slope: slope, Intercept: intercept, N: len(xs)}
+	if syy > 0 {
+		fit.R2 = 1 - ssRes/syy
+	} else {
+		fit.R2 = 1 // all y equal and the flat line fits exactly
+	}
+	if len(xs) > 2 {
+		fit.SlopeStdErr = math.Sqrt(ssRes / (n - 2) / sxx)
+	}
+	return fit, nil
+}
+
+// PowerLawFit is the result of fitting y = C * x^Exponent by least squares in
+// log-log space. It is how the Chuang-Sirbu exponent (~0.8) is extracted from
+// an L(m) curve.
+type PowerLawFit struct {
+	Exponent float64
+	Constant float64
+	R2       float64
+	// ExponentStdErr is the standard error of the fitted exponent.
+	ExponentStdErr float64
+	N              int
+}
+
+// PowerLaw fits y = C*x^e through points with x > 0 and y > 0; other points
+// are skipped (log undefined). It returns ErrTooFew when fewer than two valid
+// points remain.
+func PowerLaw(xs, ys []float64) (PowerLawFit, error) {
+	if len(xs) != len(ys) {
+		return PowerLawFit{}, errors.New("stats: x/y length mismatch")
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	lin, err := Linear(lx, ly)
+	if err != nil {
+		return PowerLawFit{}, err
+	}
+	return PowerLawFit{
+		Exponent:       lin.Slope,
+		Constant:       math.Exp(lin.Intercept),
+		R2:             lin.R2,
+		ExponentStdErr: lin.SlopeStdErr,
+		N:              lin.N,
+	}, nil
+}
+
+// LogLinear fits y = a + b*ln(x) — the Phillips-Shenker-Tangmunarunkit form
+// for L(n)/n, which is linear in ln n rather than in n. Points with x <= 0
+// are skipped.
+func LogLinear(xs, ys []float64) (LinearFit, error) {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, ys[i])
+		}
+	}
+	return Linear(lx, ly)
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"mtreescale/internal/rng"
+)
+
+func TestLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	fit, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 3, 1e-12) || !almostEq(fit.Intercept, -7, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearNoisy(t *testing.T) {
+	r := rng.New(17)
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := float64(i) / 10
+		xs = append(xs, x)
+		ys = append(ys, 2.5*x+1.0+(r.Float64()-0.5)*0.1)
+	}
+	fit, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 2.5, 0.01) {
+		t.Fatalf("slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.999 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+	if fit.SlopeStdErr <= 0 {
+		t.Fatalf("slope stderr = %v", fit.SlopeStdErr)
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	if _, err := Linear([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := Linear([]float64{1}, []float64{1}); err != ErrTooFew {
+		t.Fatalf("single point: %v", err)
+	}
+	if _, err := Linear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("all-equal x must error")
+	}
+}
+
+func TestLinearFlat(t *testing.T) {
+	fit, err := Linear([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Fatalf("flat fit = %+v", fit)
+	}
+}
+
+func TestPowerLawRecoversExponent(t *testing.T) {
+	// This is the exact operation used to extract the Chuang-Sirbu 0.8.
+	var xs, ys []float64
+	for m := 1; m <= 1000; m *= 2 {
+		xs = append(xs, float64(m))
+		ys = append(ys, 3.7*math.Pow(float64(m), 0.8))
+	}
+	fit, err := PowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Exponent, 0.8, 1e-9) {
+		t.Fatalf("exponent = %v", fit.Exponent)
+	}
+	if !almostEq(fit.Constant, 3.7, 1e-6) {
+		t.Fatalf("constant = %v", fit.Constant)
+	}
+}
+
+func TestPowerLawSkipsNonPositive(t *testing.T) {
+	xs := []float64{0, -1, 1, 2, 4, 8}
+	ys := []float64{5, 5, 1, 2, 4, 8}
+	fit, err := PowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.N != 4 {
+		t.Fatalf("expected 4 valid points, got %d", fit.N)
+	}
+	if !almostEq(fit.Exponent, 1, 1e-9) {
+		t.Fatalf("exponent = %v", fit.Exponent)
+	}
+}
+
+func TestPowerLawTooFew(t *testing.T) {
+	if _, err := PowerLaw([]float64{-1, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("no positive points must error")
+	}
+}
+
+func TestLogLinearRecovers(t *testing.T) {
+	// y = 4 - 2 ln x, the PST asymptotic shape for L(n)/n.
+	var xs, ys []float64
+	for x := 1.0; x < 1e5; x *= 3 {
+		xs = append(xs, x)
+		ys = append(ys, 4-2*math.Log(x))
+	}
+	fit, err := LogLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, -2, 1e-9) || !almostEq(fit.Intercept, 4, 1e-9) {
+		t.Fatalf("fit = %+v", fit)
+	}
+}

@@ -1,0 +1,242 @@
+// Package steiner implements the Kou-Markowsky-Berman (KMB) 2-approximation
+// for Steiner trees on unweighted graphs. It is the cost-optimal baseline
+// for multicast trees: the paper measures shortest-path (source-rooted)
+// trees, which Wei-Estrin showed cost only slightly more than Steiner
+// trees; this package lets the repository reproduce that comparison and
+// test whether the Chuang-Sirbu exponent survives a near-optimal routing
+// algorithm.
+//
+// KMB: (1) build the metric closure over the terminals, (2) take its
+// minimum spanning tree, (3) expand MST edges into shortest paths, (4) take
+// a spanning tree of the expanded subgraph, (5) prune non-terminal leaves.
+// The result is within 2× (in fact 2−2/|Z|) of the optimal Steiner tree.
+package steiner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mtreescale/internal/graph"
+)
+
+// MaxTerminals bounds the number of distinct terminals per tree; the metric
+// closure costs one BFS and one distance row per terminal.
+const MaxTerminals = 4096
+
+// TreeSize returns the number of links in the KMB approximate Steiner tree
+// spanning the source and all receivers. Duplicate receivers are fine. All
+// terminals must be mutually reachable.
+func TreeSize(g *graph.Graph, source int, receivers []int32) (int, error) {
+	edges, err := Tree(g, source, receivers)
+	if err != nil {
+		return 0, err
+	}
+	return len(edges), nil
+}
+
+// Edge is an undirected link with U < V.
+type Edge struct{ U, V int32 }
+
+// Tree returns the edge set of the KMB approximate Steiner tree spanning
+// the source and all receivers.
+func Tree(g *graph.Graph, source int, receivers []int32) ([]Edge, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("steiner: source %d out of range [0,%d)", source, g.N())
+	}
+	// Deduplicate terminals.
+	seen := map[int32]bool{int32(source): true}
+	terminals := []int32{int32(source)}
+	for _, r := range receivers {
+		if r < 0 || int(r) >= g.N() {
+			return nil, fmt.Errorf("steiner: receiver %d out of range [0,%d)", r, g.N())
+		}
+		if !seen[r] {
+			seen[r] = true
+			terminals = append(terminals, r)
+		}
+	}
+	if len(terminals) > MaxTerminals {
+		return nil, fmt.Errorf("steiner: %d terminals exceed limit %d", len(terminals), MaxTerminals)
+	}
+	if len(terminals) == 1 {
+		return nil, nil
+	}
+
+	// 1. Metric closure: one BFS per terminal.
+	spts := make([]*graph.SPT, len(terminals))
+	for i, t := range terminals {
+		spt, err := g.BFS(int(t))
+		if err != nil {
+			return nil, err
+		}
+		spts[i] = spt
+		if i > 0 && spt.Dist[terminals[0]] == graph.Unreachable {
+			return nil, fmt.Errorf("steiner: terminal %d unreachable from source", t)
+		}
+	}
+
+	// 2. Prim's MST over the terminal closure (O(t²)).
+	t := len(terminals)
+	inMST := make([]bool, t)
+	bestDist := make([]int32, t)
+	bestFrom := make([]int, t)
+	for i := range bestDist {
+		bestDist[i] = math.MaxInt32
+	}
+	inMST[0] = true
+	for i := 1; i < t; i++ {
+		bestDist[i] = spts[0].Dist[terminals[i]]
+		bestFrom[i] = 0
+	}
+	type mstEdge struct{ a, b int } // indices into terminals
+	mst := make([]mstEdge, 0, t-1)
+	for added := 1; added < t; added++ {
+		next := -1
+		for i := 0; i < t; i++ {
+			if !inMST[i] && (next == -1 || bestDist[i] < bestDist[next]) {
+				next = i
+			}
+		}
+		if next == -1 || bestDist[next] == math.MaxInt32 {
+			return nil, fmt.Errorf("steiner: terminals not mutually reachable")
+		}
+		inMST[next] = true
+		mst = append(mst, mstEdge{bestFrom[next], next})
+		for i := 0; i < t; i++ {
+			if !inMST[i] {
+				if d := spts[next].Dist[terminals[i]]; d != graph.Unreachable && d < bestDist[i] {
+					bestDist[i] = d
+					bestFrom[i] = next
+				}
+			}
+		}
+	}
+
+	// 3. Expand MST edges into shortest paths; collect the edge union.
+	edgeSet := map[Edge]bool{}
+	for _, e := range mst {
+		// Walk from terminals[e.b] toward terminals[e.a] in e.a's SPT.
+		spt := spts[e.a]
+		v := terminals[e.b]
+		for v != terminals[e.a] {
+			p := spt.Parent[v]
+			edgeSet[canon(v, p)] = true
+			v = p
+		}
+	}
+
+	// 4+5. The expanded union is connected and spans all terminals; take a
+	// spanning tree of it (BFS from the source over union edges) and prune
+	// non-terminal leaves.
+	adj := map[int32][]int32{}
+	for e := range edgeSet {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	parent := map[int32]int32{int32(source): int32(source)}
+	order := []int32{int32(source)}
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		ns := adj[u]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] }) // deterministic
+		for _, w := range ns {
+			if _, ok := parent[w]; !ok {
+				parent[w] = u
+				order = append(order, w)
+			}
+		}
+	}
+	// Children counts for pruning.
+	childCount := map[int32]int{}
+	for v, p := range parent {
+		if v != p {
+			childCount[p]++
+		}
+	}
+	removed := map[int32]bool{}
+	// Iteratively remove non-terminal leaves.
+	queue := make([]int32, 0)
+	for v := range parent {
+		if childCount[v] == 0 && !seen[v] {
+			queue = append(queue, v)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if removed[v] || seen[v] || childCount[v] != 0 {
+			continue
+		}
+		removed[v] = true
+		p := parent[v]
+		childCount[p]--
+		if childCount[p] == 0 && !seen[p] && p != parent[p] {
+			queue = append(queue, p)
+		}
+	}
+	var out []Edge
+	for v, p := range parent {
+		if v == p || removed[v] {
+			continue
+		}
+		out = append(out, canon(v, p))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out, nil
+}
+
+func canon(a, b int32) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{a, b}
+}
+
+// Validate checks that the edge list forms a tree spanning the source and
+// every receiver using only edges of g. Tests and callers use it to audit
+// Tree's output.
+func Validate(g *graph.Graph, source int, receivers []int32, edges []Edge) error {
+	adj := map[int32][]int32{}
+	for _, e := range edges {
+		if !g.HasEdge(int(e.U), int(e.V)) {
+			return fmt.Errorf("steiner: edge (%d,%d) not in graph", e.U, e.V)
+		}
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	// Connectivity from source over the edge set.
+	visited := map[int32]bool{int32(source): true}
+	stack := []int32{int32(source)}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[u] {
+			if !visited[w] {
+				visited[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	for _, r := range receivers {
+		if !visited[r] {
+			return fmt.Errorf("steiner: receiver %d not spanned", r)
+		}
+	}
+	// Tree check: |V| = |E| + 1 over touched nodes.
+	nodes := map[int32]bool{}
+	for _, e := range edges {
+		nodes[e.U] = true
+		nodes[e.V] = true
+	}
+	if len(edges) > 0 && len(nodes) != len(edges)+1 {
+		return fmt.Errorf("steiner: %d nodes but %d edges — not a tree", len(nodes), len(edges))
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package steiner
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/mcast"
+	"mtreescale/internal/rng"
+	"mtreescale/internal/topology"
+)
+
+func randGraph(seed int64, n, extra int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		_ = b.AddEdge(v, r.Intn(v))
+	}
+	for i := 0; i < extra; i++ {
+		_ = b.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return b.Build()
+}
+
+func TestTreeSingleTerminal(t *testing.T) {
+	g := randGraph(1, 50, 70)
+	edges, err := Tree(g, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 0 {
+		t.Fatalf("source-only tree has %d edges", len(edges))
+	}
+	n, err := TreeSize(g, 5, []int32{5, 5})
+	if err != nil || n != 0 {
+		t.Fatalf("self-receiver tree: %d, %v", n, err)
+	}
+}
+
+func TestTreeSingleReceiverIsShortestPath(t *testing.T) {
+	g := randGraph(2, 120, 180)
+	spt, _ := g.BFS(0)
+	for v := int32(1); v < 40; v++ {
+		size, err := TreeSize(g, 0, []int32{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != int(spt.Dist[v]) {
+			t.Fatalf("Steiner tree to single receiver %d has %d links, shortest path %d", v, size, spt.Dist[v])
+		}
+	}
+}
+
+func TestTreeOnPathGraph(t *testing.T) {
+	// Path 0-1-...-9: terminals {0, 9} → tree is the whole path.
+	b := graph.NewBuilder(10)
+	for i := 0; i < 9; i++ {
+		_ = b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	size, err := TreeSize(g, 0, []int32{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 9 {
+		t.Fatalf("path Steiner tree = %d", size)
+	}
+	// Terminals {0, 4, 9}: same tree (intermediate terminal adds nothing).
+	size2, _ := TreeSize(g, 0, []int32{4, 9})
+	if size2 != 9 {
+		t.Fatalf("with middle terminal: %d", size2)
+	}
+}
+
+func TestTreeStarSteinerPoint(t *testing.T) {
+	// Star: hub 0 with leaves 1..4. Terminals {1,2,3}: optimal Steiner tree
+	// uses the hub (a Steiner point) with 3 edges. KMB must find it.
+	b := graph.NewBuilder(5)
+	for v := 1; v < 5; v++ {
+		_ = b.AddEdge(0, v)
+	}
+	g := b.Build()
+	size, err := TreeSize(g, 1, []int32{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 3 {
+		t.Fatalf("star Steiner tree = %d, want 3", size)
+	}
+}
+
+func TestTreeValidAndBounded(t *testing.T) {
+	// KMB output must (a) be a valid spanning tree of the terminals,
+	// (b) never exceed the source-rooted SPT delivery tree (on unweighted
+	// graphs KMB ≤ 2·OPT and OPT ≤ SPT-tree... the 2× bound means KMB can
+	// exceed the SPT tree in contrived cases, so check the 2× Steiner bound
+	// indirectly: KMB ≤ 2·(SPT tree), since SPT tree ≥ OPT).
+	f := func(seed int64, mRaw uint8) bool {
+		g := randGraph(seed, 80, 120)
+		m := int(mRaw)%20 + 1
+		r := rng.New(seed + 1)
+		recv := make([]int32, m)
+		for i := range recv {
+			recv[i] = int32(1 + r.Intn(79))
+		}
+		edges, err := Tree(g, 0, recv)
+		if err != nil {
+			return false
+		}
+		if err := Validate(g, 0, recv, edges); err != nil {
+			return false
+		}
+		spt, err := g.BFS(0)
+		if err != nil {
+			return false
+		}
+		c := mcast.NewTreeCounter(g.N())
+		sptTree := c.TreeSize(spt, recv)
+		return len(edges) <= 2*sptTree
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSteinerUsuallyBeatsOrMatchesSPT(t *testing.T) {
+	// Wei-Estrin's observation: shortest-path trees cost only slightly more
+	// than Steiner trees. Aggregate over many samples: mean KMB size must be
+	// ≤ mean SPT size, and within 40% of it.
+	g, err := topology.TransitStubSized(300, 3.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spt, _ := g.BFS(0)
+	c := mcast.NewTreeCounter(g.N())
+	smp, err := mcast.NewSampler(g.N(), 0, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recv []int32
+	var sptSum, kmbSum float64
+	const reps = 60
+	for rep := 0; rep < reps; rep++ {
+		recv, err = smp.Distinct(25, recv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sptSum += float64(c.TreeSize(spt, recv))
+		k, err := TreeSize(g, 0, recv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kmbSum += float64(k)
+	}
+	if kmbSum > sptSum*1.02 {
+		t.Fatalf("KMB mean %.1f above SPT mean %.1f", kmbSum/reps, sptSum/reps)
+	}
+	if kmbSum < sptSum*0.6 {
+		t.Fatalf("KMB mean %.1f implausibly below SPT mean %.1f", kmbSum/reps, sptSum/reps)
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	g := randGraph(9, 30, 40)
+	if _, err := Tree(g, -1, nil); err == nil {
+		t.Fatal("bad source must error")
+	}
+	if _, err := Tree(g, 0, []int32{99}); err == nil {
+		t.Fatal("bad receiver must error")
+	}
+	// Disconnected terminals.
+	b := graph.NewBuilder(4)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(2, 3)
+	if _, err := Tree(b.Build(), 0, []int32{3}); err == nil {
+		t.Fatal("unreachable terminal must error")
+	}
+	// Terminal cap.
+	big := make([]int32, MaxTerminals+2)
+	for i := range big {
+		big[i] = int32(i % 30)
+	}
+	// Dedup keeps this under the cap, so grow a graph big enough to exceed it.
+	huge := randGraph(3, MaxTerminals+10, 0)
+	bigRecv := make([]int32, MaxTerminals+5)
+	for i := range bigRecv {
+		bigRecv[i] = int32(i + 1)
+	}
+	if _, err := Tree(huge, 0, bigRecv); err == nil {
+		t.Fatal("terminal cap must error")
+	}
+}
+
+func TestValidateCatchesBadTrees(t *testing.T) {
+	g := randGraph(4, 20, 30)
+	// Non-edge.
+	if err := Validate(g, 0, nil, []Edge{{0, 19}}); err == nil {
+		// (0,19) may exist by chance; construct a guaranteed non-edge graph
+		b := graph.NewBuilder(3)
+		_ = b.AddEdge(0, 1)
+		if err := Validate(b.Build(), 0, nil, []Edge{{0, 2}}); err == nil {
+			t.Fatal("non-edge must fail validation")
+		}
+	}
+	// Unspanned receiver.
+	b := graph.NewBuilder(4)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(2, 3)
+	g2 := b.Build()
+	if err := Validate(g2, 0, []int32{3}, []Edge{{0, 1}}); err == nil {
+		t.Fatal("unspanned receiver must fail validation")
+	}
+	// Cycle: 3 nodes 3 edges.
+	b2 := graph.NewBuilder(3)
+	_ = b2.AddEdge(0, 1)
+	_ = b2.AddEdge(1, 2)
+	_ = b2.AddEdge(0, 2)
+	g3 := b2.Build()
+	if err := Validate(g3, 0, []int32{2}, []Edge{{0, 1}, {1, 2}, {0, 2}}); err == nil {
+		t.Fatal("cycle must fail validation")
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	g := randGraph(11, 100, 150)
+	recv := []int32{3, 17, 44, 71, 90}
+	a, err := Tree(g, 0, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tree(g, 0, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+}

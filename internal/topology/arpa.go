@@ -1,0 +1,35 @@
+package topology
+
+import (
+	"mtreescale/internal/graph"
+)
+
+// arpaChords are the cross-country chord links layered over the 47-node
+// backbone ring. The exact 1999-era ARPA map used by Chuang-Sirbu and
+// Wei-Estrin is no longer distributed; this reconstruction keeps the three
+// properties the paper consumes: 47 nodes, average degree ≈ 2.7, and a
+// sparse ring-with-chords mesh whose reachability function T(r) grows
+// sub-exponentially (clearly concave in Fig 7(b)).
+var arpaChords = [][2]int{
+	{0, 9}, {2, 14}, {4, 23}, {5, 17}, {7, 30},
+	{10, 21}, {12, 28}, {13, 40}, {16, 33}, {19, 38},
+	{22, 35}, {25, 43}, {27, 41}, {29, 44}, {31, 45},
+	{34, 46}, {37, 3},
+}
+
+// ARPA returns the deterministic 47-node ARPANET-like topology (substitute
+// for the paper's "ARPA" map; see DESIGN.md §4). It has 47 nodes and 64
+// links (ring of 47 plus 17 chords), average degree 2.72.
+func ARPA() *graph.Graph {
+	const n = 47
+	b := graph.NewBuilder(n)
+	b.SetName("arpa")
+	for i := 0; i < n; i++ {
+		// Errors impossible: all endpoints in range.
+		_ = b.AddEdge(i, (i+1)%n)
+	}
+	for _, c := range arpaChords {
+		_ = b.AddEdge(c[0], c[1])
+	}
+	return b.Build()
+}

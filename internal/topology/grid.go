@@ -1,0 +1,43 @@
+package topology
+
+import (
+	"fmt"
+
+	"mtreescale/internal/graph"
+)
+
+// Grid builds the rows×cols lattice. With wrap true the lattice closes into
+// a torus. Grids are the concrete network realization of the paper's §4.3
+// power-law reachability case: S(r) grows linearly in r (λ = 1 in the
+// S(r) ∝ r^λ model), so the paper's exponential-case asymptotics do not
+// apply — a useful adversarial fixture for the scaling-law analysis.
+func Grid(rows, cols int, wrap bool) (*graph.Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topology: grid needs rows, cols >= 1 (got %d, %d)", rows, cols)
+	}
+	if rows*cols > 1<<24 {
+		return nil, fmt.Errorf("topology: grid %dx%d too large", rows, cols)
+	}
+	b := graph.NewBuilder(rows * cols)
+	shape := "grid"
+	if wrap {
+		shape = "torus"
+	}
+	b.SetName(fmt.Sprintf("%s-%dx%d", shape, rows, cols))
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				_ = b.AddEdge(id(r, c), id(r, c+1))
+			} else if wrap && cols > 2 {
+				_ = b.AddEdge(id(r, c), id(r, 0))
+			}
+			if r+1 < rows {
+				_ = b.AddEdge(id(r, c), id(r+1, c))
+			} else if wrap && rows > 2 {
+				_ = b.AddEdge(id(r, c), id(0, c))
+			}
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,87 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestGridShape(t *testing.T) {
+	g, err := Grid(3, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Edges: horizontal 3·3 + vertical 2·4 = 17.
+	if g.M() != 17 {
+		t.Fatalf("M = %d, want 17", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("grid must be connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusShape(t *testing.T) {
+	g, err := Grid(4, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torus is 4-regular: M = 2·N.
+	if g.M() != 2*g.N() {
+		t.Fatalf("M = %d, want %d", g.M(), 2*g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestTorusSmallDimensionsNoDoubleEdges(t *testing.T) {
+	// Wrap on a 2-wide dimension would duplicate edges; the generator must
+	// skip wrapping there.
+	g, err := Grid(2, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rows of height 2: vertical edges only once per column (5), horizontal
+	// 2 rows × 5 wrap edges = 10.
+	if g.M() != 15 {
+		t.Fatalf("M = %d, want 15", g.M())
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := Grid(0, 5, false); err == nil {
+		t.Fatal("rows=0 must error")
+	}
+	if _, err := Grid(5, 0, true); err == nil {
+		t.Fatal("cols=0 must error")
+	}
+	if _, err := Grid(1<<13, 1<<13, false); err == nil {
+		t.Fatal("oversized grid must error")
+	}
+}
+
+func TestGridSingleRow(t *testing.T) {
+	g, err := Grid(1, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 5 {
+		t.Fatalf("path grid M = %d", g.M())
+	}
+	ring, err := Grid(1, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.M() != 6 {
+		t.Fatalf("ring M = %d", ring.M())
+	}
+}

@@ -1,0 +1,119 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mtreescale/internal/graph"
+)
+
+func TestHomogeneousRandomBasics(t *testing.T) {
+	g, err := HomogeneousRandom(500, 3.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("must be connected (tree scaffold)")
+	}
+	if math.Abs(g.AvgDegree()-3.0) > 0.4 {
+		t.Fatalf("degavg = %v", g.AvgDegree())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomogeneousRandomTinyCases(t *testing.T) {
+	g1, err := HomogeneousRandom(1, 0, 1)
+	if err != nil || g1.N() != 1 || g1.M() != 0 {
+		t.Fatalf("n=1: %v %v", g1, err)
+	}
+	g2, err := HomogeneousRandom(2, 1, 1)
+	if err != nil || g2.M() != 1 {
+		t.Fatalf("n=2: %v %v", g2, err)
+	}
+	g3, err := HomogeneousRandom(3, 2, 1)
+	if err != nil || !g3.Connected() {
+		t.Fatalf("n=3: %v %v", g3, err)
+	}
+}
+
+func TestHomogeneousRandomErrors(t *testing.T) {
+	if _, err := HomogeneousRandom(0, 2, 1); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := HomogeneousRandom(10, -1, 1); err == nil {
+		t.Fatal("negative degree must error")
+	}
+}
+
+func TestHomogeneousRandomDegreeCap(t *testing.T) {
+	g, err := HomogeneousRandom(8, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() > 28 {
+		t.Fatalf("M = %d > C(8,2)", g.M())
+	}
+}
+
+func TestHomogeneousRandomConnectedProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%2000) + 1
+		g, err := HomogeneousRandom(n, 2.5, seed)
+		if err != nil {
+			return false
+		}
+		return g.N() == n && g.Connected() && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomogeneousRandomNoHubs(t *testing.T) {
+	// The uniform-tree scaffold should have no Θ(log n)-degree early hubs:
+	// max degree stays small (Poisson tail), far below ConnectedRandom's.
+	n := 20000
+	hom, err := HomogeneousRandom(n, 2.67, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ConnectedRandom(n, 2.67, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := func(g *graph.Graph) int {
+		m := 0
+		for v := 0; v < g.N(); v++ {
+			if d := g.Degree(v); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	if h, r := maxDeg(hom), maxDeg(rec); h >= r {
+		t.Fatalf("homogeneous max degree %d not below recursive-tree %d", h, r)
+	}
+}
+
+func TestHomogeneousRandomDeterministic(t *testing.T) {
+	a, _ := HomogeneousRandom(300, 3, 9)
+	b, _ := HomogeneousRandom(300, 3, 9)
+	if a.M() != b.M() {
+		t.Fatal("same seed must give same graph")
+	}
+	same := true
+	a.Edges(func(u, v int) {
+		if !b.HasEdge(u, v) {
+			same = false
+		}
+	})
+	if !same {
+		t.Fatal("edge sets differ")
+	}
+}

@@ -1,0 +1,125 @@
+// Package topology generates the network topologies studied in the paper:
+// full k-ary trees, GT-ITM style flat random ("r") and transit-stub ("ts")
+// networks, TIERS style three-level networks ("ti"), Waxman graphs,
+// preferential-attachment power-law graphs, and deterministic stand-ins for
+// the paper's four real maps (ARPA, MBone, Internet, AS).
+//
+// All generators are deterministic functions of their parameters and a seed,
+// and always return connected graphs (the giant component, renumbered
+// densely), matching the paper's topology cleaning.
+package topology
+
+import (
+	"fmt"
+
+	"mtreescale/internal/graph"
+)
+
+// KAryTree describes a complete k-ary tree of a given depth. The root is node
+// 0; children of node v occupy a contiguous block. Leaves are the nodes at
+// depth exactly D.
+type KAryTree struct {
+	K     int
+	Depth int
+	Graph *graph.Graph
+	// FirstLeaf is the id of the first leaf; leaves are
+	// FirstLeaf..FirstLeaf+Leaves-1.
+	FirstLeaf int
+	// Leaves is the number of leaves, k^D (the paper's M).
+	Leaves int
+}
+
+// NewKAryTree builds the complete k-ary tree with the given branching factor
+// (k >= 1... k >= 2 for a true tree; k == 1 yields a path, which the paper
+// uses as a limiting case) and depth D >= 0.
+func NewKAryTree(k, depth int) (*KAryTree, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topology: k-ary tree needs k >= 1, got %d", k)
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("topology: k-ary tree needs depth >= 0, got %d", depth)
+	}
+	// Node count: sum_{l=0}^{D} k^l.
+	total := 0
+	levelSize := 1
+	levelStart := make([]int, depth+2)
+	for l := 0; l <= depth; l++ {
+		levelStart[l] = total
+		total += levelSize
+		if l < depth {
+			if levelSize > (1<<40)/k {
+				return nil, fmt.Errorf("topology: k-ary tree k=%d depth=%d too large", k, depth)
+			}
+			levelSize *= k
+		}
+	}
+	levelStart[depth+1] = total
+
+	b := graph.NewBuilder(total)
+	b.SetName(fmt.Sprintf("kary-k%d-d%d", k, depth))
+	// Children of the i-th node at level l (global id levelStart[l]+i) are
+	// levelStart[l+1] + i*k .. +k-1.
+	for l := 0; l < depth; l++ {
+		width := levelStart[l+1] - levelStart[l]
+		for i := 0; i < width; i++ {
+			parent := levelStart[l] + i
+			for c := 0; c < k; c++ {
+				child := levelStart[l+1] + i*k + c
+				if err := b.AddEdge(parent, child); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	g := b.Build()
+	return &KAryTree{
+		K:         k,
+		Depth:     depth,
+		Graph:     g,
+		FirstLeaf: levelStart[depth],
+		Leaves:    total - levelStart[depth],
+	}, nil
+}
+
+// Leaf returns the node id of the i-th leaf.
+func (t *KAryTree) Leaf(i int) int { return t.FirstLeaf + i }
+
+// IsLeaf reports whether node v is a leaf (depth exactly D).
+func (t *KAryTree) IsLeaf(v int) bool { return v >= t.FirstLeaf }
+
+// Level returns the depth of node v (root is level 0).
+func (t *KAryTree) Level(v int) int {
+	if t.K == 1 {
+		return v
+	}
+	// Walk level boundaries; depth is at most ~60 so a loop is fine.
+	start, size, l := 0, 1, 0
+	for {
+		if v < start+size {
+			return l
+		}
+		start += size
+		size *= t.K
+		l++
+	}
+}
+
+// ParentOf returns the tree parent of v, or -1 for the root.
+func (t *KAryTree) ParentOf(v int) int {
+	if v == 0 {
+		return -1
+	}
+	l := t.Level(v)
+	start := t.levelStartOf(l)
+	prevStart := t.levelStartOf(l - 1)
+	return prevStart + (v-start)/t.K
+}
+
+func (t *KAryTree) levelStartOf(l int) int {
+	start, size := 0, 1
+	for i := 0; i < l; i++ {
+		start += size
+		size *= t.K
+	}
+	return start
+}

@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"fmt"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/rng"
+)
+
+// MBoneParams parametrizes the MBone-like overlay generator. The real MBone
+// was partially an overlay: multicast islands joined by long unicast tunnels.
+// The paper observes (Fig 7(b)) that this gives the MBone a slightly concave
+// ln T(r) — sub-exponential reachability — and conjectures the overlay
+// structure is the cause. The generator reproduces that structure directly:
+// a small random backbone whose edges are expanded into multi-hop tunnel
+// chains, plus star-shaped leaf clusters on backbone routers.
+type MBoneParams struct {
+	// BackboneNodes is the number of overlay routers.
+	BackboneNodes int
+	// BackboneDegree is the average degree of the overlay graph.
+	BackboneDegree float64
+	// TunnelLength is the number of intermediate hops inserted into each
+	// backbone edge (0 = direct edge). Longer tunnels = more path-like
+	// regions = more concave T(r).
+	TunnelLength int
+	// ClusterSize is the number of leaf hosts starred on each backbone
+	// router.
+	ClusterSize int
+}
+
+// Validate checks parameter ranges.
+func (p MBoneParams) Validate() error {
+	if p.BackboneNodes < 2 {
+		return fmt.Errorf("topology: mbone needs >= 2 backbone nodes, got %d", p.BackboneNodes)
+	}
+	if p.BackboneDegree < 1 {
+		return fmt.Errorf("topology: mbone backbone degree must be >= 1, got %v", p.BackboneDegree)
+	}
+	if p.TunnelLength < 0 || p.ClusterSize < 0 {
+		return fmt.Errorf("topology: mbone tunnel length and cluster size must be >= 0")
+	}
+	return nil
+}
+
+// MBone generates the overlay topology. Connected by construction (the
+// backbone scaffold is a spanning tree).
+func MBone(p MBoneParams, seed int64) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+
+	// First materialize the backbone as an edge list over 0..BackboneNodes-1.
+	type edge struct{ u, v int }
+	var backbone []edge
+	for v := 1; v < p.BackboneNodes; v++ {
+		backbone = append(backbone, edge{v, r.Intn(v)})
+	}
+	extra := int(p.BackboneDegree*float64(p.BackboneNodes)/2) - len(backbone)
+	for i := 0; i < extra; i++ {
+		u, v := r.Intn(p.BackboneNodes), r.Intn(p.BackboneNodes)
+		if u != v {
+			backbone = append(backbone, edge{u, v})
+		}
+	}
+
+	total := p.BackboneNodes + len(backbone)*p.TunnelLength + p.BackboneNodes*p.ClusterSize
+	b := graph.NewBuilder(total)
+	b.SetName("mbone")
+	next := p.BackboneNodes
+
+	// Expand each backbone edge into a tunnel chain.
+	for _, e := range backbone {
+		prev := e.u
+		for h := 0; h < p.TunnelLength; h++ {
+			_ = b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		_ = b.AddEdge(prev, e.v)
+	}
+	// Leaf clusters.
+	for v := 0; v < p.BackboneNodes; v++ {
+		for c := 0; c < p.ClusterSize; c++ {
+			_ = b.AddEdge(v, next)
+			next++
+		}
+	}
+	g, _ := b.Build().GiantComponent()
+	return g.WithName("mbone"), nil
+}
+
+// MBoneSized generates an MBone-like overlay with approximately n nodes.
+func MBoneSized(n int, seed int64) (*graph.Graph, error) {
+	if n < 20 {
+		return nil, fmt.Errorf("topology: mbone wants n >= 20, got %d", n)
+	}
+	p := MBoneParams{
+		BackboneDegree: 2.6,
+		TunnelLength:   3,
+		ClusterSize:    4,
+	}
+	// n ≈ B + 1.3·B·TunnelLength + B·ClusterSize  (edges ≈ 1.3·B)
+	denom := 1 + 1.3*float64(p.TunnelLength) + float64(p.ClusterSize)
+	p.BackboneNodes = int(float64(n) / denom)
+	if p.BackboneNodes < 2 {
+		p.BackboneNodes = 2
+	}
+	return MBone(p, seed)
+}

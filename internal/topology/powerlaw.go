@@ -1,0 +1,72 @@
+package topology
+
+import (
+	"fmt"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/rng"
+)
+
+// PreferentialAttachment generates a Barabási–Albert style power-law graph:
+// starting from a small clique, each new node attaches to edgesPerNode
+// existing nodes chosen proportionally to their current degree. Such graphs
+// have the heavy-tailed degree distributions reported for the Internet and
+// AS maps (Faloutsos et al., [8 in the paper]) and exponentially growing
+// reachability balls until saturation — the property the paper's analysis
+// relies on for those maps (Figs 6-7).
+//
+// extraShortcuts adds that many uniformly random extra edges afterwards, a
+// knob for tuning average degree independent of the attachment process.
+func PreferentialAttachment(n, edgesPerNode, extraShortcuts int, seed int64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: preferential attachment needs n >= 2, got %d", n)
+	}
+	if edgesPerNode < 1 {
+		return nil, fmt.Errorf("topology: preferential attachment needs edgesPerNode >= 1, got %d", edgesPerNode)
+	}
+	if extraShortcuts < 0 {
+		return nil, fmt.Errorf("topology: extraShortcuts must be >= 0")
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("pa-%d", n))
+
+	// targets holds one entry per edge endpoint, so sampling a uniform
+	// element samples nodes proportionally to degree.
+	seedSize := edgesPerNode + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	targets := make([]int32, 0, 2*(n*edgesPerNode+seedSize))
+	for u := 0; u < seedSize; u++ {
+		for v := u + 1; v < seedSize; v++ {
+			_ = b.AddEdge(u, v)
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	chosen := make(map[int32]bool, edgesPerNode)
+	for v := seedSize; v < n; v++ {
+		clear(chosen)
+		attempts := 0
+		for len(chosen) < edgesPerNode && attempts < 50*edgesPerNode {
+			attempts++
+			t := targets[r.Intn(len(targets))]
+			if int(t) == v || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+		}
+		for t := range chosen {
+			_ = b.AddEdge(v, int(t))
+			targets = append(targets, int32(v), t)
+		}
+	}
+	for i := 0; i < extraShortcuts; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	g, _ := b.Build().GiantComponent()
+	return g, nil
+}

@@ -1,0 +1,219 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/rng"
+)
+
+// GNP generates an Erdős–Rényi G(n,p) graph — the GT-ITM "pure random" flat
+// model — and returns its giant component (renumbered densely). The returned
+// graph may therefore have fewer than n nodes when p is small.
+func GNP(n int, p float64, seed int64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: GNP needs n > 0, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("topology: GNP needs p in [0,1], got %v", p)
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("gnp-%d", n))
+	if p > 0 {
+		// Geometric skipping: iterate only over present edges, O(E) not O(n²).
+		logq := math.Log(1 - p)
+		if p == 1 {
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					_ = b.AddEdge(u, v)
+				}
+			}
+		} else {
+			// Enumerate pairs (u,v), u<v, in a linear order and jump ahead by
+			// geometrically distributed gaps.
+			total := int64(n) * int64(n-1) / 2
+			idx := int64(-1)
+			for {
+				f := r.Float64()
+				skip := int64(math.Floor(math.Log(1-f) / logq))
+				idx += 1 + skip
+				if idx >= total {
+					break
+				}
+				u, v := pairFromIndex(idx, n)
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	g, _ := b.Build().GiantComponent()
+	return g, nil
+}
+
+// pairFromIndex maps a linear index in [0, n(n-1)/2) to the pair (u,v), u<v,
+// enumerated row by row: (0,1),(0,2),...,(0,n-1),(1,2),...
+func pairFromIndex(idx int64, n int) (int, int) {
+	u := 0
+	rowLen := int64(n - 1)
+	for idx >= rowLen {
+		idx -= rowLen
+		u++
+		rowLen--
+	}
+	return u, u + 1 + int(idx)
+}
+
+// ConnectedRandom generates a connected random graph with exactly n nodes and
+// approximately the requested average degree: a uniform random spanning tree
+// scaffold plus uniformly random extra edges. This is used where the paper
+// needs a connected "random-style" graph of an exact size.
+func ConnectedRandom(n int, avgDegree float64, seed int64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: ConnectedRandom needs n > 0, got %d", n)
+	}
+	if avgDegree < 0 {
+		return nil, fmt.Errorf("topology: negative average degree %v", avgDegree)
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("rand-%d", n))
+	// Random recursive tree: attach each node to a uniform predecessor.
+	for v := 1; v < n; v++ {
+		_ = b.AddEdge(v, r.Intn(v))
+	}
+	targetEdges := int(math.Round(avgDegree * float64(n) / 2))
+	extra := targetEdges - (n - 1)
+	maxEdges := n * (n - 1) / 2
+	if targetEdges > maxEdges {
+		extra = maxEdges - (n - 1)
+	}
+	for i := 0; i < extra; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	return b.Build(), nil
+}
+
+// HomogeneousRandom generates a connected random graph with exactly n nodes
+// and approximately the requested average degree, built from a *uniform*
+// random labeled tree (via a random Prüfer sequence) plus uniform extra
+// edges.
+//
+// Unlike ConnectedRandom's random-recursive-tree scaffold — whose early
+// nodes accumulate Θ(log n) degree and put a knee in the reachability
+// function — the uniform tree has i.i.d. Poisson(1)+1 degrees, so the ball
+// around any source grows at a constant exponential rate until saturation.
+// This is the generator behind the "internet" and "as" stand-ins, whose
+// defining property in the paper is exponential T(r) (Figure 7(b)).
+func HomogeneousRandom(n int, avgDegree float64, seed int64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: HomogeneousRandom needs n > 0, got %d", n)
+	}
+	if avgDegree < 0 {
+		return nil, fmt.Errorf("topology: negative average degree %v", avgDegree)
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("hrand-%d", n))
+	switch n {
+	case 1:
+		// no edges
+	case 2:
+		_ = b.AddEdge(0, 1)
+	default:
+		// Decode a uniform random Prüfer sequence into a uniform labeled
+		// tree: repeatedly join the smallest-degree-1 unused label to the
+		// next sequence element.
+		prufer := make([]int32, n-2)
+		deg := make([]int32, n)
+		for i := range deg {
+			deg[i] = 1
+		}
+		for i := range prufer {
+			v := int32(r.Intn(n))
+			prufer[i] = v
+			deg[v]++
+		}
+		// Min-pointer scan over leaves: ptr advances monotonically; a node
+		// whose degree drops to 1 with index < ptr becomes the immediate
+		// next leaf.
+		ptr := 0
+		leaf := -1
+		next := func() int {
+			if leaf >= 0 {
+				l := leaf
+				leaf = -1
+				return l
+			}
+			for deg[ptr] != 1 {
+				ptr++
+			}
+			l := ptr
+			ptr++
+			return l
+		}
+		for _, v := range prufer {
+			l := next()
+			_ = b.AddEdge(l, int(v))
+			deg[l]--
+			deg[v]--
+			if deg[v] == 1 && int(v) < ptr {
+				leaf = int(v)
+			}
+		}
+		// Join the last two degree-1 labels.
+		u := next()
+		w := next()
+		_ = b.AddEdge(u, w)
+	}
+	targetEdges := int(math.Round(avgDegree * float64(n) / 2))
+	extra := targetEdges - (n - 1)
+	maxEdges := n * (n - 1) / 2
+	if targetEdges > maxEdges {
+		extra = maxEdges - (n - 1)
+	}
+	for i := 0; i < extra; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	return b.Build(), nil
+}
+
+// Waxman generates a Waxman random graph: n nodes placed uniformly on the
+// unit square, with each pair (u,v) linked with probability
+// alpha*exp(-d(u,v)/(beta*Lmax)) where Lmax = sqrt(2). The giant component is
+// returned. Waxman's model [10,11 in the paper] underlies many multipoint
+// connection studies.
+func Waxman(n int, alpha, beta float64, seed int64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: Waxman needs n > 0, got %d", n)
+	}
+	if alpha < 0 || alpha > 1 || beta <= 0 {
+		return nil, fmt.Errorf("topology: Waxman needs alpha in [0,1], beta > 0 (got %v, %v)", alpha, beta)
+	}
+	r := rng.New(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	lmax := math.Sqrt2
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("waxman-%d", n))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
+			if r.Float64() < alpha*math.Exp(-d/(beta*lmax)) {
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	g, _ := b.Build().GiantComponent()
+	return g, nil
+}

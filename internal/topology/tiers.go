@@ -1,0 +1,141 @@
+package topology
+
+import (
+	"fmt"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/rng"
+)
+
+// TiersParams parametrizes the TIERS style generator (Doar [7 in the
+// paper]). TIERS builds a three-level hierarchy — one WAN, several MANs, many
+// LANs — where each network is a spanning tree plus a few redundancy edges,
+// and LANs are stars around a hub. The resulting topology is strongly
+// tree-like, which is what gives the paper's ti5000 its sub-exponential
+// reachability function (Figs 6-7).
+type TiersParams struct {
+	// WANNodes is the number of WAN (top-level) nodes.
+	WANNodes int
+	// MANs is the number of MANs; each attaches to a random WAN node.
+	MANs int
+	// MANNodes is the number of nodes per MAN.
+	MANNodes int
+	// LANsPerMAN is the number of LANs per MAN; each LAN hub attaches to a
+	// random MAN node.
+	LANsPerMAN int
+	// LANNodes is the number of hosts per LAN (star around the hub, hub not
+	// counted).
+	LANNodes int
+	// WANRedundancy and MANRedundancy add that many extra random edges
+	// inside the WAN / each MAN beyond their spanning trees (TIERS' "R"
+	// parameters).
+	WANRedundancy int
+	MANRedundancy int
+}
+
+// Validate checks parameter ranges.
+func (p TiersParams) Validate() error {
+	if p.WANNodes < 1 {
+		return fmt.Errorf("topology: TIERS needs >= 1 WAN node")
+	}
+	if p.MANs < 0 || p.MANNodes < 1 && p.MANs > 0 {
+		return fmt.Errorf("topology: bad MAN shape (%d MANs × %d nodes)", p.MANs, p.MANNodes)
+	}
+	if p.LANsPerMAN < 0 || (p.LANNodes < 1 && p.LANsPerMAN > 0) {
+		return fmt.Errorf("topology: bad LAN shape (%d LANs × %d hosts)", p.LANsPerMAN, p.LANNodes)
+	}
+	if p.WANRedundancy < 0 || p.MANRedundancy < 0 {
+		return fmt.Errorf("topology: redundancy must be >= 0")
+	}
+	return nil
+}
+
+// TotalNodes returns the node count the parameters produce: WAN nodes, MAN
+// nodes, plus per-LAN one hub and LANNodes hosts.
+func (p TiersParams) TotalNodes() int {
+	return p.WANNodes + p.MANs*p.MANNodes + p.MANs*p.LANsPerMAN*(1+p.LANNodes)
+}
+
+// Tiers generates a TIERS style topology. Connected by construction.
+func Tiers(p TiersParams, seed int64) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	total := p.TotalNodes()
+	b := graph.NewBuilder(total)
+	b.SetName(fmt.Sprintf("ti%d", total))
+
+	// WAN: random spanning tree + redundancy.
+	for v := 1; v < p.WANNodes; v++ {
+		_ = b.AddEdge(v, r.Intn(v))
+	}
+	for i := 0; i < p.WANRedundancy && p.WANNodes > 2; i++ {
+		u, v := r.Intn(p.WANNodes), r.Intn(p.WANNodes)
+		if u != v {
+			_ = b.AddEdge(u, v)
+		}
+	}
+
+	next := p.WANNodes
+	for m := 0; m < p.MANs; m++ {
+		manBase := next
+		next += p.MANNodes
+		// MAN spanning tree + redundancy.
+		for v := 1; v < p.MANNodes; v++ {
+			_ = b.AddEdge(manBase+v, manBase+r.Intn(v))
+		}
+		for i := 0; i < p.MANRedundancy && p.MANNodes > 2; i++ {
+			u, v := r.Intn(p.MANNodes), r.Intn(p.MANNodes)
+			if u != v {
+				_ = b.AddEdge(manBase+u, manBase+v)
+			}
+		}
+		// Uplink MAN to a random WAN node.
+		_ = b.AddEdge(manBase+r.Intn(p.MANNodes), r.Intn(p.WANNodes))
+
+		// LANs: hub + star of hosts; hub uplinks to a random MAN node.
+		for l := 0; l < p.LANsPerMAN; l++ {
+			hub := next
+			next++
+			_ = b.AddEdge(hub, manBase+r.Intn(p.MANNodes))
+			for h := 0; h < p.LANNodes; h++ {
+				_ = b.AddEdge(hub, next)
+				next++
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// TiersSized solves for TIERS parameters producing approximately n nodes
+// with the strongly tree-like shape of the paper's ti5000 and generates the
+// graph. Average degree lands near 2.1-2.8 depending on redundancy, matching
+// TIERS' sparse profile.
+func TiersSized(n int, seed int64) (*graph.Graph, error) {
+	if n < 50 {
+		return nil, fmt.Errorf("topology: TIERS wants n >= 50, got %d", n)
+	}
+	p := TiersParams{
+		WANNodes:      n / 50,
+		MANs:          n / 250,
+		MANNodes:      10,
+		LANsPerMAN:    6,
+		WANRedundancy: n / 25,
+		MANRedundancy: 6,
+	}
+	if p.MANs < 1 {
+		p.MANs = 1
+	}
+	// Solve LANNodes to land close to n.
+	remaining := n - p.WANNodes - p.MANs*p.MANNodes - p.MANs*p.LANsPerMAN
+	p.LANNodes = remaining / (p.MANs * p.LANsPerMAN)
+	if p.LANNodes < 1 {
+		p.LANNodes = 1
+	}
+	g, err := Tiers(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return g.WithName(fmt.Sprintf("ti%d", n)), nil
+}

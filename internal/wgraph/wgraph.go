@@ -1,0 +1,169 @@
+// Package wgraph extends the simulator to weighted links. The paper counts
+// hops only (footnote 3: "We merely count the number of links, we do not
+// weight the links by their length or bandwidth"); this package implements
+// the weighted variant so the repository can test whether the scaling law
+// survives length-weighted costs: Dijkstra shortest-path trees, weighted
+// delivery-tree costs, and a geometric (Euclidean-weighted Waxman)
+// generator.
+package wgraph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"mtreescale/internal/graph"
+)
+
+// WGraph pairs an unweighted Graph with one non-negative weight per arc,
+// stored in the same CSR arc order as Graph's adjacency.
+type WGraph struct {
+	G *graph.Graph
+	// w[i] is the weight of the i-th arc (both directions of an edge carry
+	// the same weight).
+	w []float64
+	// bases memoizes per-node CSR arc offsets (built on first use).
+	bases []int
+}
+
+// New builds a WGraph from g and a symmetric weight function on edges.
+// weight(u, v) must return the same positive, finite value for (u, v) and
+// (v, u).
+func New(g *graph.Graph, weight func(u, v int) float64) (*WGraph, error) {
+	if g == nil {
+		return nil, fmt.Errorf("wgraph: nil graph")
+	}
+	if weight == nil {
+		return nil, fmt.Errorf("wgraph: nil weight function")
+	}
+	wg := &WGraph{G: g, w: make([]float64, 0, 2*g.M())}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			x := weight(u, int(v))
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("wgraph: invalid weight %v on edge (%d,%d)", x, u, v)
+			}
+			wg.w = append(wg.w, x)
+		}
+	}
+	return wg, nil
+}
+
+// ArcWeight returns the weight of the i-th arc of node u.
+func (wg *WGraph) ArcWeight(u, i int) float64 {
+	return wg.w[wg.arcBase(u)+i]
+}
+
+func (wg *WGraph) arcBase(u int) int {
+	// Reconstruct the CSR offset by walking Neighbors: Graph doesn't expose
+	// offsets, but arc order is deterministic, so cache bases lazily.
+	if wg.bases == nil {
+		wg.bases = make([]int, wg.G.N()+1)
+		total := 0
+		for v := 0; v < wg.G.N(); v++ {
+			wg.bases[v] = total
+			total += len(wg.G.Neighbors(v))
+		}
+		wg.bases[wg.G.N()] = total
+	}
+	return wg.bases[u]
+}
+
+// WSPT is a weighted single-source shortest-path tree.
+type WSPT struct {
+	Source int
+	Parent []int32
+	// Dist is the weighted distance; +Inf marks unreachable nodes.
+	Dist []float64
+}
+
+// Unreachable reports whether v has no path from the source.
+func (t *WSPT) Unreachable(v int) bool { return math.IsInf(t.Dist[v], 1) }
+
+type pqItem struct {
+	v    int32
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes the weighted shortest-path tree from source.
+func (wg *WGraph) Dijkstra(source int) (*WSPT, error) {
+	n := wg.G.N()
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("wgraph: source %d out of range [0,%d)", source, n)
+	}
+	t := &WSPT{
+		Source: source,
+		Parent: make([]int32, n),
+		Dist:   make([]float64, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = math.Inf(1)
+		t.Parent[i] = -1
+	}
+	t.Dist[source] = 0
+	t.Parent[source] = int32(source)
+	q := pq{{int32(source), 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > t.Dist[it.v] {
+			continue // stale entry
+		}
+		base := wg.arcBase(int(it.v))
+		for i, w := range wg.G.Neighbors(int(it.v)) {
+			nd := it.dist + wg.w[base+i]
+			if nd < t.Dist[w] {
+				t.Dist[w] = nd
+				t.Parent[w] = it.v
+				heap.Push(&q, pqItem{w, nd})
+			}
+		}
+	}
+	return t, nil
+}
+
+// TreeCost returns the total weight and link count of the delivery tree
+// induced by the receivers on the weighted SPT (union of tree paths).
+func (wg *WGraph) TreeCost(t *WSPT, receivers []int32) (cost float64, links int) {
+	visited := make(map[int32]bool, len(receivers)*4)
+	visited[int32(t.Source)] = true
+	for _, r := range receivers {
+		if r < 0 || int(r) >= wg.G.N() || t.Unreachable(int(r)) {
+			continue
+		}
+		for v := r; !visited[v]; {
+			visited[v] = true
+			p := t.Parent[v]
+			cost += t.Dist[v] - t.Dist[p]
+			links++
+			v = p
+		}
+	}
+	return cost, links
+}
+
+// UnicastCost returns the summed weighted source→receiver distances and the
+// reachable receiver count.
+func (wg *WGraph) UnicastCost(t *WSPT, receivers []int32) (cost float64, reachable int) {
+	for _, r := range receivers {
+		if r < 0 || int(r) >= wg.G.N() || t.Unreachable(int(r)) {
+			continue
+		}
+		cost += t.Dist[r]
+		reachable++
+	}
+	return cost, reachable
+}
