@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz results results-paper report clean
+.PHONY: all check build vet test race race-all bench bench-all fuzz results results-paper report clean
 
 all: build vet test
+
+# The default pre-commit gate: build, vet, full test suite, and a race pass
+# over the concurrent packages (engine + scheduler).
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -15,10 +19,26 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-detect the packages that spawn goroutines (measurement workers,
+# ensemble networks, experiment scheduler). race-all covers everything but
+# takes several times longer.
 race:
+	$(GO) test -race ./internal/mcast/... ./internal/experiments/...
+
+race-all:
 	$(GO) test -race ./...
 
+# Record the engine benchmarks as machine-readable JSON. BENCH_1.json is the
+# committed perf-trajectory point for this engine generation; bump the suffix
+# when recording a new point so history stays comparable.
+BENCH_JSON ?= BENCH_1.json
+
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMeasureCurve$$|BenchmarkMeasureCurveNested$$' \
+		-benchmem -count 1 . | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	@cat $(BENCH_JSON)
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Short fuzzing passes over the two parsers.

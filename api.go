@@ -77,6 +77,17 @@ func GenerateTopologySeeded(name string, seed int64, scale float64) (*Topology, 
 	return topology.GenerateSeeded(name, seed, scale)
 }
 
+// GenerateTopologyCached is GenerateTopologySeeded behind a process-wide
+// generation cache: repeated requests for the same (name, seed, scale)
+// return the identical immutable *Topology, and concurrent first requests
+// share one build (singleflight).
+func GenerateTopologyCached(name string, seed int64, scale float64) (*Topology, error) {
+	return topology.GenerateCached(name, seed, scale)
+}
+
+// ResetTopologyCache drops every memoized topology instance.
+func ResetTopologyCache() { topology.ResetCache() }
+
 // GNP generates an Erdős–Rényi G(n,p) graph's giant component.
 func GNP(n int, p float64, seed int64) (*Topology, error) { return topology.GNP(n, p, seed) }
 
@@ -136,6 +147,14 @@ const (
 // MeasureCurve runs the §2 protocol on g over the given group sizes.
 func MeasureCurve(g *Topology, sizes []int, mode Mode, p Protocol) ([]Point, error) {
 	return mcast.MeasureCurve(g, sizes, mode, p)
+}
+
+// MeasureCurveNested is the incremental fast path of the §2 protocol: one
+// receiver sequence per (source, repetition), grown link by link, read off
+// at every grid size. Statistically equivalent to MeasureCurve and roughly
+// GridPoints× cheaper; also reachable via Protocol.Nested.
+func MeasureCurveNested(g *Topology, sizes []int, mode Mode, p Protocol) ([]Point, error) {
+	return mcast.MeasureCurveNested(g, sizes, mode, p)
 }
 
 // LogSpacedSizes returns up to count group sizes spanning [1, max],
@@ -347,6 +366,17 @@ func ExperimentIDs() []string { return experiments.IDs() }
 
 // RunExperiment reproduces one paper table or figure.
 func RunExperiment(id string, p Profile) (*Result, error) { return experiments.Run(id, p) }
+
+// ExperimentStats is one scheduled experiment's result plus wall-clock and
+// allocation cost.
+type ExperimentStats = experiments.RunStats
+
+// RunExperiments executes experiments concurrently with up to `parallel`
+// workers (0 = all cores) and returns stats in input order — the scheduler
+// behind `mtsim -parallel`.
+func RunExperiments(ids []string, p Profile, parallel int) ([]ExperimentStats, error) {
+	return experiments.RunMany(ids, p, parallel)
+}
 
 // WriteReport runs every experiment under the profile and writes a
 // consolidated Markdown report (the automated skeleton of EXPERIMENTS.md).

@@ -98,16 +98,36 @@ func BenchmarkSteinerTree(b *testing.B) {
 // --- Engine-scale benchmarks -------------------------------------------
 
 // BenchmarkMeasureCurve benchmarks the §2 protocol end to end on one
-// mid-size transit-stub network.
+// mid-size transit-stub network, at the default (medium) profile's grid
+// density of 16 group sizes per curve.
 func BenchmarkMeasureCurve(b *testing.B) {
 	g, err := mtreescale.TransitStubSized(1000, 3.6, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	sizes := mtreescale.LogSpacedSizes(500, 8)
+	sizes := mtreescale.LogSpacedSizes(500, 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mtreescale.MeasureCurve(g, sizes, mtreescale.Distinct,
+			mtreescale.Protocol{NSource: 10, NRcvr: 10, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureCurveNested benchmarks the incremental nested-growth
+// engine on the exact BenchmarkMeasureCurve workload — the headline speedup
+// of the engine (one grown permutation per repetition instead of one
+// independent receiver set per grid size).
+func BenchmarkMeasureCurveNested(b *testing.B) {
+	g, err := mtreescale.TransitStubSized(1000, 3.6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := mtreescale.LogSpacedSizes(500, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtreescale.MeasureCurveNested(g, sizes, mtreescale.Distinct,
 			mtreescale.Protocol{NSource: 10, NRcvr: 10, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}

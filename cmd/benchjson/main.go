@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout — the format of the repo's
+// committed BENCH_N.json perf-trajectory points (see `make bench`).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark identifier without the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is the reported B/op (requires -benchmem; -1 when absent).
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is the reported allocs/op (requires -benchmem; -1 when
+	// absent).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	// Goos/Goarch/CPU echo the bench header when present.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks lists every parsed result in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return doc, nil
+}
+
+// parseLine parses one result line, e.g.
+//
+//	BenchmarkMeasureCurve-8   100   11183044 ns/op   75060 B/op   913 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !isNumber(fields[1]) {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Procs: 1, BytesPerOp: -1, AllocsPerOp: -1}
+	b.Name = fields[0]
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	b.Name = strings.TrimPrefix(b.Name, "Benchmark")
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+func isNumber(s string) bool {
+	_, err := strconv.ParseInt(s, 10, 64)
+	return err == nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const canned = `goos: linux
+goarch: amd64
+pkg: mtreescale
+cpu: AMD EPYC 7B13
+BenchmarkMeasureCurve-8           	     100	  11183044 ns/op	   75060 B/op	     913 allocs/op
+BenchmarkMeasureCurveNested-8     	     500	   2210033 ns/op	   12345 B/op	      97 allocs/op
+BenchmarkTopologyGeneration/arpa-8	    2000	    523441 ns/op
+PASS
+ok  	mtreescale	12.345s
+`
+
+func TestParseCanned(t *testing.T) {
+	doc, err := parse(strings.NewReader(canned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("want 3 benchmarks, got %d: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "MeasureCurve" || b.Procs != 8 || b.Iterations != 100 {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if b.NsPerOp != 11183044 || b.BytesPerOp != 75060 || b.AllocsPerOp != 913 {
+		t.Fatalf("first benchmark metrics: %+v", b)
+	}
+	if doc.Benchmarks[1].Name != "MeasureCurveNested" {
+		t.Fatalf("second benchmark: %+v", doc.Benchmarks[1])
+	}
+	// No -benchmem columns on the sub-benchmark line.
+	sub := doc.Benchmarks[2]
+	if sub.Name != "TopologyGeneration/arpa" || sub.BytesPerOp != -1 || sub.AllocsPerOp != -1 {
+		t.Fatalf("sub-benchmark: %+v", sub)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok mtreescale 0.1s\n")); err == nil {
+		t.Fatal("no benchmark lines must error")
+	}
+}
+
+func TestParseSkipsNonResultBenchmarkLines(t *testing.T) {
+	// `-v` runs interleave RUN/PASS markers; only result lines must parse.
+	in := `BenchmarkMeasureCurve
+BenchmarkMeasureCurve-8   	     100	  11183044 ns/op
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Iterations != 100 {
+		t.Fatalf("benchmarks: %+v", doc.Benchmarks)
+	}
+}

@@ -5,10 +5,17 @@
 //	mtsim -list
 //	mtsim -experiment fig1a [-profile quick|medium|paper] [-format ascii|csv|gnuplot|notes]
 //	mtsim -experiment all -out results/
+//	mtsim -experiment all -parallel 0 -out results/   # use every core
 //
 // With -out, each experiment writes <id>.csv, <id>.gp (gnuplot) and
 // <id>.txt (ASCII + notes) into the directory; without it, the selected
 // format prints to stdout.
+//
+// -parallel N runs independent experiments concurrently on up to N workers
+// (0 = all cores); output and files stay in paper order, and a per-
+// experiment wall-clock/allocation summary is appended. -nested switches
+// the simulation figures to the incremental nested-growth engine
+// (statistically equivalent, roughly GridPoints× less tree-walk work).
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"path/filepath"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	mtreescale "mtreescale"
 )
@@ -42,6 +50,8 @@ func run(args []string, out io.Writer) error {
 		outDir     = fs.String("out", "", "write <id>.csv/.gp/.txt into this directory")
 		width      = fs.Int("width", 72, "ASCII plot width")
 		height     = fs.Int("height", 24, "ASCII plot height")
+		parallel   = fs.Int("parallel", 1, "run independent experiments on up to N workers (0 = all cores); output stays in paper order")
+		nested     = fs.Bool("nested", false, "use the incremental nested-growth engine for simulation figures (statistically equivalent, faster)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +80,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	p.Nested = *nested
 	if *report {
 		return mtreescale.WriteReport(out, p)
 	}
@@ -77,21 +88,59 @@ func run(args []string, out io.Writer) error {
 	if *experiment == "all" {
 		ids = mtreescale.ExperimentIDs()
 	}
+	if *parallel != 1 {
+		return runScheduled(out, ids, p, *parallel, *format, *outDir, *width, *height)
+	}
 	for _, id := range ids {
 		res, err := mtreescale.RunExperiment(id, p)
 		if err != nil {
 			return err
 		}
-		if *outDir != "" {
-			if err := writeAll(*outDir, res, *width, *height); err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "wrote %s (%s)\n", id, res.Title)
-			continue
-		}
-		if err := render(out, res, *format, *width, *height); err != nil {
+		if err := emit(out, res, *format, *outDir, *width, *height); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// emit writes one result either into the output directory or to out in the
+// selected format.
+func emit(out io.Writer, res *mtreescale.Result, format, outDir string, w, h int) error {
+	if outDir != "" {
+		if err := writeAll(outDir, res, w, h); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%s)\n", res.ID, res.Title)
+		return nil
+	}
+	return render(out, res, format, w, h)
+}
+
+// runScheduled executes the experiments on the parallel scheduler and emits
+// results — and a wall-clock/allocation summary — in paper order.
+func runScheduled(out io.Writer, ids []string, p mtreescale.Profile, parallel int, format, outDir string, w, h int) error {
+	start := time.Now()
+	stats, err := mtreescale.RunExperiments(ids, p, parallel)
+	if err != nil {
+		return err
+	}
+	total := time.Since(start)
+	for _, st := range stats {
+		if err := emit(out, st.Result, format, outDir, w, h); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "# schedule: %d experiments, parallel=%d, profile=%s, total wall %.2fs\n",
+		len(stats), parallel, p.Name, total.Seconds())
+	var sumWall time.Duration
+	for _, st := range stats {
+		fmt.Fprintf(out, "# %-20s wall %8.2fs  alloc %8.1f MB\n",
+			st.ID, st.Wall.Seconds(), float64(st.AllocBytes)/(1<<20))
+		sumWall += st.Wall
+	}
+	if len(stats) > 1 {
+		fmt.Fprintf(out, "# sum of experiment wall clocks %.2fs (speedup ×%.2f)\n",
+			sumWall.Seconds(), sumWall.Seconds()/total.Seconds())
 	}
 	return nil
 }

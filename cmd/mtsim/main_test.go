@@ -107,6 +107,58 @@ func TestFigureFormats(t *testing.T) {
 	}
 }
 
+func TestParallelSchedulerOutDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "all", "-profile", "quick", "-parallel", "0", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Files and "wrote" lines must appear for every experiment, in paper
+	// order, with the stats summary appended.
+	if _, err := os.Stat(filepath.Join(dir, "fig1a.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1.txt")); err != nil {
+		t.Fatal(err)
+	}
+	t1 := strings.Index(out, "wrote table1")
+	f1 := strings.Index(out, "wrote fig1a")
+	f9 := strings.Index(out, "wrote fig9b")
+	if t1 < 0 || f1 < 0 || f9 < 0 || !(t1 < f1 && f1 < f9) {
+		t.Fatalf("output not in paper order:\n%s", out)
+	}
+	if !strings.Contains(out, "# schedule:") || !strings.Contains(out, "wall") {
+		t.Fatalf("missing stats summary:\n%s", out)
+	}
+}
+
+func TestParallelSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "fig8", "-profile", "quick", "-parallel", "4", "-format", "notes"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# schedule: 1 experiments") {
+		t.Fatalf("missing schedule summary:\n%s", buf.String())
+	}
+}
+
+func TestNestedFlag(t *testing.T) {
+	var base, nested bytes.Buffer
+	if err := run([]string{"-experiment", "fig1a", "-profile", "quick", "-format", "csv"}, &base); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-experiment", "fig1a", "-profile", "quick", "-format", "csv", "-nested"}, &nested); err != nil {
+		t.Fatal(err)
+	}
+	if base.Len() == 0 || nested.Len() == 0 {
+		t.Fatal("empty curve output")
+	}
+	if base.String() == nested.String() {
+		t.Fatal("-nested did not switch the sampling engine")
+	}
+}
+
 func TestOutDirectory(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer

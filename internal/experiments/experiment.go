@@ -32,6 +32,12 @@ type Profile struct {
 	// MaxGroupSize caps the largest m/n measured on simulation-based
 	// figures (0 = population limit).
 	MaxGroupSize int
+	// Nested runs the simulation figures through the incremental
+	// nested-growth engine (mcast.MeasureCurveNested): statistically
+	// equivalent to the paper's independent-sets protocol, roughly
+	// GridPoints× less tree-walk work. Off by default so the default
+	// outputs stay paper-faithful bit for bit.
+	Nested bool
 }
 
 // Validate checks profile sanity.
@@ -196,11 +202,14 @@ func Run(id string, p Profile) (*Result, error) {
 	return res, nil
 }
 
-// buildTopologies generates the named standard topologies at profile scale.
+// buildTopologies fetches the named standard topologies at profile scale
+// through the generation cache, so experiments sharing a profile (table1,
+// fig1a, fig6a, ...) reuse one instance per (name, seed, scale) instead of
+// regenerating identical graphs.
 func buildTopologies(names []string, p Profile) ([]*graph.Graph, error) {
 	out := make([]*graph.Graph, 0, len(names))
 	for _, name := range names {
-		g, err := topology.GenerateSeeded(name, 0, p.Scale)
+		g, err := topology.GenerateCached(name, 0, p.Scale)
 		if err != nil {
 			return nil, err
 		}

@@ -47,7 +47,7 @@ func init() {
 }
 
 func runExtShared(p Profile) (*Result, error) {
-	g, err := topology.GenerateSeeded("ts1000", 0, p.Scale)
+	g, err := topology.GenerateCached("ts1000", 0, p.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +87,7 @@ func runExtShared(p Profile) (*Result, error) {
 }
 
 func runExtSteiner(p Profile) (*Result, error) {
-	g, err := topology.GenerateSeeded("ts1000", 0, p.Scale)
+	g, err := topology.GenerateCached("ts1000", 0, p.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +171,7 @@ func runExtEnsemble(p Profile) (*Result, error) {
 		return topology.TransitStubSized(scaledNodes(1000, p.Scale), 3.6, seed)
 	}
 	sizes := mcast.LogSpacedSizes(p.capSize(scaledNodes(1000, p.Scale)/2), p.GridPoints)
-	prot := mcast.Protocol{NSource: p.NSource/2 + 1, NRcvr: p.NRcvr/2 + 1, Seed: p.Seed}
+	prot := mcast.Protocol{NSource: p.NSource/2 + 1, NRcvr: p.NRcvr/2 + 1, Seed: p.Seed, Nested: p.Nested}
 	nNetworks := 5
 	pts, err := mcast.MeasureEnsemble(gen, nNetworks, sizes, mcast.Distinct, prot)
 	if err != nil {

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunStats is one scheduled experiment's result plus its execution cost.
+type RunStats struct {
+	// ID is the experiment identifier.
+	ID string
+	// Result is the experiment output (nil when Err is set).
+	Result *Result
+	// Wall is the experiment's wall-clock duration.
+	Wall time.Duration
+	// AllocBytes is the heap allocated while the experiment ran. It is
+	// exact for a sequential schedule (parallel == 1); under a parallel
+	// schedule the counter is process-global, so concurrent experiments'
+	// allocations bleed into each other and the value is approximate.
+	AllocBytes uint64
+	// Err is the experiment's failure, if any.
+	Err error
+}
+
+// RunMany executes the given experiments concurrently with up to `parallel`
+// workers (0 or negative means GOMAXPROCS) and returns their stats in input
+// order — the scheduler that lets `mtsim -parallel` exploit independent
+// experiments while keeping deterministic, paper-order output. Every
+// experiment runs even if an earlier one fails; the first failure in input
+// order is returned as the error alongside the full stats slice.
+func RunMany(ids []string, p Profile, parallel int) ([]RunStats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(ids) {
+		parallel = len(ids)
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	stats := make([]RunStats, len(ids))
+	jobs := make(chan int, len(ids))
+	for i := range ids {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ms0, ms1 runtime.MemStats
+			for i := range jobs {
+				runtime.ReadMemStats(&ms0)
+				start := time.Now()
+				res, err := Run(ids[i], p)
+				wall := time.Since(start)
+				runtime.ReadMemStats(&ms1)
+				stats[i] = RunStats{
+					ID:         ids[i],
+					Result:     res,
+					Wall:       wall,
+					AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+					Err:        err,
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range stats {
+		if stats[i].Err != nil {
+			return stats, fmt.Errorf("experiments: schedule: %w", stats[i].Err)
+		}
+	}
+	return stats, nil
+}

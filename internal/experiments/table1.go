@@ -29,7 +29,7 @@ func runTable1(p Profile) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		g, err := topology.GenerateSeeded(name, 0, p.Scale)
+		g, err := topology.GenerateCached(name, 0, p.Scale)
 		if err != nil {
 			return nil, err
 		}

@@ -98,6 +98,62 @@ func BenchmarkAblationDistinctRejection(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationDistinctSmallM exercises Floyd's path (m ≪ M), where the
+// per-draw map[int32]bool the sampler used to allocate dominated the cost;
+// the epoch-stamped scratch set makes the draw allocation-free (compare
+// allocs/op against BenchmarkAblationDistinctSmallMRejection).
+func BenchmarkAblationDistinctSmallM(b *testing.B) {
+	smp, err := NewSampler(2000, -1, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = smp.Distinct(50, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDistinctSmallMRejection: the rejection reference at the
+// same small m, also on the epoch-stamped scratch set.
+func BenchmarkAblationDistinctSmallMRejection(b *testing.B) {
+	smp, err := NewSampler(2000, -1, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = smp.DistinctRejection(50, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPermutation: the nested engine's ordered draw at high m —
+// O(m) via the sparse Fisher-Yates, allocation-free.
+func BenchmarkAblationPermutation(b *testing.B) {
+	smp, err := NewSampler(2000, -1, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = smp.Permutation(1500, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationSPTReuse: one BFS per source shared across receiver sets
 // (production path inside MeasureCurve).
 func BenchmarkAblationSPTReuse(b *testing.B) {

@@ -3,6 +3,8 @@ package mcast
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"mtreescale/internal/graph"
 	"mtreescale/internal/rng"
@@ -14,6 +16,12 @@ import (
 // topology instance from a seed; the protocol then averages MeasureCurve
 // results across nNetworks instances, weighting each instance's point by
 // its sample count.
+//
+// Networks are generated and measured concurrently — gen must therefore be
+// safe to call from multiple goroutines (the standard generators are). The
+// protocol's Workers budget is split between the network level and each
+// inner MeasureCurve, and the reduction runs in network order, so results
+// are deterministic and identical to a sequential run.
 func MeasureEnsemble(gen func(seed int64) (*graph.Graph, error), nNetworks int, sizes []int, mode Mode, p Protocol) ([]Point, error) {
 	if gen == nil {
 		return nil, fmt.Errorf("mcast: nil generator")
@@ -24,22 +32,61 @@ func MeasureEnsemble(gen func(seed int64) (*graph.Graph, error), nNetworks int, 
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	budget := p.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	netWorkers := budget
+	if netWorkers > nNetworks {
+		netWorkers = nNetworks
+	}
+	inner := budget / netWorkers
+	if inner < 1 {
+		inner = 1
+	}
+	perNet := make([][]Point, nNetworks)
+	netErrs := make([]error, nNetworks)
+	nets := make(chan int, nNetworks)
+	for net := 0; net < nNetworks; net++ {
+		nets <- net
+	}
+	close(nets)
+	var wg sync.WaitGroup
+	for w := 0; w < netWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for net := range nets {
+				g, err := gen(rng.Split(p.Seed, int64(net)))
+				if err != nil {
+					netErrs[net] = fmt.Errorf("mcast: generating network %d: %w", net, err)
+					return
+				}
+				q := p
+				q.Seed = rng.Split(p.Seed, int64(1000000+net))
+				q.Workers = inner
+				pts, err := MeasureCurve(g, sizes, mode, q)
+				if err != nil {
+					netErrs[net] = fmt.Errorf("mcast: measuring network %d: %w", net, err)
+					return
+				}
+				perNet[net] = pts
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range netErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	acc := make([]Point, len(sizes))
 	for k := range acc {
 		acc[k].Size = sizes[k]
 	}
+	// Weighted reduction in network order: deterministic float result.
 	for net := 0; net < nNetworks; net++ {
-		g, err := gen(rng.Split(p.Seed, int64(net)))
-		if err != nil {
-			return nil, fmt.Errorf("mcast: generating network %d: %w", net, err)
-		}
-		q := p
-		q.Seed = rng.Split(p.Seed, int64(1000000+net))
-		pts, err := MeasureCurve(g, sizes, mode, q)
-		if err != nil {
-			return nil, fmt.Errorf("mcast: measuring network %d: %w", net, err)
-		}
-		for k, pt := range pts {
+		for k, pt := range perNet[net] {
 			w := float64(pt.Samples)
 			acc[k].MeanRatio += pt.MeanRatio * w
 			acc[k].MeanLinks += pt.MeanLinks * w

@@ -3,6 +3,7 @@ package mcast
 import (
 	"errors"
 	"math"
+	"sync"
 	"testing"
 
 	"mtreescale/internal/graph"
@@ -34,19 +35,43 @@ func TestMeasureEnsembleBasic(t *testing.T) {
 }
 
 func TestMeasureEnsembleUsesDistinctNetworks(t *testing.T) {
-	var seeds []int64
+	// Networks are generated concurrently, so gen guards its record.
+	var mu sync.Mutex
+	seeds := map[int64]bool{}
 	gen := func(seed int64) (*graph.Graph, error) {
-		seeds = append(seeds, seed)
+		mu.Lock()
+		seeds[seed] = true
+		mu.Unlock()
 		return topology.TransitStubSized(100, 3.6, seed)
 	}
 	if _, err := MeasureEnsemble(gen, 3, []int{2}, Distinct, Protocol{NSource: 2, NRcvr: 2, Seed: 9}); err != nil {
 		t.Fatal(err)
 	}
 	if len(seeds) != 3 {
-		t.Fatalf("generator called %d times", len(seeds))
+		t.Fatalf("generator seeds not distinct: %v", seeds)
 	}
-	if seeds[0] == seeds[1] || seeds[1] == seeds[2] {
-		t.Fatalf("network seeds not distinct: %v", seeds)
+}
+
+func TestMeasureEnsembleDeterministicAcrossWorkers(t *testing.T) {
+	gen := func(seed int64) (*graph.Graph, error) {
+		return topology.TransitStubSized(120, 3.6, seed)
+	}
+	var ref []Point
+	for _, workers := range []int{1, 2, 8} {
+		pts, err := MeasureEnsemble(gen, 5, []int{1, 8, 30}, Distinct,
+			Protocol{NSource: 4, NRcvr: 4, Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = pts
+			continue
+		}
+		for i := range pts {
+			if pts[i] != ref[i] {
+				t.Fatalf("workers=%d point %d: %+v vs %+v", workers, i, pts[i], ref[i])
+			}
+		}
 	}
 }
 

@@ -27,6 +27,12 @@ type Protocol struct {
 	// Workers bounds the number of concurrent source workers;
 	// 0 means GOMAXPROCS.
 	Workers int
+	// Nested routes MeasureCurve through the incremental nested-growth
+	// engine (MeasureCurveNested): one receiver permutation per repetition,
+	// grown link by link, read off at every grid size. Statistically
+	// equivalent to the independent-sets protocol and roughly GridPoints×
+	// cheaper; the paper-faithful reference path is Nested == false.
+	Nested bool
 }
 
 // Validate checks protocol sanity.
@@ -91,11 +97,34 @@ func (m Mode) String() string {
 // fixed Protocol regardless of scheduling, because each source draw has its
 // own derived RNG stream and partial sums are reduced in source order.
 func MeasureCurve(g *graph.Graph, sizes []int, mode Mode, p Protocol) ([]Point, error) {
-	if err := p.Validate(); err != nil {
+	if p.Nested {
+		return MeasureCurveNested(g, sizes, mode, p)
+	}
+	if err := validateCurveArgs(g, sizes, mode, p); err != nil {
 		return nil, err
 	}
+	sources := drawSources(g, p)
+	acc := newCurveAccum(p.NSource, len(sizes))
+	err := runSourceWorkers(p, func(si int) error {
+		return measureSourceIndependent(g, sources[si], si, sizes, mode, p, acc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return acc.reduce(sizes), nil
+}
+
+// validateCurveArgs is the shared argument check of the independent and
+// nested curve engines.
+func validateCurveArgs(g *graph.Graph, sizes []int, mode Mode, p Protocol) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if mode != Distinct && mode != WithReplacement {
+		return fmt.Errorf("mcast: unknown mode %v", mode)
+	}
 	if g.N() < 2 {
-		return nil, fmt.Errorf("mcast: graph too small (N=%d)", g.N())
+		return fmt.Errorf("mcast: graph too small (N=%d)", g.N())
 	}
 	maxPop := g.N()
 	if !p.IncludeSource {
@@ -103,120 +132,74 @@ func MeasureCurve(g *graph.Graph, sizes []int, mode Mode, p Protocol) ([]Point, 
 	}
 	for _, s := range sizes {
 		if s <= 0 {
-			return nil, fmt.Errorf("mcast: group size %d must be positive", s)
+			return fmt.Errorf("mcast: group size %d must be positive", s)
 		}
 		if mode == Distinct && s > maxPop {
-			return nil, fmt.Errorf("mcast: m=%d exceeds receiver population %d", s, maxPop)
+			return fmt.Errorf("mcast: m=%d exceeds receiver population %d", s, maxPop)
 		}
 	}
+	return nil
+}
 
-	// Pre-draw the source sequence deterministically.
+// drawSources pre-draws the protocol's source sequence deterministically.
+func drawSources(g *graph.Graph, p Protocol) []int {
 	srcRand := rng.NewChild(p.Seed, -1)
 	sources := make([]int, p.NSource)
 	for i := range sources {
 		sources[i] = srcRand.Intn(g.N())
 	}
+	return sources
+}
 
-	type partial struct {
-		ratioSum, ratioSq  []float64
-		linkSum, unicastSm []float64
-		samples            []int
-	}
-	partials := make([]*partial, p.NSource)
+// curveAccum holds per-(source, size) partial sums in contiguous slabs:
+// four float64 slabs and one int slab, each indexed [si*K + k]. One up-front
+// allocation replaces five small slices per source job, and the reduction
+// walks the slabs in source order so the float result is deterministic
+// regardless of worker scheduling.
+type curveAccum struct {
+	K                                      int
+	ratioSum, ratioSq, linkSum, unicastSum []float64
+	samples                                []int
+}
 
-	workers := p.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+func newCurveAccum(nSource, K int) *curveAccum {
+	slab := make([]float64, 4*nSource*K)
+	return &curveAccum{
+		K:          K,
+		ratioSum:   slab[0 : nSource*K],
+		ratioSq:    slab[nSource*K : 2*nSource*K],
+		linkSum:    slab[2*nSource*K : 3*nSource*K],
+		unicastSum: slab[3*nSource*K : 4*nSource*K],
+		samples:    make([]int, nSource*K),
 	}
-	if workers > p.NSource {
-		workers = p.NSource
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var spt graph.SPT
-			counter := NewTreeCounter(g.N())
-			var recv []int32
-			for si := range jobs {
-				pt := &partial{
-					ratioSum:  make([]float64, len(sizes)),
-					ratioSq:   make([]float64, len(sizes)),
-					linkSum:   make([]float64, len(sizes)),
-					unicastSm: make([]float64, len(sizes)),
-					samples:   make([]int, len(sizes)),
-				}
-				partials[si] = pt
-				src := sources[si]
-				if err := g.BFSInto(src, &spt); err != nil {
-					errs[w] = err
-					return
-				}
-				exclude := src
-				if p.IncludeSource {
-					exclude = -1
-				}
-				r := rng.NewChild(p.Seed, int64(si))
-				smp, err := NewSampler(g.N(), exclude, r)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				for k, size := range sizes {
-					for rep := 0; rep < p.NRcvr; rep++ {
-						switch mode {
-						case Distinct:
-							recv, err = smp.Distinct(size, recv)
-						case WithReplacement:
-							recv, err = smp.WithReplacement(size, recv)
-						default:
-							err = fmt.Errorf("mcast: unknown mode %v", mode)
-						}
-						if err != nil {
-							errs[w] = err
-							return
-						}
-						meas := counter.Measure(&spt, recv)
-						if meas.Receivers == 0 {
-							continue // source in a tiny component; skip sample
-						}
-						ratio := meas.Ratio()
-						pt.ratioSum[k] += ratio
-						pt.ratioSq[k] += ratio * ratio
-						pt.linkSum[k] += float64(meas.Links)
-						pt.unicastSm[k] += meas.AvgUnicast()
-						pt.samples[k]++
-					}
-				}
-			}
-		}(w)
-	}
-	for si := 0; si < p.NSource; si++ {
-		jobs <- si
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
+}
 
-	// Sequential reduction in source order: deterministic float result.
+// add records one sample for source index si at size index k. Distinct
+// sources never share a slab cell, so concurrent workers need no locking.
+func (a *curveAccum) add(si, k int, ratio, links, unicast float64) {
+	i := si*a.K + k
+	a.ratioSum[i] += ratio
+	a.ratioSq[i] += ratio * ratio
+	a.linkSum[i] += links
+	a.unicastSum[i] += unicast
+	a.samples[i]++
+}
+
+// reduce aggregates the slabs into one Point per size, reducing in source
+// order for a deterministic float result.
+func (a *curveAccum) reduce(sizes []int) []Point {
+	nSource := len(a.samples) / a.K
 	points := make([]Point, len(sizes))
 	for k := range sizes {
 		var links, unicast, ratioSum, ratioSq float64
 		n := 0
-		for si := 0; si < p.NSource; si++ {
-			pt := partials[si]
-			links += pt.linkSum[k]
-			unicast += pt.unicastSm[k]
-			ratioSum += pt.ratioSum[k]
-			ratioSq += pt.ratioSq[k]
-			n += pt.samples[k]
+		for si := 0; si < nSource; si++ {
+			i := si*a.K + k
+			links += a.linkSum[i]
+			unicast += a.unicastSum[i]
+			ratioSum += a.ratioSum[i]
+			ratioSq += a.ratioSq[i]
+			n += a.samples[i]
 		}
 		points[k] = Point{Size: sizes[k], Samples: n}
 		if n > 0 {
@@ -233,7 +216,112 @@ func MeasureCurve(g *graph.Graph, sizes []int, mode Mode, p Protocol) ([]Point, 
 			}
 		}
 	}
-	return points, nil
+	return points
+}
+
+// runSourceWorkers fans p.NSource source jobs out over the protocol's worker
+// pool. The jobs channel is buffered to NSource so a worker that returns
+// early on error can never strand the feed loop mid-send (the deadlock a
+// failing source used to cause with an unbuffered channel).
+func runSourceWorkers(p Protocol, job func(si int) error) error {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > p.NSource {
+		workers = p.NSource
+	}
+	jobs := make(chan int, p.NSource)
+	for si := 0; si < p.NSource; si++ {
+		jobs <- si
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for si := range jobs {
+				if err := job(si); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sourceScratch is the per-worker reusable state of the curve engines: the
+// shortest-path tree, the tree counter, the sampler (Reset per source), and
+// the receiver buffer. Pooling it means steady-state measurement performs no
+// per-source allocation beyond the RNG stream.
+type sourceScratch struct {
+	spt     graph.SPT
+	counter *TreeCounter
+	smp     Sampler
+	recv    []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return &sourceScratch{} }}
+
+func getScratch(n int) *sourceScratch {
+	sc := scratchPool.Get().(*sourceScratch)
+	if sc.counter == nil || len(sc.counter.visited) < n {
+		sc.counter = NewTreeCounter(n)
+	}
+	return sc
+}
+
+// prepare BFSes the source and resets the sampler for it.
+func (sc *sourceScratch) prepare(g *graph.Graph, src, si int, p Protocol) error {
+	if err := g.BFSInto(src, &sc.spt); err != nil {
+		return err
+	}
+	exclude := src
+	if p.IncludeSource {
+		exclude = -1
+	}
+	return sc.smp.Reset(g.N(), exclude, rng.NewChild(p.Seed, int64(si)))
+}
+
+// measureSourceIndependent runs the paper-faithful §2 inner loop for one
+// source: an independent receiver set per (size, repetition).
+func measureSourceIndependent(g *graph.Graph, src, si int, sizes []int, mode Mode, p Protocol, acc *curveAccum) error {
+	sc := getScratch(g.N())
+	defer scratchPool.Put(sc)
+	if err := sc.prepare(g, src, si, p); err != nil {
+		return err
+	}
+	var err error
+	for k, size := range sizes {
+		for rep := 0; rep < p.NRcvr; rep++ {
+			switch mode {
+			case Distinct:
+				sc.recv, err = sc.smp.Distinct(size, sc.recv)
+			case WithReplacement:
+				sc.recv, err = sc.smp.WithReplacement(size, sc.recv)
+			default:
+				err = fmt.Errorf("mcast: unknown mode %v", mode)
+			}
+			if err != nil {
+				return err
+			}
+			meas := sc.counter.Measure(&sc.spt, sc.recv)
+			if meas.Receivers == 0 {
+				continue // source in a tiny component; skip sample
+			}
+			acc.add(si, k, meas.Ratio(), float64(meas.Links), meas.AvgUnicast())
+		}
+	}
+	return nil
 }
 
 // LogSpacedSizes returns up to count distinct group sizes spanning [1, max],

@@ -1,0 +1,105 @@
+package mcast
+
+import (
+	"sort"
+
+	"mtreescale/internal/graph"
+)
+
+// MeasureCurveNested is the incremental fast path of the §2 protocol: where
+// MeasureCurve draws an independent receiver set for every (source, size,
+// repetition) triple, the nested engine draws ONE receiver sequence per
+// (source, repetition), grows the delivery tree receiver by receiver with
+// TreeCounter.Add (the paper's ΔL machinery, Eqs 5-6), and reads L, ū and
+// the ratio off at every grid size as the growth front passes it.
+//
+// Soundness: in Distinct mode the sequence is a uniform random ordering of a
+// uniform distinct maxM-subset (Sampler.Permutation), so every prefix of
+// length m is itself a uniform distinct m-sample; in WithReplacement mode
+// the sequence is i.i.d., so every prefix of length n is a valid n-draw.
+// Per-size means are therefore unbiased and distributed identically to the
+// independent protocol's; only the correlation *across* sizes differs
+// (nested samples share a growth sequence), which the per-size standard
+// errors do not consume. Tests assert agreement within 3 pooled standard
+// errors against the independent path.
+//
+// Cost: one tree walk of O(L(maxM)) per repetition replaces GridPoints
+// walks of O(L(size_k)) — an expected ~GridPoints× reduction in tree-walk
+// work on log-spaced grids — and one O(maxM) draw replaces GridPoints draws.
+//
+// Results are deterministic for a fixed Protocol regardless of Workers,
+// exactly like MeasureCurve.
+func MeasureCurveNested(g *graph.Graph, sizes []int, mode Mode, p Protocol) ([]Point, error) {
+	p.Nested = false // normalize: routing flag only, not consumed below
+	if err := validateCurveArgs(g, sizes, mode, p); err != nil {
+		return nil, err
+	}
+	cuts := sizeCuts(sizes)
+	maxSize := cuts[len(cuts)-1].size
+	sources := drawSources(g, p)
+	acc := newCurveAccum(p.NSource, len(sizes))
+	err := runSourceWorkers(p, func(si int) error {
+		return measureSourceNested(g, sources[si], si, cuts, maxSize, mode, p, acc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return acc.reduce(sizes), nil
+}
+
+// sizeCut maps a group size to its index in the caller's sizes slice.
+type sizeCut struct{ size, k int }
+
+// sizeCuts returns the grid sizes sorted ascending, remembering each one's
+// position in the input so results come back in input order. Duplicate sizes
+// each get their own cut (and thus identical samples).
+func sizeCuts(sizes []int) []sizeCut {
+	cuts := make([]sizeCut, len(sizes))
+	for k, s := range sizes {
+		cuts[k] = sizeCut{size: s, k: k}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i].size < cuts[j].size })
+	return cuts
+}
+
+// measureSourceNested runs the nested inner loop for one source: NRcvr
+// growth sequences, each measured at every cut.
+func measureSourceNested(g *graph.Graph, src, si int, cuts []sizeCut, maxSize int, mode Mode, p Protocol, acc *curveAccum) error {
+	sc := getScratch(g.N())
+	defer scratchPool.Put(sc)
+	if err := sc.prepare(g, src, si, p); err != nil {
+		return err
+	}
+	var err error
+	for rep := 0; rep < p.NRcvr; rep++ {
+		switch mode {
+		case Distinct:
+			sc.recv, err = sc.smp.Permutation(maxSize, sc.recv)
+		case WithReplacement:
+			sc.recv, err = sc.smp.WithReplacement(maxSize, sc.recv)
+		}
+		if err != nil {
+			return err
+		}
+		sc.counter.Begin(&sc.spt)
+		links := 0
+		var hops int64
+		reachable := 0
+		ci := 0
+		for j, r := range sc.recv {
+			links += sc.counter.Add(&sc.spt, r)
+			if r >= 0 && int(r) < len(sc.spt.Dist) && sc.spt.Dist[r] != graph.Unreachable {
+				hops += int64(sc.spt.Dist[r])
+				reachable++
+			}
+			for ci < len(cuts) && cuts[ci].size == j+1 {
+				if reachable > 0 {
+					m := Measurement{Links: links, UnicastHops: hops, Receivers: reachable}
+					acc.add(si, cuts[ci].k, m.Ratio(), float64(m.Links), m.AvgUnicast())
+				}
+				ci++
+			}
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package mcast
 
 import (
 	"fmt"
+	"math"
 
 	"mtreescale/internal/rng"
 )
@@ -9,30 +10,54 @@ import (
 // Sampler draws receiver sets from a site population. The population is
 // either all nodes of a graph except the source (the paper's general-network
 // experiments) or the leaves of a k-ary tree (§3).
+//
+// All scratch state (the distinct-draw shuffle buffer and the epoch-stamped
+// membership marks) is reused across draws and across Reset calls, so a
+// long-lived Sampler allocates nothing on the hot path. A Sampler is not
+// safe for concurrent use.
 type Sampler struct {
 	r rng.Source
 	// sites is the population to draw from.
 	sites []int32
-	// scratch for distinct sampling
+	// buf is scratch for the Fisher-Yates distinct path.
 	buf []int32
+	// mark implements an O(1)-clear scratch set over site indices:
+	// mark[i] == epoch means index i is stamped for the current draw.
+	mark  []int32
+	epoch int32
 }
 
 // NewSampler builds a sampler over the population {0..n-1} \ {exclude}.
 // Pass exclude < 0 to include every node.
 func NewSampler(n int, exclude int, r rng.Source) (*Sampler, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("mcast: sampler needs n > 0, got %d", n)
+	s := &Sampler{}
+	if err := s.Reset(n, exclude, r); err != nil {
+		return nil, err
 	}
-	sites := make([]int32, 0, n)
+	return s, nil
+}
+
+// Reset repopulates the sampler over {0..n-1} \ {exclude} with a new random
+// stream, reusing all internal scratch storage. It lets one Sampler serve
+// many (source, stream) pairs without per-source allocation.
+func (s *Sampler) Reset(n int, exclude int, r rng.Source) error {
+	if n <= 0 {
+		return fmt.Errorf("mcast: sampler needs n > 0, got %d", n)
+	}
+	if r == nil {
+		return fmt.Errorf("mcast: sampler needs a random source")
+	}
+	s.r = r
+	s.sites = s.sites[:0]
 	for v := 0; v < n; v++ {
 		if v != exclude {
-			sites = append(sites, int32(v))
+			s.sites = append(s.sites, int32(v))
 		}
 	}
-	if len(sites) == 0 {
-		return nil, fmt.Errorf("mcast: empty site population")
+	if len(s.sites) == 0 {
+		return fmt.Errorf("mcast: empty site population")
 	}
-	return &Sampler{r: r, sites: sites}, nil
+	return nil
 }
 
 // NewSiteSampler builds a sampler over an explicit site list (e.g. the
@@ -46,6 +71,24 @@ func NewSiteSampler(sites []int32, r rng.Source) (*Sampler, error) {
 
 // Population returns the number of candidate sites (the paper's M).
 func (s *Sampler) Population() int { return len(s.sites) }
+
+// stamp starts a new draw epoch, growing the mark array to the current
+// population if needed. Clearing the set is an integer increment; the array
+// is only re-zeroed on the (practically unreachable) epoch wrap.
+func (s *Sampler) stamp() {
+	M := len(s.sites)
+	if len(s.mark) < M {
+		s.mark = make([]int32, M)
+		s.epoch = 0
+	}
+	if s.epoch == math.MaxInt32 {
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 0
+	}
+	s.epoch++
+}
 
 // WithReplacement draws n sites uniformly with replacement (the paper's
 // L̄(n) protocol) into dst, growing it as needed, and returns it.
@@ -90,16 +133,43 @@ func (s *Sampler) Distinct(m int, dst []int32) ([]int32, error) {
 		return dst, nil
 	}
 	// Floyd's sampling: for j = M-m .. M-1 pick t in [0..j]; take t unless
-	// already taken, else take j. Uses a small set.
-	seen := make(map[int32]bool, m)
+	// already taken, else take j. The "taken" set is the epoch-stamped mark
+	// array, so the draw allocates nothing.
+	s.stamp()
 	for j := M - m; j < M; j++ {
 		t := int32(s.r.Intn(j + 1))
 		pick := t
-		if seen[pick] {
+		if s.mark[pick] == s.epoch {
 			pick = int32(j)
 		}
-		seen[pick] = true
+		s.mark[pick] = s.epoch
 		dst = append(dst, s.sites[pick])
+	}
+	return dst, nil
+}
+
+// Permutation draws m distinct sites in uniform random order: every prefix
+// of the result is itself a uniform distinct sample of its length. This is
+// the draw the nested-growth engine consumes — one Permutation(maxM) yields
+// valid L(m) samples for every m ≤ maxM at once.
+//
+// It runs a partial Fisher-Yates directly on the site array in O(m), no
+// copies or membership bookkeeping. The shuffle is destructive — sites is
+// left reordered — which is safe because every draw method is uniform over
+// the population regardless of its storage order, and a shuffled population
+// is still the same population.
+func (s *Sampler) Permutation(m int, dst []int32) ([]int32, error) {
+	sites := s.sites
+	M := len(sites)
+	if m < 0 || m > M {
+		return nil, fmt.Errorf("mcast: cannot draw %d distinct sites from %d", m, M)
+	}
+	dst = dst[:0]
+	r := s.r
+	for i := 0; i < m; i++ {
+		j := i + r.Intn(M-i)
+		sites[i], sites[j] = sites[j], sites[i]
+		dst = append(dst, sites[i])
 	}
 	return dst, nil
 }
@@ -112,13 +182,13 @@ func (s *Sampler) DistinctRejection(m int, dst []int32) ([]int32, error) {
 	if m < 0 || m > M {
 		return nil, fmt.Errorf("mcast: cannot draw %d distinct sites from %d", m, M)
 	}
-	seen := make(map[int32]bool, m)
+	s.stamp()
 	dst = dst[:0]
 	for len(dst) < m {
-		c := s.sites[s.r.Intn(M)]
-		if !seen[c] {
-			seen[c] = true
-			dst = append(dst, c)
+		idx := s.r.Intn(M)
+		if s.mark[idx] != s.epoch {
+			s.mark[idx] = s.epoch
+			dst = append(dst, s.sites[idx])
 		}
 	}
 	return dst, nil

@@ -186,6 +186,118 @@ func TestSiteSamplerCopiesInput(t *testing.T) {
 	}
 }
 
+func TestPermutationIsDistinct(t *testing.T) {
+	s, _ := NewSampler(40, 11, rng.New(6))
+	var buf []int32
+	for m := 0; m <= s.Population(); m++ {
+		var err error
+		buf, err = s.Permutation(m, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != m {
+			t.Fatalf("m=%d: got %d", m, len(buf))
+		}
+		seen := map[int32]bool{}
+		for _, v := range buf {
+			if seen[v] || v == 11 || v < 0 || v >= 40 {
+				t.Fatalf("m=%d: bad draw %d (dup=%v)", m, v, seen[v])
+			}
+			seen[v] = true
+		}
+	}
+	if _, err := s.Permutation(s.Population()+1, nil); err == nil {
+		t.Fatal("m > population must error")
+	}
+	if _, err := s.Permutation(-1, nil); err == nil {
+		t.Fatal("negative m must error")
+	}
+}
+
+func TestPermutationPrefixUniform(t *testing.T) {
+	// The defining property the nested engine relies on: every prefix of a
+	// Permutation draw is a uniform distinct sample. Check the frequency of
+	// each site inside the first `prefix` slots.
+	const n, prefix, trials = 20, 5, 20000
+	s, _ := NewSampler(n, -1, rng.New(10))
+	counts := make([]int, n)
+	var buf []int32
+	for trial := 0; trial < trials; trial++ {
+		var err error
+		buf, err = s.Permutation(n, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range buf[:prefix] {
+			counts[v]++
+		}
+	}
+	want := float64(trials*prefix) / n
+	for v, c := range counts {
+		if float64(c) < want*0.9 || float64(c) > want*1.1 {
+			t.Fatalf("site %d in prefix %d times, want ≈ %.0f", v, c, want)
+		}
+	}
+}
+
+func TestSamplerReset(t *testing.T) {
+	s, err := NewSampler(10, 2, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(6, 0, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Population() != 5 {
+		t.Fatalf("population after reset = %d", s.Population())
+	}
+	buf, err := s.Permutation(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range buf {
+		if v == 0 || v >= 6 {
+			t.Fatalf("reset population leaked site %d", v)
+		}
+	}
+	if err := s.Reset(0, -1, rng.New(1)); err == nil {
+		t.Fatal("n=0 reset must error")
+	}
+	if err := s.Reset(1, 0, rng.New(1)); err == nil {
+		t.Fatal("empty reset population must error")
+	}
+	if err := s.Reset(5, -1, nil); err == nil {
+		t.Fatal("nil source must error")
+	}
+}
+
+func TestSamplerDrawsDoNotAllocate(t *testing.T) {
+	// The epoch-stamped scratch set means steady-state draws are
+	// allocation-free on every path (Floyd, Fisher-Yates, permutation,
+	// rejection).
+	s, _ := NewSampler(1000, -1, rng.New(4))
+	buf := make([]int32, 0, 1000)
+	warm := func(f func()) float64 {
+		f() // grow scratch once
+		return testing.AllocsPerRun(20, f)
+	}
+	if n := warm(func() { buf, _ = s.Distinct(10, buf) }); n != 0 {
+		t.Fatalf("Floyd path allocates %.1f/op", n)
+	}
+	if n := warm(func() { buf, _ = s.Distinct(900, buf) }); n != 0 {
+		t.Fatalf("Fisher-Yates path allocates %.1f/op", n)
+	}
+	if n := warm(func() { buf, _ = s.Permutation(500, buf) }); n != 0 {
+		t.Fatalf("Permutation allocates %.1f/op", n)
+	}
+	if n := warm(func() { buf, _ = s.DistinctRejection(10, buf) }); n != 0 {
+		t.Fatalf("DistinctRejection allocates %.1f/op", n)
+	}
+	if n := warm(func() { buf, _ = s.WithReplacement(100, buf) }); n != 0 {
+		t.Fatalf("WithReplacement allocates %.1f/op", n)
+	}
+}
+
 func TestLogSpacedSizes(t *testing.T) {
 	sizes := LogSpacedSizes(1000, 10)
 	if len(sizes) == 0 || sizes[0] != 1 || sizes[len(sizes)-1] != 1000 {

@@ -1,0 +1,79 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+
+	"mtreescale/internal/graph"
+)
+
+// The generation cache memoizes standard-topology builds keyed by
+// (name, seed, scale). Graphs are immutable after Build, so handing the same
+// *graph.Graph to every caller is safe, and experiments that sweep the same
+// profile (table1, fig1a, fig6a, ...) stop paying for identical generator
+// runs. Entries carry singleflight semantics: concurrent requests for a
+// missing key block on one build instead of racing duplicates.
+
+type cacheKey struct {
+	name  string
+	seed  int64
+	scale float64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]*cacheEntry{}
+)
+
+// GenerateCached is GenerateSeeded behind the generation cache: repeated
+// requests for the same (name, seed, scale) return the identical *Graph
+// pointer, and concurrent first requests share one build. Builds are
+// deterministic, so errors are cached alongside graphs.
+func GenerateCached(name string, seed int64, scale float64) (*graph.Graph, error) {
+	s, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = s.DefaultSeed
+	}
+	if scale <= 0 || scale > 1 {
+		scale = 1 // normalize exactly like the builders do, so keys can't alias
+	}
+	key := cacheKey{name: name, seed: seed, scale: scale}
+	cacheMu.Lock()
+	e, ok := cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		cache[key] = e
+	}
+	cacheMu.Unlock()
+	e.once.Do(func() {
+		e.g, e.err = s.Build(seed, scale)
+		if e.err != nil {
+			e.err = fmt.Errorf("topology: generating %q: %w", name, e.err)
+		}
+	})
+	return e.g, e.err
+}
+
+// CacheSize reports the number of memoized (name, seed, scale) entries.
+func CacheSize() int {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return len(cache)
+}
+
+// ResetCache drops every memoized topology, releasing the graphs to the
+// garbage collector. Callers holding graph pointers are unaffected.
+func ResetCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	cache = map[cacheKey]*cacheEntry{}
+}

@@ -1,0 +1,130 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGenerateCachedPointerIdentity(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	a, err := GenerateCached("ts1000", 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCached("ts1000", 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("repeated (name, seed, scale) must return the identical graph pointer")
+	}
+	// The explicit default seed and seed 0 are the same key.
+	spec, err := Lookup("ts1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := GenerateCached("ts1000", spec.DefaultSeed, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatal("seed 0 and the default seed must share a cache entry")
+	}
+	if CacheSize() != 1 {
+		t.Fatalf("cache size = %d, want 1", CacheSize())
+	}
+}
+
+func TestGenerateCachedDistinctKeys(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	a, err := GenerateCached("ts1000", 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCached("ts1000", 99, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := GenerateCached("ts1000", 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a == c {
+		t.Fatal("different seed or scale must build different instances")
+	}
+	if CacheSize() != 3 {
+		t.Fatalf("cache size = %d, want 3", CacheSize())
+	}
+}
+
+func TestGenerateCachedMatchesUncached(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cached, err := GenerateCached("r100", 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := GenerateSeeded("r100", 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.N() != fresh.N() || cached.M() != fresh.M() {
+		t.Fatalf("cached build diverges: N=%d/%d M=%d/%d",
+			cached.N(), fresh.N(), cached.M(), fresh.M())
+	}
+}
+
+func TestGenerateCachedUnknownName(t *testing.T) {
+	if _, err := GenerateCached("nope", 0, 1); err == nil {
+		t.Fatal("unknown topology must error")
+	}
+}
+
+func TestGenerateCachedConcurrent(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	const goroutines = 16
+	graphs := make([]interface{}, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := GenerateCached("ts1000", 0, 0.1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			graphs[i] = g
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatal("concurrent requests must share the singleflight build")
+		}
+	}
+	if CacheSize() != 1 {
+		t.Fatalf("cache size = %d, want 1 (singleflight)", CacheSize())
+	}
+}
+
+func TestGenerateCachedNormalizesScale(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	// arpa ignores seed and scale entirely; out-of-range scales normalize to
+	// 1 so they cannot create aliased keys.
+	a, err := GenerateCached("arpa", 0, -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCached("arpa", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("normalized scales must share one entry")
+	}
+}
