@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-all bench bench-all fuzz results results-paper report clean
+.PHONY: all check build vet test race race-all bench bench-all bench-compare fuzz results results-paper report clean
 
 all: build vet test
 
@@ -20,26 +20,41 @@ test:
 	$(GO) test ./...
 
 # Race-detect the packages that spawn goroutines (measurement workers,
-# ensemble networks, experiment scheduler). race-all covers everything but
-# takes several times longer.
+# ensemble networks, experiment scheduler) and the shared caches (SPT cache,
+# topology generation cache). race-all covers everything but takes several
+# times longer.
 race:
-	$(GO) test -race ./internal/mcast/... ./internal/experiments/...
+	$(GO) test -race ./internal/graph/... ./internal/topology/... \
+		./internal/mcast/... ./internal/experiments/...
 
 race-all:
 	$(GO) test -race ./...
 
-# Record the engine benchmarks as machine-readable JSON. BENCH_1.json is the
-# committed perf-trajectory point for this engine generation; bump the suffix
-# when recording a new point so history stays comparable.
-BENCH_JSON ?= BENCH_1.json
+# Record the engine benchmarks as machine-readable JSON. BENCH_2.json is the
+# committed perf-trajectory point for this engine generation (hybrid BFS, SPT
+# cache, parallel shared curve); bump the suffix when recording a new point so
+# history stays comparable.
+BENCH_JSON ?= BENCH_2.json
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkMeasureCurve$$|BenchmarkMeasureCurveNested$$' \
-		-benchmem -count 1 . | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	{ $(GO) test -run '^$$' \
+		-bench 'BenchmarkMeasureCurve$$|BenchmarkMeasureCurveNested$$|BenchmarkMeasureCurveCached$$|BenchmarkMeasureSharedCurve$$' \
+		-benchmem -count 1 . ; \
+	  $(GO) test -run '^$$' \
+		-bench 'BenchmarkBFS50k$$|BenchmarkBFS50kSerial$$|BenchmarkBFS50kDense$$|BenchmarkBFS50kDenseSerial$$' \
+		-benchmem -count 1 ./internal/graph ; } | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@cat $(BENCH_JSON)
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Gate a new perf point against the previous one: per-benchmark ns/op deltas,
+# nonzero exit when anything shared slowed down by more than 10%.
+BENCH_OLD ?= BENCH_1.json
+BENCH_NEW ?= BENCH_2.json
+
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(BENCH_OLD) $(BENCH_NEW)
 
 # Short fuzzing passes over the two parsers.
 fuzz:

@@ -88,6 +88,30 @@ func GenerateTopologyCached(name string, seed int64, scale float64) (*Topology, 
 // ResetTopologyCache drops every memoized topology instance.
 func ResetTopologyCache() { topology.ResetCache() }
 
+// TopologyCacheStats snapshots the generation cache's size and hit counters.
+type TopologyCacheStats = topology.CacheStats
+
+// TopologyCacheInfo returns the generation cache's current statistics.
+func TopologyCacheInfo() TopologyCacheStats { return topology.CacheInfo() }
+
+// SetTopologyCacheLimit replaces the generation cache's byte budget
+// (evicting immediately if over) and returns the previous limit.
+func SetTopologyCacheLimit(maxBytes int64) int64 { return topology.SetCacheLimit(maxBytes) }
+
+// SPTCacheStats snapshots the process-wide shortest-path-tree cache.
+type SPTCacheStats = graph.SPTCacheStats
+
+// SPTCacheInfo returns the SPT cache's current statistics.
+func SPTCacheInfo() SPTCacheStats { return graph.SharedSPTs.Stats() }
+
+// SetSPTCacheLimit replaces the SPT cache's byte budget (evicting down to it
+// immediately) and returns the previous limit.
+func SetSPTCacheLimit(maxBytes int64) int64 { return graph.SharedSPTs.SetLimit(maxBytes) }
+
+// ResetSPTCache drops every cached shortest-path tree and zeroes the
+// counters.
+func ResetSPTCache() { graph.SharedSPTs.Clear() }
+
 // GNP generates an Erdős–Rényi G(n,p) graph's giant component.
 func GNP(n int, p float64, seed int64) (*Topology, error) { return topology.GNP(n, p, seed) }
 

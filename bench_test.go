@@ -134,6 +134,45 @@ func BenchmarkMeasureCurveNested(b *testing.B) {
 	}
 }
 
+// BenchmarkMeasureSharedCurve benchmarks the parallel shared-tree engine on
+// the BenchmarkMeasureCurve workload: per-source core-rooted trees measured
+// on every worker the host offers (Workers: 0).
+func BenchmarkMeasureSharedCurve(b *testing.B) {
+	g, err := mtreescale.TransitStubSized(1000, 3.6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := mtreescale.LogSpacedSizes(500, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtreescale.MeasureSharedCurve(g, sizes, mtreescale.CoreRandom,
+			mtreescale.Protocol{NSource: 10, NRcvr: 10, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureCurveCached benchmarks the BenchmarkMeasureCurve workload
+// with the process-wide SPT cache enabled and a fixed seed, so every
+// iteration past the first reuses the ten cached source trees — the steady
+// state of a sweep that revisits one cached topology.
+func BenchmarkMeasureCurveCached(b *testing.B) {
+	g, err := mtreescale.TransitStubSized(1000, 3.6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := mtreescale.LogSpacedSizes(500, 16)
+	mtreescale.ResetSPTCache()
+	b.Cleanup(mtreescale.ResetSPTCache)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtreescale.MeasureCurve(g, sizes, mtreescale.Distinct,
+			mtreescale.Protocol{NSource: 10, NRcvr: 10, Seed: 1, SPTCache: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkReachability benchmarks averaged S(r) measurement.
 func BenchmarkReachability(b *testing.B) {
 	g, err := mtreescale.TiersSized(5000, 1)

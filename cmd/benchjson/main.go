@@ -1,15 +1,24 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON document on stdout — the format of the repo's
-// committed BENCH_N.json perf-trajectory points (see `make bench`).
+// committed BENCH_N.json perf-trajectory points (see `make bench`) — and
+// compares two such documents for regressions.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_1.json
+//	benchjson -compare BENCH_1.json BENCH_2.json            # exit 1 on >10% regression
+//	benchjson -compare -threshold 5 BENCH_1.json BENCH_2.json
+//
+// Compare prints a per-benchmark ns/op delta table (negative = faster) and
+// exits nonzero when any benchmark present in both files slowed down by more
+// than the threshold percentage. Benchmarks only in one file are reported
+// but never fail the comparison.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -45,6 +54,24 @@ type Doc struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 10, "ns/op slowdown percentage treated as a regression in -compare mode")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -56,6 +83,66 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// readDoc loads one committed BENCH_*.json document.
+func readDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Doc{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// runCompare prints the per-benchmark ns/op delta table and reports whether
+// any shared benchmark regressed beyond the threshold percentage.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldDoc, err := readDoc(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newDoc, err := readDoc(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := make(map[string]Benchmark, len(oldDoc.Benchmarks))
+	for _, b := range oldDoc.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	regressed := false
+	seen := make(map[string]bool, len(newDoc.Benchmarks))
+	for _, nb := range newDoc.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %14s %14.0f %9s\n", nb.Name, "-", nb.NsPerOp, "new")
+			continue
+		}
+		if ob.NsPerOp <= 0 {
+			return false, fmt.Errorf("%s: %s has non-positive ns/op", oldPath, nb.Name)
+		}
+		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+8.1f%%%s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, delta, mark)
+	}
+	for _, ob := range oldDoc.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-40s %14.0f %14s %9s\n", ob.Name, ob.NsPerOp, "-", "dropped")
+		}
+	}
+	if regressed {
+		fmt.Fprintf(w, "FAIL: at least one benchmark slowed down more than %.0f%%\n", threshold)
+	}
+	return regressed, nil
 }
 
 func parse(r io.Reader) (*Doc, error) {

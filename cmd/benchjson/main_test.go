@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -61,5 +64,103 @@ BenchmarkMeasureCurve-8   	     100	  11183044 ns/op
 	}
 	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Iterations != 100 {
 		t.Fatalf("benchmarks: %+v", doc.Benchmarks)
+	}
+}
+
+func writeDoc(t *testing.T, dir, name string, benches []Benchmark) string {
+	t.Helper()
+	doc := Doc{Benchmarks: benches}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", []Benchmark{
+		{Name: "MeasureCurve", NsPerOp: 1000},
+		{Name: "BFS50k", NsPerOp: 2000},
+	})
+	newPath := writeDoc(t, dir, "new.json", []Benchmark{
+		{Name: "MeasureCurve", NsPerOp: 1050}, // +5%: within the 10% gate
+		{Name: "BFS50k", NsPerOp: 1400},       // -30%: improvement
+		{Name: "BFS50kDense", NsPerOp: 900},   // new benchmark
+	})
+	var buf strings.Builder
+	regressed, err := runCompare(&buf, oldPath, newPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("unexpected regression verdict:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"MeasureCurve", "BFS50k", "new", "+5.0%", "-30.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", []Benchmark{
+		{Name: "MeasureCurve", NsPerOp: 1000},
+		{Name: "Dropped", NsPerOp: 10},
+	})
+	newPath := writeDoc(t, dir, "new.json", []Benchmark{
+		{Name: "MeasureCurve", NsPerOp: 1201}, // +20.1%
+	})
+	var buf strings.Builder
+	regressed, err := runCompare(&buf, oldPath, newPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("20%% slowdown must trip the 10%% gate:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "FAIL", "dropped"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// A looser threshold accepts the same pair.
+	buf.Reset()
+	regressed, err = runCompare(&buf, oldPath, newPath, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("20%% slowdown must pass a 25%% gate:\n%s", buf.String())
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeDoc(t, dir, "good.json", []Benchmark{{Name: "X", NsPerOp: 1}})
+	var buf strings.Builder
+	if _, err := runCompare(&buf, filepath.Join(dir, "missing.json"), good, 10); err == nil {
+		t.Fatal("missing old file must error")
+	}
+	if _, err := runCompare(&buf, good, filepath.Join(dir, "missing.json"), 10); err == nil {
+		t.Fatal("missing new file must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCompare(&buf, bad, good, 10); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+	zero := writeDoc(t, dir, "zero.json", []Benchmark{{Name: "X", NsPerOp: 0}})
+	if _, err := runCompare(&buf, zero, good, 10); err == nil {
+		t.Fatal("non-positive old ns/op must error")
 	}
 }

@@ -52,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		height     = fs.Int("height", 24, "ASCII plot height")
 		parallel   = fs.Int("parallel", 1, "run independent experiments on up to N workers (0 = all cores); output stays in paper order")
 		nested     = fs.Bool("nested", false, "use the incremental nested-growth engine for simulation figures (statistically equivalent, faster)")
+		sptcache   = fs.Bool("sptcache", true, "reuse shortest-path trees across experiments via the process-wide SPT cache (byte-identical output; -sptcache=false disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +82,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	p.Nested = *nested
+	p.SPTCache = *sptcache
 	if *report {
 		return mtreescale.WriteReport(out, p)
 	}

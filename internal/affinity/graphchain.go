@@ -43,6 +43,15 @@ type GraphChain struct {
 // NewGraphChain builds a chain of n receivers on g with the given source.
 // The graph must be connected and have at most MaxGraphChainNodes nodes.
 func NewGraphChain(g *graph.Graph, source, n int, beta float64, r randSource) (*GraphChain, error) {
+	return NewGraphChainCached(g, source, n, beta, r, nil)
+}
+
+// NewGraphChainCached is NewGraphChain with the all-pairs BFS pass routed
+// through an SPT cache (nil disables caching). The pass is the chain's
+// dominant cost — N full-graph BFS runs — and an affinity sweep builds one
+// chain per (β, n) point on the SAME graph, so a shared cache collapses the
+// sweep's BFS work to a single pass.
+func NewGraphChainCached(g *graph.Graph, source, n int, beta float64, r randSource, spts *graph.SPTCache) (*GraphChain, error) {
 	if g.N() < 2 {
 		return nil, fmt.Errorf("affinity: graph too small (N=%d)", g.N())
 	}
@@ -67,9 +76,16 @@ func NewGraphChain(g *graph.Graph, source, n int, beta float64, r randSource) (*
 		dist:    make([][]int16, g.N()),
 		counter: mcast.NewTreeCounter(g.N()),
 	}
-	var spt graph.SPT
+	var sptBuf graph.SPT
 	for v := 0; v < g.N(); v++ {
-		if err := g.BFSInto(v, &spt); err != nil {
+		spt := &sptBuf
+		if spts != nil {
+			cached, err := spts.Get(g, v)
+			if err != nil {
+				return nil, err
+			}
+			spt = cached
+		} else if err := g.BFSInto(v, &sptBuf); err != nil {
 			return nil, err
 		}
 		if spt.Reachable() != g.N() {
@@ -81,10 +97,16 @@ func NewGraphChain(g *graph.Graph, source, n int, beta float64, r randSource) (*
 		}
 		c.dist[v] = row
 	}
-	var err error
-	c.spt, err = g.BFS(source)
-	if err != nil {
-		return nil, err
+	if spts != nil {
+		var err error
+		if c.spt, err = spts.Get(g, source); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if c.spt, err = g.BFS(source); err != nil {
+			return nil, err
+		}
 	}
 	// Initial placement: uniform over non-source nodes.
 	c.positions = make([]int32, n)

@@ -38,6 +38,12 @@ type Profile struct {
 	// GridPoints× less tree-walk work. Off by default so the default
 	// outputs stay paper-faithful bit for bit.
 	Nested bool
+	// SPTCache routes every shortest-path-tree build through the
+	// process-wide graph.SharedSPTs cache. Experiments sharing a profile
+	// sweep the same cached topologies and redraw the same source streams,
+	// so RunMany stops recomputing their trees. Output is byte-identical
+	// with the cache on or off; the standard profiles enable it.
+	SPTCache bool
 }
 
 // Validate checks profile sanity.
@@ -66,6 +72,7 @@ func Paper() Profile {
 	return Profile{
 		Name: "paper", Scale: 1, NSource: 100, NRcvr: 100,
 		GridPoints: 24, Seed: 1999, MCMCBurnIn: 200, MCMCSamples: 400,
+		SPTCache: true,
 	}
 }
 
@@ -75,6 +82,7 @@ func Medium() Profile {
 	return Profile{
 		Name: "medium", Scale: 0.25, NSource: 30, NRcvr: 30,
 		GridPoints: 16, Seed: 1999, MCMCBurnIn: 100, MCMCSamples: 200,
+		SPTCache: true,
 	}
 }
 
@@ -83,7 +91,7 @@ func Quick() Profile {
 	return Profile{
 		Name: "quick", Scale: 0.05, NSource: 8, NRcvr: 8,
 		GridPoints: 8, Seed: 1999, MCMCBurnIn: 30, MCMCSamples: 60,
-		MaxGroupSize: 2000,
+		MaxGroupSize: 2000, SPTCache: true,
 	}
 }
 
@@ -224,4 +232,22 @@ func (p Profile) capSize(max int) int {
 		return p.MaxGroupSize
 	}
 	return max
+}
+
+// sptCache returns the process-wide SPT cache when the profile enables it,
+// nil otherwise — the form the reach package's cached entry points take.
+func (p Profile) sptCache() *graph.SPTCache {
+	if p.SPTCache {
+		return graph.SharedSPTs
+	}
+	return nil
+}
+
+// sptFor resolves one source's shortest-path tree under the profile's cache
+// policy. The result is read-only when it came from the cache.
+func sptFor(g *graph.Graph, source int, p Profile) (*graph.SPT, error) {
+	if p.SPTCache {
+		return graph.SharedSPTs.Get(g, source)
+	}
+	return g.BFS(source)
 }

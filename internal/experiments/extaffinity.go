@@ -48,8 +48,8 @@ func runExtAffinityGraph(p Profile) (*Result, error) {
 		means[bi] = make([]float64, len(ns))
 		var xs, ys []float64
 		for ni, groupN := range ns {
-			chain, err := affinity.NewGraphChain(g, 0, groupN, beta,
-				rng.New(rng.Split(p.Seed, int64(bi*1000+ni))))
+			chain, err := affinity.NewGraphChainCached(g, 0, groupN, beta,
+				rng.New(rng.Split(p.Seed, int64(bi*1000+ni))), p.sptCache())
 			if err != nil {
 				return nil, err
 			}

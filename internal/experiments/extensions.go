@@ -60,7 +60,7 @@ func runExtShared(p Profile) (*Result, error) {
 	}
 	res := &Result{ID: "ext-shared", Title: fig.Title, Figure: fig}
 	sizes := mcast.LogSpacedSizes(p.capSize(g.N()-1), p.GridPoints)
-	prot := mcast.Protocol{NSource: p.NSource, NRcvr: p.NRcvr, Seed: p.Seed}
+	prot := mcast.Protocol{NSource: p.NSource, NRcvr: p.NRcvr, Seed: p.Seed, SPTCache: p.SPTCache}
 	for _, strat := range []mcast.CoreStrategy{mcast.CoreRandom, mcast.CoreCenter, mcast.CoreSource} {
 		pts, err := mcast.MeasureSharedCurve(g, sizes, strat, prot)
 		if err != nil {
@@ -118,7 +118,7 @@ func runExtSteiner(p Profile) (*Result, error) {
 		n := 0
 		for si := 0; si < nSource; si++ {
 			source := srcRand.Intn(g.N())
-			spt, err := g.BFS(source)
+			spt, err := sptFor(g, source, p)
 			if err != nil {
 				return nil, err
 			}

@@ -46,8 +46,9 @@ func runFig1(id string, names []string, p Profile) (*Result, error) {
 		sizes := mcast.LogSpacedSizes(pop, p.GridPoints)
 		prot := mcast.Protocol{
 			NSource: p.NSource, NRcvr: p.NRcvr,
-			Seed:   rng.Split(p.Seed, int64(gi)),
-			Nested: p.Nested,
+			Seed:     rng.Split(p.Seed, int64(gi)),
+			Nested:   p.Nested,
+			SPTCache: p.SPTCache,
 		}
 		pts, err := mcast.MeasureCurve(g, sizes, mcast.Distinct, prot)
 		if err != nil {

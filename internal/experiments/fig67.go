@@ -51,7 +51,7 @@ func runFig6(id string, names []string, p Profile) (*Result, error) {
 	}
 	res := &Result{ID: id, Title: fig.Title, Figure: fig}
 	for gi, g := range graphs {
-		r, err := reach.MeasureAveraged(g, p.NSource, rng.Split(p.Seed, int64(gi)))
+		r, err := reach.MeasureAveragedCached(g, p.NSource, rng.Split(p.Seed, int64(gi)), p.sptCache())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", g.Name(), err)
 		}
@@ -98,7 +98,7 @@ func runFig7(id string, names []string, p Profile) (*Result, error) {
 	}
 	res := &Result{ID: id, Title: fig.Title, Figure: fig}
 	for gi, g := range graphs {
-		r, err := reach.MeasureAveraged(g, p.NSource, rng.Split(p.Seed, int64(gi)))
+		r, err := reach.MeasureAveragedCached(g, p.NSource, rng.Split(p.Seed, int64(gi)), p.sptCache())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", g.Name(), err)
 		}

@@ -35,7 +35,7 @@ func runTable1(p Profile) (*Result, error) {
 		}
 		m := graph.ComputeMetrics(g, p.NSource, p.Seed)
 		growth := "n/a"
-		if r, err := reach.MeasureAveraged(g, p.NSource, p.Seed); err == nil {
+		if r, err := reach.MeasureAveragedCached(g, p.NSource, p.Seed, p.sptCache()); err == nil {
 			if cls, err := r.Classify(0.5); err == nil {
 				growth = cls.String()
 			}

@@ -27,33 +27,9 @@ type SPT struct {
 
 // BFS computes the shortest-path tree rooted at source.
 func (g *Graph) BFS(source int) (*SPT, error) {
-	if source < 0 || source >= g.N() {
-		return nil, fmt.Errorf("graph: BFS source %d out of range [0,%d)", source, g.N())
-	}
-	n := g.N()
-	t := &SPT{
-		Source: source,
-		Parent: make([]int32, n),
-		Dist:   make([]int32, n),
-		Order:  make([]int32, 0, n),
-	}
-	for i := range t.Parent {
-		t.Parent[i] = Unreachable
-		t.Dist[i] = Unreachable
-	}
-	t.Dist[source] = 0
-	t.Parent[source] = int32(source)
-	t.Order = append(t.Order, int32(source))
-	for head := 0; head < len(t.Order); head++ {
-		u := t.Order[head]
-		du := t.Dist[u]
-		for _, w := range g.Neighbors(int(u)) {
-			if t.Dist[w] == Unreachable {
-				t.Dist[w] = du + 1
-				t.Parent[w] = u
-				t.Order = append(t.Order, w)
-			}
-		}
+	t := &SPT{}
+	if err := g.BFSInto(source, t); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -61,11 +37,17 @@ func (g *Graph) BFS(source int) (*SPT, error) {
 // BFSInto is an allocation-free variant of BFS for hot loops: it reuses the
 // SPT's slices if they are large enough. The SPT must not be shared across
 // goroutines while being reused.
+//
+// Above directionOptThreshold nodes it routes to the direction-optimizing
+// kernel (hybrid.go); below it, to the reference queue BFS. Both produce
+// identical Dist arrays; Parent ties may resolve differently, but each
+// kernel is a pure function of (graph, source), so the routed result is
+// deterministic.
 func (g *Graph) BFSInto(source int, t *SPT) error {
-	if source < 0 || source >= g.N() {
-		return fmt.Errorf("graph: BFS source %d out of range [0,%d)", source, g.N())
-	}
 	n := g.N()
+	if source < 0 || source >= n {
+		return fmt.Errorf("graph: BFS source %d out of range [0,%d)", source, n)
+	}
 	if cap(t.Parent) < n {
 		t.Parent = make([]int32, n)
 		t.Dist = make([]int32, n)
@@ -79,6 +61,18 @@ func (g *Graph) BFSInto(source int, t *SPT) error {
 		t.Parent[i] = Unreachable
 		t.Dist[i] = Unreachable
 	}
+	if n >= directionOptThreshold {
+		g.hybridBFSInto(source, t)
+	} else {
+		g.serialBFSInto(source, t)
+	}
+	return nil
+}
+
+// serialBFSInto is the reference queue BFS: a single FIFO frontier stored in
+// t.Order, expanded in discovery order. It is the kernel of record that the
+// direction-optimizing kernel is tested against.
+func (g *Graph) serialBFSInto(source int, t *SPT) {
 	t.Dist[source] = 0
 	t.Parent[source] = int32(source)
 	t.Order = append(t.Order, int32(source))
@@ -93,7 +87,6 @@ func (g *Graph) BFSInto(source int, t *SPT) error {
 			}
 		}
 	}
-	return nil
 }
 
 // Reachable returns the number of nodes reachable from the source,

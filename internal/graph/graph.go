@@ -117,6 +117,12 @@ func (g *Graph) M() int { return len(g.adj) / 2 }
 // Name returns the topology name, if any.
 func (g *Graph) Name() string { return g.name }
 
+// MemBytes estimates the heap footprint of the CSR arrays — the accounting
+// unit of the byte-budgeted caches.
+func (g *Graph) MemBytes() int64 {
+	return int64(cap(g.offsets)+cap(g.adj)) * 4
+}
+
 // WithName returns a shallow copy of g carrying the given name.
 func (g *Graph) WithName(name string) *Graph {
 	cp := *g

@@ -1,0 +1,234 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSPTCacheHitReturnsSamePointer(t *testing.T) {
+	c := NewSPTCache(1 << 20)
+	g := randomGraph(1, 100, 200)
+	first, err := c.Get(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Get(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatal("cache hit must return the cached SPT pointer")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	want, err := g.BFS(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if first.Dist[v] != want.Dist[v] || first.Parent[v] != want.Parent[v] {
+			t.Fatalf("cached SPT differs from BFS at node %d", v)
+		}
+	}
+}
+
+func TestSPTCacheKeyedByGraphIdentity(t *testing.T) {
+	c := NewSPTCache(1 << 20)
+	gA := randomGraph(1, 50, 100)
+	gB := randomGraph(1, 50, 100) // same structure, different identity
+	a, _ := c.Get(gA, 0)
+	b, _ := c.Get(gB, 0)
+	if a == b {
+		t.Fatal("distinct graphs must get distinct cache entries")
+	}
+	if st := c.Stats(); st.Entries != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 entries / 2 misses", st)
+	}
+}
+
+func TestSPTCacheEvictionBound(t *testing.T) {
+	g := randomGraph(2, 500, 1000)
+	perTree := sptBytes(func() *SPT { s, _ := g.BFS(0); return s }())
+	c := NewSPTCache(3 * perTree) // room for exactly 3 trees
+	for src := 0; src < 10; src++ {
+		if _, err := c.Get(g, src); err != nil {
+			t.Fatal(err)
+		}
+		if st := c.Stats(); st.Bytes > st.Limit {
+			t.Fatalf("cache over budget after source %d: %+v", src, st)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3 (budget holds exactly 3 trees)", st.Entries)
+	}
+	if st.Evictions != 7 {
+		t.Fatalf("evictions = %d, want 7", st.Evictions)
+	}
+	// LRU order: the survivors must be the three most recent sources.
+	preBytes := st.Bytes
+	for _, src := range []int{7, 8, 9} {
+		if _, err := c.Get(g, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = c.Stats()
+	if st.Misses != 10 || st.Hits != 3 || st.Bytes != preBytes {
+		t.Fatalf("recent sources must still be cached: %+v", st)
+	}
+}
+
+func TestSPTCacheLRUTouchOnHit(t *testing.T) {
+	g := randomGraph(3, 200, 400)
+	perTree := sptBytes(func() *SPT { s, _ := g.BFS(0); return s }())
+	c := NewSPTCache(2 * perTree)
+	c.Get(g, 0)
+	c.Get(g, 1)
+	c.Get(g, 0) // touch 0: now 1 is the LRU victim
+	c.Get(g, 2) // evicts 1
+	st := c.Stats()
+	c.Get(g, 0)
+	if after := c.Stats(); after.Hits != st.Hits+1 {
+		t.Fatal("source 0 should have survived the eviction")
+	}
+	c.Get(g, 1)
+	if after := c.Stats(); after.Misses != st.Misses+1 {
+		t.Fatal("source 1 should have been evicted")
+	}
+}
+
+func TestSPTCacheErrorNotCached(t *testing.T) {
+	c := NewSPTCache(1 << 20)
+	g := randomGraph(4, 20, 40)
+	if _, err := c.Get(g, -1); err == nil {
+		t.Fatal("out-of-range source must error")
+	}
+	if _, err := c.Get(g, g.N()); err == nil {
+		t.Fatal("out-of-range source must error")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("errors must not occupy the cache: %+v", st)
+	}
+	if _, err := c.Get(nil, 0); err == nil {
+		t.Fatal("nil graph must error")
+	}
+}
+
+func TestSPTCacheClearAndSetLimit(t *testing.T) {
+	c := NewSPTCache(1 << 20)
+	g := randomGraph(5, 300, 600)
+	for src := 0; src < 5; src++ {
+		c.Get(g, src)
+	}
+	if st := c.Stats(); st.Entries != 5 {
+		t.Fatalf("entries = %d, want 5", st.Entries)
+	}
+	perTree := sptBytes(func() *SPT { s, _ := g.BFS(0); return s }())
+	if old := c.SetLimit(2 * perTree); old != 1<<20 {
+		t.Fatalf("SetLimit returned %d, want previous limit", old)
+	}
+	if st := c.Stats(); st.Entries != 2 || st.Bytes > st.Limit {
+		t.Fatalf("SetLimit must evict down to budget: %+v", st)
+	}
+	c.Clear()
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 {
+		t.Fatalf("Clear must drop entries and counters: %+v", st)
+	}
+	if st.Limit != 2*perTree {
+		t.Fatal("Clear must preserve the limit")
+	}
+}
+
+func TestSPTCacheZeroBudgetDegradesToSingleflight(t *testing.T) {
+	c := NewSPTCache(0)
+	g := randomGraph(6, 100, 200)
+	spt, err := c.Get(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spt == nil || spt.Dist[1] != 0 {
+		t.Fatal("zero-budget cache must still return a correct SPT")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("zero-budget cache must hold nothing: %+v", st)
+	}
+}
+
+// TestSPTCacheConcurrent is the race test the satellite requires: many
+// goroutines hammering a small source set must share singleflight fills and
+// agree on every returned tree. Run under `make race`.
+func TestSPTCacheConcurrent(t *testing.T) {
+	c := NewSPTCache(1 << 20)
+	g := randomGraph(7, 2000, 6000)
+	const goroutines = 16
+	const perG = 50
+	const sourceMod = 8
+	results := make([][]*SPT, goroutines)
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = make([]*SPT, perG)
+			for i := 0; i < perG; i++ {
+				spt, err := c.Get(g, (w+i)%sourceMod)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[w][i] = spt
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every fetch of the same source must have observed the same pointer
+	// (nothing was evicted: budget far exceeds 8 small trees).
+	bySource := make(map[int]*SPT)
+	for w := 0; w < goroutines; w++ {
+		for i := 0; i < perG; i++ {
+			src := (w + i) % sourceMod
+			if prev, ok := bySource[src]; ok {
+				if prev != results[w][i] {
+					t.Fatalf("source %d returned two distinct SPTs", src)
+				}
+			} else {
+				bySource[src] = results[w][i]
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Entries != sourceMod {
+		t.Fatalf("entries = %d, want %d", st.Entries, sourceMod)
+	}
+	if st.Hits+st.Misses != goroutines*perG {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, goroutines*perG)
+	}
+}
+
+// TestSPTCacheConcurrentEviction races gets against an eviction-heavy budget:
+// correctness here is "no deadlock, no panic, budget respected at rest".
+func TestSPTCacheConcurrentEviction(t *testing.T) {
+	g := randomGraph(8, 400, 800)
+	perTree := sptBytes(func() *SPT { s, _ := g.BFS(0); return s }())
+	c := NewSPTCache(2 * perTree)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := c.Get(g, (w*31+i)%64); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > st.Limit || st.Entries > 2 {
+		t.Fatalf("cache over budget after concurrent churn: %+v", st)
+	}
+}

@@ -65,6 +65,9 @@ func MeasureEnsemble(gen func(seed int64) (*graph.Graph, error), nNetworks int, 
 				q := p
 				q.Seed = rng.Split(p.Seed, int64(1000000+net))
 				q.Workers = inner
+				// Ensemble networks are transient: caching their SPTs
+				// would pin dead topologies in the process-wide cache.
+				q.SPTCache = false
 				pts, err := MeasureCurve(g, sizes, mode, q)
 				if err != nil {
 					netErrs[net] = fmt.Errorf("mcast: measuring network %d: %w", net, err)

@@ -33,6 +33,13 @@ type Protocol struct {
 	// equivalent to the independent-sets protocol and roughly GridPoints×
 	// cheaper; the paper-faithful reference path is Nested == false.
 	Nested bool
+	// SPTCache routes shortest-path-tree construction through the
+	// process-wide graph.SharedSPTs cache, so experiments that draw the
+	// same sources on the same (topology-cached) graph reuse trees instead
+	// of re-running BFS. Cached trees come from the same routed BFS kernel
+	// as the uncached path, so results are byte-identical either way.
+	// Leave false for transient graphs that should not pin cache budget.
+	SPTCache bool
 }
 
 // Validate checks protocol sanity.
@@ -265,6 +272,7 @@ func runSourceWorkers(p Protocol, job func(si int) error) error {
 // per-source allocation beyond the RNG stream.
 type sourceScratch struct {
 	spt     graph.SPT
+	spt2    graph.SPT // core-rooted tree for the shared-curve engine
 	counter *TreeCounter
 	smp     Sampler
 	recv    []int32
@@ -280,16 +288,29 @@ func getScratch(n int) *sourceScratch {
 	return sc
 }
 
-// prepare BFSes the source and resets the sampler for it.
-func (sc *sourceScratch) prepare(g *graph.Graph, src, si int, p Protocol) error {
-	if err := g.BFSInto(src, &sc.spt); err != nil {
-		return err
+// prepare resolves the source's shortest-path tree — from the process-wide
+// cache when the protocol allows, otherwise into the scratch buffer — and
+// resets the sampler for the source. The returned SPT is read-only when it
+// came from the cache; every consumer (TreeCounter, Dist reads) only reads.
+func (sc *sourceScratch) prepare(g *graph.Graph, src, si int, p Protocol) (*graph.SPT, error) {
+	spt := &sc.spt
+	if p.SPTCache {
+		cached, err := graph.SharedSPTs.Get(g, src)
+		if err != nil {
+			return nil, err
+		}
+		spt = cached
+	} else if err := g.BFSInto(src, &sc.spt); err != nil {
+		return nil, err
 	}
 	exclude := src
 	if p.IncludeSource {
 		exclude = -1
 	}
-	return sc.smp.Reset(g.N(), exclude, rng.NewChild(p.Seed, int64(si)))
+	if err := sc.smp.Reset(g.N(), exclude, rng.NewChild(p.Seed, int64(si))); err != nil {
+		return nil, err
+	}
+	return spt, nil
 }
 
 // measureSourceIndependent runs the paper-faithful §2 inner loop for one
@@ -297,10 +318,10 @@ func (sc *sourceScratch) prepare(g *graph.Graph, src, si int, p Protocol) error 
 func measureSourceIndependent(g *graph.Graph, src, si int, sizes []int, mode Mode, p Protocol, acc *curveAccum) error {
 	sc := getScratch(g.N())
 	defer scratchPool.Put(sc)
-	if err := sc.prepare(g, src, si, p); err != nil {
+	spt, err := sc.prepare(g, src, si, p)
+	if err != nil {
 		return err
 	}
-	var err error
 	for k, size := range sizes {
 		for rep := 0; rep < p.NRcvr; rep++ {
 			switch mode {
@@ -314,7 +335,7 @@ func measureSourceIndependent(g *graph.Graph, src, si int, sizes []int, mode Mod
 			if err != nil {
 				return err
 			}
-			meas := sc.counter.Measure(&sc.spt, sc.recv)
+			meas := sc.counter.Measure(spt, sc.recv)
 			if meas.Receivers == 0 {
 				continue // source in a tiny component; skip sample
 			}

@@ -58,11 +58,18 @@ func MeasureIncrements(g *graph.Graph, maxM int, p Protocol) (*Increments, error
 	inc := &Increments{Delta: make([]float64, maxM)}
 	srcRand := rng.NewChild(p.Seed, -1)
 	counter := NewTreeCounter(g.N())
-	var spt graph.SPT
+	var sptBuf graph.SPT
 	var order []int32
 	for si := 0; si < p.NSource; si++ {
 		source := srcRand.Intn(g.N())
-		if err := g.BFSInto(source, &spt); err != nil {
+		spt := &sptBuf
+		if p.SPTCache {
+			cached, err := graph.SharedSPTs.Get(g, source)
+			if err != nil {
+				return nil, err
+			}
+			spt = cached
+		} else if err := g.BFSInto(source, &sptBuf); err != nil {
 			return nil, err
 		}
 		smp, err := NewSampler(g.N(), source, rng.NewChild(p.Seed, int64(si)))
@@ -74,9 +81,9 @@ func MeasureIncrements(g *graph.Graph, maxM int, p Protocol) (*Increments, error
 			if err != nil {
 				return nil, err
 			}
-			counter.Begin(&spt)
+			counter.Begin(spt)
 			for j := 0; j < maxM; j++ {
-				inc.Delta[j] += float64(counter.Add(&spt, order[j]))
+				inc.Delta[j] += float64(counter.Add(spt, order[j]))
 			}
 			inc.Samples++
 		}

@@ -67,10 +67,10 @@ func sizeCuts(sizes []int) []sizeCut {
 func measureSourceNested(g *graph.Graph, src, si int, cuts []sizeCut, maxSize int, mode Mode, p Protocol, acc *curveAccum) error {
 	sc := getScratch(g.N())
 	defer scratchPool.Put(sc)
-	if err := sc.prepare(g, src, si, p); err != nil {
+	spt, err := sc.prepare(g, src, si, p)
+	if err != nil {
 		return err
 	}
-	var err error
 	for rep := 0; rep < p.NRcvr; rep++ {
 		switch mode {
 		case Distinct:
@@ -81,15 +81,15 @@ func measureSourceNested(g *graph.Graph, src, si int, cuts []sizeCut, maxSize in
 		if err != nil {
 			return err
 		}
-		sc.counter.Begin(&sc.spt)
+		sc.counter.Begin(spt)
 		links := 0
 		var hops int64
 		reachable := 0
 		ci := 0
 		for j, r := range sc.recv {
-			links += sc.counter.Add(&sc.spt, r)
-			if r >= 0 && int(r) < len(sc.spt.Dist) && sc.spt.Dist[r] != graph.Unreachable {
-				hops += int64(sc.spt.Dist[r])
+			links += sc.counter.Add(spt, r)
+			if r >= 0 && int(r) < len(spt.Dist) && spt.Dist[r] != graph.Unreachable {
+				hops += int64(spt.Dist[r])
 				reachable++
 			}
 			for ci < len(cuts) && cuts[ci].size == j+1 {

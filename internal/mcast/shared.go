@@ -94,6 +94,12 @@ type SharedPoint struct {
 
 // MeasureSharedCurve runs the §2 protocol measuring both the source-based
 // and the shared (core-based) delivery tree on the same receiver samples.
+//
+// The computation parallelizes over sources through the same worker pool as
+// MeasureCurve; per-(source, size) partial sums live in contiguous slabs and
+// are reduced in source order, so the float result is identical for any
+// Workers setting. Source and core draws come from independent pre-drawn RNG
+// streams, matching the sequential engine's sequences exactly.
 func MeasureSharedCurve(g *graph.Graph, sizes []int, strategy CoreStrategy, p Protocol) ([]SharedPoint, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -116,54 +122,77 @@ func MeasureSharedCurve(g *graph.Graph, sizes []int, strategy CoreStrategy, p Pr
 		}
 	}
 
+	// Pre-draw the per-source (source, core) pairs. The two streams are
+	// independent children of the protocol seed, so draining each in source
+	// order reproduces the sequences the sequential loop consumed.
 	srcRand := rng.NewChild(p.Seed, -1)
 	coreRand := rng.NewChild(p.Seed, -2)
-	counter := NewTreeCounter(g.N())
+	sources := make([]int, p.NSource)
+	cores := make([]int, p.NSource)
+	for si := range sources {
+		sources[si] = srcRand.Intn(g.N())
+		switch strategy {
+		case CoreRandom:
+			cores[si] = coreRand.Intn(g.N())
+		case CoreSource:
+			cores[si] = sources[si]
+		default:
+			cores[si] = center
+		}
+	}
+
+	acc := newSharedAccum(p.NSource, len(sizes))
+	err := runSourceWorkers(p, func(si int) error {
+		return measureSourceShared(g, sources[si], cores[si], si, sizes, p, acc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return acc.reduce(sizes), nil
+}
+
+// sharedAccum holds per-(source, size) partial sums of the shared-curve
+// engine in contiguous slabs indexed [si*K + k], the same lock-free layout as
+// curveAccum: distinct sources never share a cell.
+type sharedAccum struct {
+	K                      int
+	srcSum, shrSum, ovhSum []float64
+	samples                []int
+}
+
+func newSharedAccum(nSource, K int) *sharedAccum {
+	slab := make([]float64, 3*nSource*K)
+	return &sharedAccum{
+		K:       K,
+		srcSum:  slab[0 : nSource*K],
+		shrSum:  slab[nSource*K : 2*nSource*K],
+		ovhSum:  slab[2*nSource*K : 3*nSource*K],
+		samples: make([]int, nSource*K),
+	}
+}
+
+func (a *sharedAccum) add(si, k int, src, shr, overhead float64) {
+	i := si*a.K + k
+	a.srcSum[i] += src
+	a.shrSum[i] += shr
+	a.ovhSum[i] += overhead
+	a.samples[i]++
+}
+
+// reduce aggregates the slabs in source order for a scheduling-independent
+// float result.
+func (a *sharedAccum) reduce(sizes []int) []SharedPoint {
+	nSource := len(a.samples) / a.K
 	out := make([]SharedPoint, len(sizes))
 	for k := range out {
 		out[k].Size = sizes[k]
-	}
-	var srcSPT, coreSPT graph.SPT
-	var recv []int32
-	for si := 0; si < p.NSource; si++ {
-		source := srcRand.Intn(g.N())
-		core := center
-		switch strategy {
-		case CoreRandom:
-			core = coreRand.Intn(g.N())
-		case CoreSource:
-			core = source
+		for si := 0; si < nSource; si++ {
+			i := si*a.K + k
+			out[k].MeanSourceTree += a.srcSum[i]
+			out[k].MeanSharedTree += a.shrSum[i]
+			out[k].MeanOverhead += a.ovhSum[i]
+			out[k].Samples += a.samples[i]
 		}
-		if err := g.BFSInto(source, &srcSPT); err != nil {
-			return nil, err
-		}
-		if err := g.BFSInto(core, &coreSPT); err != nil {
-			return nil, err
-		}
-		r := rng.NewChild(p.Seed, int64(si))
-		smp, err := NewSampler(g.N(), source, r)
-		if err != nil {
-			return nil, err
-		}
-		for k, size := range sizes {
-			for rep := 0; rep < p.NRcvr; rep++ {
-				recv, err = smp.Distinct(size, recv)
-				if err != nil {
-					return nil, err
-				}
-				src := counter.TreeSize(&srcSPT, recv)
-				shr := counter.SharedTreeSize(&coreSPT, int32(source), recv)
-				if src == 0 {
-					continue
-				}
-				out[k].MeanSourceTree += float64(src)
-				out[k].MeanSharedTree += float64(shr)
-				out[k].MeanOverhead += float64(shr) / float64(src)
-				out[k].Samples++
-			}
-		}
-	}
-	for k := range out {
 		if out[k].Samples > 0 {
 			n := float64(out[k].Samples)
 			out[k].MeanSourceTree /= n
@@ -171,7 +200,53 @@ func MeasureSharedCurve(g *graph.Graph, sizes []int, strategy CoreStrategy, p Pr
 			out[k].MeanOverhead /= n
 		}
 	}
-	return out, nil
+	return out
+}
+
+// measureSourceShared runs the shared-curve inner loop for one source: both
+// trees resolved (from the SPT cache when enabled), then every (size, rep)
+// sample measured against each.
+func measureSourceShared(g *graph.Graph, source, core, si int, sizes []int, p Protocol, acc *sharedAccum) error {
+	sc := getScratch(g.N())
+	defer scratchPool.Put(sc)
+	srcSPT, coreSPT := &sc.spt, &sc.spt2
+	if p.SPTCache {
+		var err error
+		if srcSPT, err = graph.SharedSPTs.Get(g, source); err != nil {
+			return err
+		}
+		if coreSPT, err = graph.SharedSPTs.Get(g, core); err != nil {
+			return err
+		}
+	} else {
+		if err := g.BFSInto(source, srcSPT); err != nil {
+			return err
+		}
+		if err := g.BFSInto(core, coreSPT); err != nil {
+			return err
+		}
+	}
+	// Receivers always exclude the source here (the shared-tree comparison
+	// keeps the paper's receiver model regardless of IncludeSource).
+	if err := sc.smp.Reset(g.N(), source, rng.NewChild(p.Seed, int64(si))); err != nil {
+		return err
+	}
+	var err error
+	for k, size := range sizes {
+		for rep := 0; rep < p.NRcvr; rep++ {
+			sc.recv, err = sc.smp.Distinct(size, sc.recv)
+			if err != nil {
+				return err
+			}
+			src := sc.counter.TreeSize(srcSPT, sc.recv)
+			shr := sc.counter.SharedTreeSize(coreSPT, int32(source), sc.recv)
+			if src == 0 {
+				continue
+			}
+			acc.add(si, k, float64(src), float64(shr), float64(shr)/float64(src))
+		}
+	}
+	return nil
 }
 
 // approxCenter returns a node with approximately minimum eccentricity by

@@ -38,6 +38,14 @@ func Measure(g *graph.Graph, source int) (*Reachability, error) {
 // with replacement (the paper's Figure 7 protocol: "averaged over the
 // Nsource choices for the source").
 func MeasureAveraged(g *graph.Graph, nSources int, seed int64) (*Reachability, error) {
+	return MeasureAveragedCached(g, nSources, seed, nil)
+}
+
+// MeasureAveragedCached is MeasureAveraged routed through an SPT cache (nil
+// disables caching). Experiments that histogram the same (graph, seed) pair —
+// fig6 and fig7 share their per-topology source streams — reuse every tree on
+// the second pass.
+func MeasureAveragedCached(g *graph.Graph, nSources int, seed int64, spts *graph.SPTCache) (*Reachability, error) {
 	if nSources <= 0 {
 		return nil, fmt.Errorf("reach: nSources must be > 0, got %d", nSources)
 	}
@@ -46,10 +54,17 @@ func MeasureAveraged(g *graph.Graph, nSources int, seed int64) (*Reachability, e
 	}
 	r := rng.New(seed)
 	var acc []float64
-	var spt graph.SPT
+	var sptBuf graph.SPT
 	for i := 0; i < nSources; i++ {
 		src := r.Intn(g.N())
-		if err := g.BFSInto(src, &spt); err != nil {
+		spt := &sptBuf
+		if spts != nil {
+			cached, err := spts.Get(g, src)
+			if err != nil {
+				return nil, err
+			}
+			spt = cached
+		} else if err := g.BFSInto(src, &sptBuf); err != nil {
 			return nil, err
 		}
 		for _, v := range spt.Order {

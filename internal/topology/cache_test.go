@@ -111,6 +111,86 @@ func TestGenerateCachedConcurrent(t *testing.T) {
 	}
 }
 
+func TestCacheInfoCounters(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	if _, err := GenerateCached("r100", 0, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateCached("r100", 0, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	st := CacheInfo()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 entry / 1 hit / 1 miss", st)
+	}
+	if st.Bytes <= 0 || st.Bytes > st.Limit {
+		t.Fatalf("accounted bytes out of range: %+v", st)
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	ResetCache()
+	defer func() {
+		SetCacheLimit(DefaultCacheBytes)
+		ResetCache()
+	}()
+	g, err := GenerateCached("r100", 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perGraph := g.MemBytes()
+	old := SetCacheLimit(2 * perGraph)
+	if old != DefaultCacheBytes {
+		t.Fatalf("SetCacheLimit returned %d, want default", old)
+	}
+	// Same topology at several seeds: similar footprints, so only ~2 fit.
+	for seed := int64(1); seed <= 6; seed++ {
+		if _, err := GenerateCached("r100", seed, 0.2); err != nil {
+			t.Fatal(err)
+		}
+		if st := CacheInfo(); st.Bytes > st.Limit {
+			t.Fatalf("cache over budget at seed %d: %+v", seed, st)
+		}
+	}
+	st := CacheInfo()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions under a 2-graph budget: %+v", st)
+	}
+	if st.Entries > 2 {
+		t.Fatalf("entries = %d, want <= 2", st.Entries)
+	}
+	// The most recent seed must still be cached (LRU keeps the newest).
+	a, err := GenerateCached("r100", 6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCached("r100", 6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("most recent entry must survive eviction")
+	}
+}
+
+func TestResetCachePreservesLimit(t *testing.T) {
+	ResetCache()
+	defer func() {
+		SetCacheLimit(DefaultCacheBytes)
+		ResetCache()
+	}()
+	SetCacheLimit(12345)
+	ResetCache()
+	st := CacheInfo()
+	if st.Limit != 12345 {
+		t.Fatalf("limit = %d, want 12345", st.Limit)
+	}
+	if st.Entries != 0 || st.Bytes != 0 || st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 {
+		t.Fatalf("ResetCache must zero state: %+v", st)
+	}
+}
+
 func TestGenerateCachedNormalizesScale(t *testing.T) {
 	ResetCache()
 	defer ResetCache()
