@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-all bench bench-all bench-compare fuzz results results-paper report clean
+.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare fuzz results results-paper report clean
 
 all: build vet test
 
@@ -20,12 +20,21 @@ test:
 	$(GO) test ./...
 
 # Race-detect the packages that spawn goroutines (measurement workers,
-# ensemble networks, experiment scheduler) and the shared caches (SPT cache,
-# topology generation cache). race-all covers everything but takes several
-# times longer.
+# ensemble networks, experiment scheduler, mtsim's checkpointer) and the
+# shared caches (SPT cache, topology generation cache). race-all covers
+# everything but takes several times longer.
 race:
 	$(GO) test -race ./internal/graph/... ./internal/topology/... \
-		./internal/mcast/... ./internal/experiments/...
+		./internal/mcast/... ./internal/experiments/... ./cmd/mtsim/...
+
+# The robustness surface under contention: cancellation, panic isolation,
+# checkpoint/resume, and heap-guard tests under the race detector, with a
+# hard timeout so a lost cancellation hangs CI instead of passing silently.
+race-robust:
+	$(GO) test -race -timeout 5m \
+		-run 'Cancel|Panic|Recover|Resume|Checkpoint|HeapGuard|MaxHeap|Timeout|Register|Commit|WriteFile' \
+		./internal/mcast/... ./internal/experiments/... ./internal/panicsafe/... \
+		./internal/atomicio/... ./cmd/mtsim/...
 
 race-all:
 	$(GO) test -race ./...
@@ -42,7 +51,7 @@ bench:
 		-benchmem -count 1 . ; \
 	  $(GO) test -run '^$$' \
 		-bench 'BenchmarkBFS50k$$|BenchmarkBFS50kSerial$$|BenchmarkBFS50kDense$$|BenchmarkBFS50kDenseSerial$$' \
-		-benchmem -count 1 ./internal/graph ; } | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+		-benchmem -count 1 ./internal/graph ; } | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 	@cat $(BENCH_JSON)
 
 bench-all:

@@ -1,15 +1,19 @@
 package mtreescale
 
 import (
+	"context"
 	"io"
+	"io/fs"
 	"time"
 
 	"mtreescale/internal/affinity"
 	"mtreescale/internal/analytic"
+	"mtreescale/internal/atomicio"
 	"mtreescale/internal/core"
 	"mtreescale/internal/experiments"
 	"mtreescale/internal/graph"
 	"mtreescale/internal/mcast"
+	"mtreescale/internal/panicsafe"
 	"mtreescale/internal/plot"
 	"mtreescale/internal/reach"
 	"mtreescale/internal/rng"
@@ -173,12 +177,24 @@ func MeasureCurve(g *Topology, sizes []int, mode Mode, p Protocol) ([]Point, err
 	return mcast.MeasureCurve(g, sizes, mode, p)
 }
 
+// MeasureCurveCtx is MeasureCurve under a cancellation context: the worker
+// pool polls ctx at grid-point granularity and returns ctx's error promptly
+// once it is cancelled.
+func MeasureCurveCtx(ctx context.Context, g *Topology, sizes []int, mode Mode, p Protocol) ([]Point, error) {
+	return mcast.MeasureCurveCtx(ctx, g, sizes, mode, p)
+}
+
 // MeasureCurveNested is the incremental fast path of the §2 protocol: one
 // receiver sequence per (source, repetition), grown link by link, read off
 // at every grid size. Statistically equivalent to MeasureCurve and roughly
 // GridPoints× cheaper; also reachable via Protocol.Nested.
 func MeasureCurveNested(g *Topology, sizes []int, mode Mode, p Protocol) ([]Point, error) {
 	return mcast.MeasureCurveNested(g, sizes, mode, p)
+}
+
+// MeasureCurveNestedCtx is MeasureCurveNested under a cancellation context.
+func MeasureCurveNestedCtx(ctx context.Context, g *Topology, sizes []int, mode Mode, p Protocol) ([]Point, error) {
+	return mcast.MeasureCurveNestedCtx(ctx, g, sizes, mode, p)
 }
 
 // LogSpacedSizes returns up to count group sizes spanning [1, max],
@@ -205,10 +221,22 @@ func MeasureSharedCurve(g *Topology, sizes []int, strategy CoreStrategy, p Proto
 	return mcast.MeasureSharedCurve(g, sizes, strategy, p)
 }
 
+// MeasureSharedCurveCtx is MeasureSharedCurve under a cancellation context.
+func MeasureSharedCurveCtx(ctx context.Context, g *Topology, sizes []int, strategy CoreStrategy, p Protocol) ([]SharedPoint, error) {
+	return mcast.MeasureSharedCurveCtx(ctx, g, sizes, strategy, p)
+}
+
 // MeasureEnsemble runs the footnote 4 protocol: average MeasureCurve over
 // nNetworks fresh topologies built by gen.
 func MeasureEnsemble(gen func(seed int64) (*Topology, error), nNetworks int, sizes []int, mode Mode, p Protocol) ([]Point, error) {
 	return mcast.MeasureEnsemble(gen, nNetworks, sizes, mode, p)
+}
+
+// MeasureEnsembleCtx is MeasureEnsemble under a cancellation context; a
+// panicking generator is recovered into a *PanicError instead of killing the
+// process.
+func MeasureEnsembleCtx(ctx context.Context, gen func(seed int64) (*Topology, error), nNetworks int, sizes []int, mode Mode, p Protocol) ([]Point, error) {
+	return mcast.MeasureEnsembleCtx(ctx, gen, nNetworks, sizes, mode, p)
 }
 
 // SteinerTreeSize returns the link count of the Kou-Markowsky-Berman
@@ -391,9 +419,36 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // RunExperiment reproduces one paper table or figure.
 func RunExperiment(id string, p Profile) (*Result, error) { return experiments.Run(id, p) }
 
+// RunExperimentCtx is RunExperiment under a cancellation context: the
+// measurement engines poll ctx at grid-point granularity and the run returns
+// ctx's error promptly after cancellation.
+func RunExperimentCtx(ctx context.Context, id string, p Profile) (*Result, error) {
+	return experiments.RunCtx(ctx, id, p)
+}
+
+// ExperimentRunner defines one registrable experiment.
+type ExperimentRunner = experiments.Runner
+
+// RegisterExperiment adds a custom experiment to the registry; it rejects
+// nil runners, missing IDs or Run functions, and duplicate IDs with an
+// error.
+func RegisterExperiment(r *ExperimentRunner) error { return experiments.Register(r) }
+
 // ExperimentStats is one scheduled experiment's result plus wall-clock and
 // allocation cost.
 type ExperimentStats = experiments.RunStats
+
+// ScheduleOptions configures RunExperimentsCtx: worker count, soft heap
+// guard, checkpoint replay, and completion callbacks.
+type ScheduleOptions = experiments.ScheduleOptions
+
+// ErrHeapLimit marks an experiment aborted by ScheduleOptions.MaxHeapBytes.
+var ErrHeapLimit = experiments.ErrHeapLimit
+
+// PanicError is a recovered experiment panic: the panic value plus the
+// goroutine stack captured at recovery. A panicking experiment lands in its
+// ExperimentStats.Err as a *PanicError while sibling experiments complete.
+type PanicError = panicsafe.PanicError
 
 // RunExperiments executes experiments concurrently with up to `parallel`
 // workers (0 = all cores) and returns stats in input order — the scheduler
@@ -402,10 +457,32 @@ func RunExperiments(ids []string, p Profile, parallel int) ([]ExperimentStats, e
 	return experiments.RunMany(ids, p, parallel)
 }
 
+// RunExperimentsCtx is RunExperiments under a cancellation context and the
+// extended scheduling options: cancellation yields partial stats (finished
+// experiments keep their results, the rest are marked with ctx.Err()),
+// panics are isolated per experiment, and the heap guard aborts an
+// experiment — not the process — when it exceeds MaxHeapBytes.
+func RunExperimentsCtx(ctx context.Context, ids []string, p Profile, opts ScheduleOptions) ([]ExperimentStats, error) {
+	return experiments.RunManyCtx(ctx, ids, p, opts)
+}
+
 // WriteReport runs every experiment under the profile and writes a
 // consolidated Markdown report (the automated skeleton of EXPERIMENTS.md).
 func WriteReport(w io.Writer, p Profile) error {
 	return experiments.Report(w, p, time.Now())
+}
+
+// WriteReportCtx is WriteReport under a cancellation context.
+func WriteReportCtx(ctx context.Context, w io.Writer, p Profile) error {
+	return experiments.ReportCtx(ctx, w, p, time.Now())
+}
+
+// WriteFileAtomic writes data to path crash-safely: the bytes land in a
+// temporary file in the same directory, are fsynced, and are renamed over
+// path, so readers see either the old contents or the complete new contents
+// — never a torn write.
+func WriteFileAtomic(path string, data []byte, perm fs.FileMode) error {
+	return atomicio.WriteFile(path, data, perm)
 }
 
 // ExperimentInfo returns the title and description of an experiment.

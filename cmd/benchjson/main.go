@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_1.json
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_1.json
 //	benchjson -compare BENCH_1.json BENCH_2.json            # exit 1 on >10% regression
 //	benchjson -compare -threshold 5 BENCH_1.json BENCH_2.json
+//
+// -o writes the document atomically (temp file + rename) instead of stdout,
+// so an interrupted run never leaves a truncated BENCH_*.json behind.
+// Malformed, empty, or truncated input files fail with a one-line error and
+// a nonzero exit.
 //
 // Compare prints a per-benchmark ns/op delta table (negative = faster) and
 // exits nonzero when any benchmark present in both files slowed down by more
@@ -17,6 +22,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +30,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	mtreescale "mtreescale"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -56,6 +64,7 @@ type Doc struct {
 func main() {
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json files: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 10, "ns/op slowdown percentage treated as a regression in -compare mode")
+	outPath := flag.String("o", "", "write the JSON document to this path atomically instead of stdout")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
@@ -77,23 +86,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	if err := writeDocTo(*outPath, doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-// readDoc loads one committed BENCH_*.json document.
+// writeDocTo emits the document to stdout, or — with -o — atomically to a
+// file, so a crash or Ctrl-C never leaves a truncated BENCH_*.json.
+func writeDocTo(path string, doc *Doc) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if path == "" {
+		_, err := os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	return mtreescale.WriteFileAtomic(path, buf.Bytes(), 0o644)
+}
+
+// readDoc loads one committed BENCH_*.json document, rejecting empty,
+// malformed, or benchmark-less files with a one-line diagnosis — a
+// truncated document (interrupted `make bench`) must fail loudly, not
+// compare as an empty baseline.
 func readDoc(path string) (*Doc, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("%s: empty file (interrupted or failed bench run?)", path)
+	}
 	doc := &Doc{}
 	if err := json.Unmarshal(data, doc); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: malformed JSON: %v", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in document", path)
+	}
+	for _, b := range doc.Benchmarks {
+		if b.Name == "" {
+			return nil, fmt.Errorf("%s: benchmark entry with empty name", path)
+		}
 	}
 	return doc, nil
 }

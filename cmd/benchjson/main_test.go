@@ -142,6 +142,83 @@ func TestCompareFlagsRegression(t *testing.T) {
 	}
 }
 
+func TestReadDocRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	valid, err := json.Marshal(Doc{Benchmarks: []Benchmark{{Name: "X", NsPerOp: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		content string
+		wantErr string // substring of the one-line diagnosis; "" = no error
+	}{
+		{"valid", string(valid), ""},
+		{"empty", "", "empty file"},
+		{"whitespace-only", "  \n\t\n", "empty file"},
+		{"malformed", "{not json", "malformed JSON"},
+		{"truncated", string(valid[:len(valid)/2]), "malformed JSON"},
+		{"no-benchmarks-object", "{}", "no benchmarks"},
+		{"empty-benchmark-list", `{"benchmarks":[]}`, "no benchmarks"},
+		{"null-benchmark-list", `{"benchmarks":null}`, "no benchmarks"},
+		{"nameless-benchmark", `{"benchmarks":[{"ns_per_op":5}]}`, "empty name"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(dir, c.name+".json")
+			if err := os.WriteFile(path, []byte(c.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			doc, err := readDoc(path)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid document rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted bad document, got %+v", doc)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Fatalf("error %q does not name the file", err)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("diagnosis is not one line: %q", err)
+			}
+		})
+	}
+	if _, err := readDoc(filepath.Join(dir, "does-not-exist.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestWriteDocToAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	doc := &Doc{Goos: "linux", Benchmarks: []Benchmark{{Name: "X", NsPerOp: 1}}}
+	if err := writeDocTo(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Goos != "linux" || len(back.Benchmarks) != 1 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	// No temp droppings from the atomic write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just bench.json", len(entries))
+	}
+}
+
 func TestCompareErrors(t *testing.T) {
 	dir := t.TempDir()
 	good := writeDoc(t, dir, "good.json", []Benchmark{{Name: "X", NsPerOp: 1}})

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	mtreescale "mtreescale"
+)
+
+// checkpointFile is the journal mtsim appends to inside -out: one JSON
+// record per completed experiment, fsynced, so an interrupted run can be
+// resumed with -resume without redoing finished work.
+const checkpointFile = "checkpoint.jsonl"
+
+// checkpointRecord is one completed experiment. Key binds the record to the
+// exact profile that produced it: a resume under a different profile (or
+// different -nested/-sptcache settings baked into the profile) ignores it.
+type checkpointRecord struct {
+	Key    string             `json:"key"`
+	ID     string             `json:"id"`
+	Result *mtreescale.Result `json:"result"`
+}
+
+// profileKey fingerprints a profile. Experiments are deterministic functions
+// of the profile, so (key, id) identifies a result exactly; %#v covers every
+// field including ones added later.
+func profileKey(p mtreescale.Profile) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", p)))
+	return hex.EncodeToString(sum[:])
+}
+
+// checkpointer appends completed experiments to <dir>/checkpoint.jsonl.
+// Append is safe for concurrent use (the scheduler calls OnComplete from
+// worker goroutines) and fsyncs after every record so a crash loses at most
+// the experiment in flight.
+type checkpointer struct {
+	mu  sync.Mutex
+	f   *os.File
+	key string
+	err error // first write failure; reported once at close
+}
+
+// newCheckpointer opens the journal for appending, truncating any previous
+// journal unless resuming.
+func newCheckpointer(dir string, key string, resume bool) (*checkpointer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(filepath.Join(dir, checkpointFile), flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &checkpointer{f: f, key: key}, nil
+}
+
+// append journals one completed experiment. Failures are remembered rather
+// than returned: OnComplete has no error channel, and a broken journal must
+// not fail the experiments themselves.
+func (c *checkpointer) append(id string, res *mtreescale.Result) {
+	rec, err := json.Marshal(checkpointRecord{Key: c.key, ID: id, Result: res})
+	if err == nil {
+		rec = append(rec, '\n')
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	if err == nil {
+		_, err = c.f.Write(rec)
+	}
+	if err == nil {
+		err = c.f.Sync()
+	}
+	if err != nil {
+		c.err = fmt.Errorf("checkpoint: %s: %w", id, err)
+	}
+}
+
+// close releases the journal and reports the first deferred write failure.
+func (c *checkpointer) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cerr := c.f.Close(); c.err == nil && cerr != nil {
+		c.err = cerr
+	}
+	return c.err
+}
+
+// loadCheckpoints reads the journal from dir and returns the completed
+// results recorded under the given profile key. A missing journal is an
+// empty resume; a truncated trailing line (the crash case the journal
+// exists for) is skipped, as are records from other profiles.
+func loadCheckpoints(dir string, key string) (map[string]*mtreescale.Result, error) {
+	f, err := os.Open(filepath.Join(dir, checkpointFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]*mtreescale.Result{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	done := map[string]*mtreescale.Result{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec checkpointRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // torn trailing write from a crash
+		}
+		if rec.Key != key || rec.ID == "" || rec.Result == nil {
+			continue
+		}
+		done[rec.ID] = rec.Result
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return done, nil
+}

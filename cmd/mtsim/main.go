@@ -6,25 +6,44 @@
 //	mtsim -experiment fig1a [-profile quick|medium|paper] [-format ascii|csv|gnuplot|notes]
 //	mtsim -experiment all -out results/
 //	mtsim -experiment all -parallel 0 -out results/   # use every core
+//	mtsim -experiment all -out results/ -resume       # skip checkpointed work
 //
 // With -out, each experiment writes <id>.csv, <id>.gp (gnuplot) and
 // <id>.txt (ASCII + notes) into the directory; without it, the selected
-// format prints to stdout.
+// format prints to stdout. Output files are written atomically (temp file +
+// rename), so a crash never leaves a torn file.
 //
 // -parallel N runs independent experiments concurrently on up to N workers
 // (0 = all cores); output and files stay in paper order, and a per-
 // experiment wall-clock/allocation summary is appended. -nested switches
 // the simulation figures to the incremental nested-growth engine
 // (statistically equivalent, roughly GridPoints× less tree-walk work).
+//
+// Robustness controls:
+//
+//   - SIGINT/SIGTERM cancel the run promptly at grid-point granularity;
+//     completed experiments are kept (and written when -out is set).
+//   - -timeout bounds the whole run's wall clock the same way.
+//   - -maxheap N (accepts k/m/g suffixes) softly aborts any experiment
+//     that pushes the heap past N bytes, without killing its siblings.
+//   - With -out, every completed experiment is journaled to
+//     <out>/checkpoint.jsonl (fsynced JSON, keyed by profile); -resume
+//     replays the journal and reruns only what is missing. Experiments are
+//     deterministic per profile, so a resumed run's outputs are
+//     byte-identical to an uninterrupted one.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -32,19 +51,24 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mtsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	fs := flag.NewFlagSet("mtsim", flag.ContinueOnError)
 	var (
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		describe   = fs.Bool("describe", false, "list experiment ids with titles and descriptions")
 		report     = fs.Bool("report", false, "run every experiment and emit a Markdown report")
-		experiment = fs.String("experiment", "", "experiment id (e.g. fig1a) or 'all'")
+		experiment = fs.String("experiment", "", "experiment id (e.g. fig1a), comma-separated ids, or 'all'")
 		profile    = fs.String("profile", "medium", "effort profile: quick|medium|paper")
 		format     = fs.String("format", "ascii", "stdout format: ascii|csv|gnuplot|notes")
 		outDir     = fs.String("out", "", "write <id>.csv/.gp/.txt into this directory")
@@ -53,6 +77,9 @@ func run(args []string, out io.Writer) error {
 		parallel   = fs.Int("parallel", 1, "run independent experiments on up to N workers (0 = all cores); output stays in paper order")
 		nested     = fs.Bool("nested", false, "use the incremental nested-growth engine for simulation figures (statistically equivalent, faster)")
 		sptcache   = fs.Bool("sptcache", true, "reuse shortest-path trees across experiments via the process-wide SPT cache (byte-identical output; -sptcache=false disables)")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
+		maxHeap    = fs.String("maxheap", "", "soft per-experiment heap limit, e.g. 512m or 4g (empty = no limit); an experiment exceeding it is aborted, its siblings continue")
+		resume     = fs.Bool("resume", false, "with -out: skip experiments already journaled in <out>/checkpoint.jsonl for this profile")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,32 +104,100 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("missing -experiment (or -list/-describe/-report)")
 	}
+	if *resume && *outDir == "" {
+		return fmt.Errorf("-resume requires -out (the checkpoint journal lives in the output directory)")
+	}
+	maxHeapBytes, err := parseByteSize(*maxHeap)
+	if err != nil {
+		return fmt.Errorf("-maxheap: %w", err)
+	}
 	p, err := mtreescale.ProfileByName(*profile)
 	if err != nil {
 		return err
 	}
 	p.Nested = *nested
 	p.SPTCache = *sptcache
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *report {
-		return mtreescale.WriteReport(out, p)
+		return mtreescale.WriteReportCtx(ctx, out, p)
 	}
-	ids := []string{*experiment}
-	if *experiment == "all" {
-		ids = mtreescale.ExperimentIDs()
+	ids, err := expandIDs(*experiment)
+	if err != nil {
+		return err
 	}
-	if *parallel != 1 {
-		return runScheduled(out, ids, p, *parallel, *format, *outDir, *width, *height)
+	return runScheduled(ctx, out, ids, p, scheduleConfig{
+		parallel: *parallel,
+		maxHeap:  maxHeapBytes,
+		resume:   *resume,
+		format:   *format,
+		outDir:   *outDir,
+		width:    *width,
+		height:   *height,
+	})
+}
+
+// expandIDs resolves the -experiment argument: "all", one id, or a
+// comma-separated list.
+func expandIDs(arg string) ([]string, error) {
+	if arg == "all" {
+		return mtreescale.ExperimentIDs(), nil
 	}
-	for _, id := range ids {
-		res, err := mtreescale.RunExperiment(id, p)
-		if err != nil {
-			return err
+	var ids []string
+	for _, id := range strings.Split(arg, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
 		}
-		if err := emit(out, res, *format, *outDir, *width, *height); err != nil {
-			return err
+		if id == "all" {
+			return nil, fmt.Errorf("'all' cannot be combined with other experiment ids")
 		}
+		ids = append(ids, id)
 	}
-	return nil
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("empty -experiment list")
+	}
+	return ids, nil
+}
+
+// parseByteSize parses a byte count with an optional k/m/g suffix (binary
+// multiples, optional trailing 'b'): "512m", "4g", "1048576".
+func parseByteSize(s string) (uint64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := uint64(1)
+	s = strings.TrimSuffix(s, "b")
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "g")
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q (want e.g. 512m, 4g, 1048576)", s)
+	}
+	if n > ^uint64(0)/mult {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return n * mult, nil
+}
+
+type scheduleConfig struct {
+	parallel int
+	maxHeap  uint64
+	resume   bool
+	format   string
+	outDir   string
+	width    int
+	height   int
 }
 
 // emit writes one result either into the output directory or to out in the
@@ -118,33 +213,93 @@ func emit(out io.Writer, res *mtreescale.Result, format, outDir string, w, h int
 	return render(out, res, format, w, h)
 }
 
-// runScheduled executes the experiments on the parallel scheduler and emits
-// results — and a wall-clock/allocation summary — in paper order.
-func runScheduled(out io.Writer, ids []string, p mtreescale.Profile, parallel int, format, outDir string, w, h int) error {
+// runScheduled executes the experiments on the scheduler and emits results
+// in paper order. With -out it journals each completed experiment to the
+// checkpoint file and, under -resume, replays journaled results instead of
+// rerunning them. On failure or cancellation, completed results are still
+// written into -out before the error is returned, so interrupted work is
+// never thrown away.
+func runScheduled(ctx context.Context, out io.Writer, ids []string, p mtreescale.Profile, cfg scheduleConfig) error {
+	opts := mtreescale.ScheduleOptions{Parallel: cfg.parallel, MaxHeapBytes: cfg.maxHeap}
+	var ck *checkpointer
+	if cfg.outDir != "" {
+		key := profileKey(p)
+		if cfg.resume {
+			done, err := loadCheckpoints(cfg.outDir, key)
+			if err != nil {
+				return err
+			}
+			if len(done) > 0 {
+				fmt.Fprintf(out, "# resume: replaying %d checkpointed experiments\n", len(done))
+			}
+			opts.Replay = func(id string) (*mtreescale.Result, bool) {
+				res, ok := done[id]
+				return res, ok
+			}
+		}
+		var err error
+		if ck, err = newCheckpointer(cfg.outDir, key, cfg.resume); err != nil {
+			return err
+		}
+		defer ck.close()
+		opts.OnComplete = func(st mtreescale.ExperimentStats) {
+			ck.append(st.ID, st.Result)
+		}
+	}
 	start := time.Now()
-	stats, err := mtreescale.RunExperiments(ids, p, parallel)
+	stats, err := mtreescale.RunExperimentsCtx(ctx, ids, p, opts)
+	total := time.Since(start)
 	if err != nil {
+		// Salvage completed work: with -out, finished experiments are
+		// written (and were checkpointed) even though the run failed.
+		if cfg.outDir != "" {
+			for _, st := range stats {
+				if st.Err == nil && st.Result != nil {
+					if werr := emit(out, st.Result, cfg.format, cfg.outDir, cfg.width, cfg.height); werr != nil {
+						return fmt.Errorf("%w (and writing salvaged results: %v)", err, werr)
+					}
+				}
+			}
+		}
 		return err
 	}
-	total := time.Since(start)
 	for _, st := range stats {
-		if err := emit(out, st.Result, format, outDir, w, h); err != nil {
+		if err := emit(out, st.Result, cfg.format, cfg.outDir, cfg.width, cfg.height); err != nil {
 			return err
 		}
 	}
+	if cfg.parallel != 1 {
+		printSummary(out, stats, cfg.parallel, p.Name, total)
+	}
+	if ck != nil {
+		return ck.close()
+	}
+	return nil
+}
+
+// printSummary appends the per-experiment wall-clock/allocation table.
+func printSummary(out io.Writer, stats []mtreescale.ExperimentStats, parallel int, profile string, total time.Duration) {
 	fmt.Fprintf(out, "# schedule: %d experiments, parallel=%d, profile=%s, total wall %.2fs\n",
-		len(stats), parallel, p.Name, total.Seconds())
+		len(stats), parallel, profile, total.Seconds())
 	var sumWall time.Duration
+	replayed := 0
 	for _, st := range stats {
-		fmt.Fprintf(out, "# %-20s wall %8.2fs  alloc %8.1f MB\n",
-			st.ID, st.Wall.Seconds(), float64(st.AllocBytes)/(1<<20))
+		marker := ""
+		if st.Replayed {
+			marker = "  (resumed)"
+			replayed++
+		}
+		fmt.Fprintf(out, "# %-20s wall %8.2fs  alloc %8.1f MB%s\n",
+			st.ID, st.Wall.Seconds(), float64(st.AllocBytes)/(1<<20), marker)
 		sumWall += st.Wall
 	}
-	if len(stats) > 1 {
+	if replayed > 0 {
+		fmt.Fprintf(out, "# %d of %d experiments replayed from checkpoint\n", replayed, len(stats))
+	}
+	if len(stats) > 1 && total > 0 {
 		fmt.Fprintf(out, "# sum of experiment wall clocks %.2fs (speedup ×%.2f)\n",
 			sumWall.Seconds(), sumWall.Seconds()/total.Seconds())
 	}
-	return nil
 }
 
 func render(out io.Writer, res *mtreescale.Result, format string, w, h int) error {
@@ -205,52 +360,50 @@ func renderTableCSV(out io.Writer, res *mtreescale.Result) error {
 	return nil
 }
 
+// writeAll renders one result into <dir>/<id>.{txt,csv,gp}. Every file is
+// published atomically: a crash mid-run leaves either the previous contents
+// or the complete new contents, never a torn file.
 func writeAll(dir string, res *mtreescale.Result, w, h int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	txt, err := os.Create(filepath.Join(dir, res.ID+".txt"))
-	if err != nil {
-		return err
-	}
-	defer txt.Close()
+	var txt strings.Builder
 	if res.Figure != nil {
 		s, err := mtreescale.RenderASCII(res.Figure, mtreescale.ASCIIOptions{Width: w, Height: h})
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(txt, s)
+		txt.WriteString(s)
 	} else {
-		if err := renderTable(txt, res); err != nil {
+		if err := renderTable(&txt, res); err != nil {
 			return err
 		}
 	}
-	renderNotes(txt, res)
+	renderNotes(&txt, res)
+	if err := mtreescale.WriteFileAtomic(filepath.Join(dir, res.ID+".txt"), []byte(txt.String()), 0o644); err != nil {
+		return err
+	}
 
+	var csvB strings.Builder
 	if res.Figure != nil {
-		csvF, err := os.Create(filepath.Join(dir, res.ID+".csv"))
-		if err != nil {
-			return err
-		}
-		defer csvF.Close()
-		if err := mtreescale.WriteFigureCSV(csvF, res.Figure); err != nil {
-			return err
-		}
-		gpF, err := os.Create(filepath.Join(dir, res.ID+".gp"))
-		if err != nil {
-			return err
-		}
-		defer gpF.Close()
-		if err := mtreescale.WriteFigureGnuplot(gpF, res.Figure); err != nil {
+		if err := mtreescale.WriteFigureCSV(&csvB, res.Figure); err != nil {
 			return err
 		}
 	} else {
-		csvF, err := os.Create(filepath.Join(dir, res.ID+".csv"))
-		if err != nil {
+		if err := renderTableCSV(&csvB, res); err != nil {
 			return err
 		}
-		defer csvF.Close()
-		if err := renderTableCSV(csvF, res); err != nil {
+	}
+	if err := mtreescale.WriteFileAtomic(filepath.Join(dir, res.ID+".csv"), []byte(csvB.String()), 0o644); err != nil {
+		return err
+	}
+
+	if res.Figure != nil {
+		var gp strings.Builder
+		if err := mtreescale.WriteFigureGnuplot(&gp, res.Figure); err != nil {
+			return err
+		}
+		if err := mtreescale.WriteFileAtomic(filepath.Join(dir, res.ID+".gp"), []byte(gp.String()), 0o644); err != nil {
 			return err
 		}
 	}

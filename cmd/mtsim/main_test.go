@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-list"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -23,7 +24,7 @@ func TestList(t *testing.T) {
 
 func TestDescribe(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-describe"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-describe"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -34,7 +35,7 @@ func TestDescribe(t *testing.T) {
 
 func TestReportMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-report", "-profile", "quick"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-report", "-profile", "quick"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -45,35 +46,35 @@ func TestReportMode(t *testing.T) {
 
 func TestMissingExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(nil, &buf); err == nil {
+	if err := run(context.Background(), nil, &buf); err == nil {
 		t.Fatal("no arguments must error")
 	}
 }
 
 func TestUnknownProfile(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-experiment", "fig8", "-profile", "bogus"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-experiment", "fig8", "-profile", "bogus"}, &buf); err == nil {
 		t.Fatal("unknown profile must error")
 	}
 }
 
 func TestUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-experiment", "nope", "-profile", "quick"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-experiment", "nope", "-profile", "quick"}, &buf); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }
 
 func TestUnknownFormat(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-experiment", "fig8", "-profile", "quick", "-format", "png"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-experiment", "fig8", "-profile", "quick", "-format", "png"}, &buf); err == nil {
 		t.Fatal("unknown format must error")
 	}
 }
 
 func TestTableASCII(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-experiment", "table1", "-profile", "quick"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "table1", "-profile", "quick"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -84,13 +85,13 @@ func TestTableASCII(t *testing.T) {
 
 func TestTableCSVAndGnuplotRejection(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-experiment", "table1", "-profile", "quick", "-format", "csv"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "table1", "-profile", "quick", "-format", "csv"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "name,style") {
 		t.Fatalf("csv header missing:\n%s", buf.String())
 	}
-	if err := run([]string{"-experiment", "table1", "-profile", "quick", "-format", "gnuplot"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-experiment", "table1", "-profile", "quick", "-format", "gnuplot"}, &buf); err == nil {
 		t.Fatal("gnuplot of a table must error")
 	}
 }
@@ -98,7 +99,7 @@ func TestTableCSVAndGnuplotRejection(t *testing.T) {
 func TestFigureFormats(t *testing.T) {
 	for _, format := range []string{"ascii", "csv", "gnuplot", "notes"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-experiment", "fig8", "-profile", "quick", "-format", format}, &buf); err != nil {
+		if err := run(context.Background(), []string{"-experiment", "fig8", "-profile", "quick", "-format", format}, &buf); err != nil {
 			t.Fatalf("%s: %v", format, err)
 		}
 		if buf.Len() == 0 {
@@ -110,7 +111,7 @@ func TestFigureFormats(t *testing.T) {
 func TestParallelSchedulerOutDirectory(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run([]string{"-experiment", "all", "-profile", "quick", "-parallel", "0", "-out", dir}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "all", "-profile", "quick", "-parallel", "0", "-out", dir}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -135,7 +136,7 @@ func TestParallelSchedulerOutDirectory(t *testing.T) {
 
 func TestParallelSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-experiment", "fig8", "-profile", "quick", "-parallel", "4", "-format", "notes"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "fig8", "-profile", "quick", "-parallel", "4", "-format", "notes"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "# schedule: 1 experiments") {
@@ -145,10 +146,10 @@ func TestParallelSingleExperiment(t *testing.T) {
 
 func TestNestedFlag(t *testing.T) {
 	var base, nested bytes.Buffer
-	if err := run([]string{"-experiment", "fig1a", "-profile", "quick", "-format", "csv"}, &base); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "fig1a", "-profile", "quick", "-format", "csv"}, &base); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-experiment", "fig1a", "-profile", "quick", "-format", "csv", "-nested"}, &nested); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "fig1a", "-profile", "quick", "-format", "csv", "-nested"}, &nested); err != nil {
 		t.Fatal(err)
 	}
 	if base.Len() == 0 || nested.Len() == 0 {
@@ -162,7 +163,7 @@ func TestNestedFlag(t *testing.T) {
 func TestOutDirectory(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run([]string{"-experiment", "fig8", "-profile", "quick", "-out", dir}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "fig8", "-profile", "quick", "-out", dir}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, ext := range []string{".txt", ".csv", ".gp"} {
@@ -171,7 +172,7 @@ func TestOutDirectory(t *testing.T) {
 		}
 	}
 	// Table writes txt + csv only.
-	if err := run([]string{"-experiment", "table1", "-profile", "quick", "-out", dir}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "table1", "-profile", "quick", "-out", dir}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "table1.csv")); err != nil {

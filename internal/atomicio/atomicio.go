@@ -1,0 +1,117 @@
+// Package atomicio makes result writing crash-safe. Every file the
+// reproduction emits (the per-experiment .txt/.csv/.gp artifacts, benchjson
+// documents) is written to a temporary file in the destination directory,
+// fsynced, and renamed over the target, so a SIGKILL or power cut mid-write
+// leaves either the previous complete file or the new complete file — never
+// a truncated one. The directory is fsynced after the rename so the entry
+// itself is durable.
+package atomicio
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data: temp file in the same
+// directory, write, fsync, rename, fsync directory.
+func WriteFile(path string, data []byte, perm fs.FileMode) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.f.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	return f.Commit()
+}
+
+// File is an in-progress atomic write. Write the content, then Commit to
+// publish it at the destination path; Close without Commit discards the
+// temporary file (the destination is untouched). The zero value is invalid;
+// use Create.
+type File struct {
+	f         *os.File
+	path      string
+	committed bool
+	closed    bool
+}
+
+// Create starts an atomic write targeting path. The temporary file lives in
+// path's directory so the final rename never crosses filesystems.
+func Create(path string) (*File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: temp for %s: %w", path, err)
+	}
+	return &File{f: tmp, path: path}, nil
+}
+
+// Write implements io.Writer on the temporary file.
+func (a *File) Write(p []byte) (int, error) {
+	if a.closed {
+		return 0, fmt.Errorf("atomicio: write to closed file %s", a.path)
+	}
+	return a.f.Write(p)
+}
+
+// Commit fsyncs the temporary file, renames it over the destination, and
+// fsyncs the directory. After Commit, Close is a no-op.
+func (a *File) Commit() error {
+	if a.closed {
+		return fmt.Errorf("atomicio: commit of closed file %s", a.path)
+	}
+	a.closed = true
+	tmpName := a.f.Name()
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: fsync %s: %w", a.path, err)
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: close %s: %w", a.path, err)
+	}
+	if err := os.Rename(tmpName, a.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: rename %s: %w", a.path, err)
+	}
+	a.committed = true
+	return syncDir(filepath.Dir(a.path))
+}
+
+// Close aborts the write if Commit has not run: the temporary file is
+// removed and the destination is left untouched. Safe to defer alongside
+// Commit; after a successful Commit it returns nil.
+func (a *File) Close() error {
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	name := a.f.Name()
+	err := a.f.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that refuse to fsync directories are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicio: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	// Ignore fsync errors on directories (not supported everywhere); the
+	// rename itself already guaranteed atomicity.
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,106 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second" {
+		t.Fatalf("overwrite read back %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestCreateCommitPublishes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig1a.csv")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("size,ratio\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Until Commit, the destination must not exist.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination visible before commit: %v", err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close after commit: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "size,ratio\n" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestCloseWithoutCommitAborts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig1a.csv")
+	if err := WriteFile(path, []byte("intact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("partial garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The abort must leave the previous complete file untouched.
+	got, _ := os.ReadFile(path)
+	if string(got) != "intact" {
+		t.Fatalf("aborted write clobbered destination: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write after close must error")
+	}
+	if err := f.Commit(); err == nil {
+		t.Fatal("commit after close must error")
+	}
+}
+
+func TestWriteFileIntoMissingDirErrors(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("missing directory must error")
+	}
+}
+
+// assertNoTempFiles verifies no .tmp droppings survive any code path.
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -125,12 +126,14 @@ type Result struct {
 	Notes []string
 }
 
-// Runner executes one experiment under a profile.
+// Runner executes one experiment under a profile. Run must observe ctx —
+// return ctx.Err() promptly once the context is cancelled — so a scheduled
+// suite can be interrupted without throwing away sibling experiments.
 type Runner struct {
 	ID          string
 	Title       string
 	Description string
-	Run         func(p Profile) (*Result, error)
+	Run         func(ctx context.Context, p Profile) (*Result, error)
 }
 
 var registry = map[string]*Runner{}
@@ -152,11 +155,32 @@ var paperOrder = []string{
 	"ext-shared", "ext-steiner", "ext-ensemble", "ext-weighted", "ext-affinity-graph",
 }
 
-func register(r *Runner) {
+// Register adds an experiment to the registry. It rejects nil runners,
+// missing IDs or Run functions, and duplicate IDs with an error instead of
+// panicking, so embedders can register extension experiments defensively.
+func Register(r *Runner) error {
+	if r == nil {
+		return fmt.Errorf("experiments: nil runner")
+	}
+	if r.ID == "" {
+		return fmt.Errorf("experiments: runner with empty id")
+	}
+	if r.Run == nil {
+		return fmt.Errorf("experiments: %s: nil Run function", r.ID)
+	}
 	if _, dup := registry[r.ID]; dup {
-		panic("experiments: duplicate id " + r.ID)
+		return fmt.Errorf("experiments: duplicate id %q", r.ID)
 	}
 	registry[r.ID] = r
+	return nil
+}
+
+// mustRegister is Register for init-time use, where a duplicate id is a
+// programming error worth crashing on.
+func mustRegister(r *Runner) {
+	if err := Register(r); err != nil {
+		panic(err)
+	}
 }
 
 // IDs returns all experiment ids in paper order.
@@ -196,6 +220,17 @@ func Lookup(id string) (*Runner, error) {
 
 // Run executes the experiment with the given profile.
 func Run(id string, p Profile) (*Result, error) {
+	return RunCtx(context.Background(), id, p)
+}
+
+// RunCtx executes the experiment under a cancellation context: the
+// measurement engines poll ctx at grid-point granularity and the run
+// returns ctx's error promptly after cancellation. A nil ctx means
+// Background.
+func RunCtx(ctx context.Context, id string, p Profile) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -203,7 +238,10 @@ func Run(id string, p Profile) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := r.Run(p)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := r.Run(ctx, p)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}

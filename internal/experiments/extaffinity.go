@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,7 +13,7 @@ import (
 )
 
 func init() {
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "ext-affinity-graph",
 		Title:       "Extension: Figure 9's affinity sweep on a realistic topology",
 		Description: "The paper simulates W_α(β) on k-ary trees only; this runs the same Metropolis model on a transit-stub graph, checking that the affinity ordering is not a tree artifact.",
@@ -24,7 +25,7 @@ func init() {
 // on general graphs, where moves cost O(n) instead of O(depth)).
 var extAffinityBetas = []float64{-10, -1, 0, 1, 10}
 
-func runExtAffinityGraph(p Profile) (*Result, error) {
+func runExtAffinityGraph(ctx context.Context, p Profile) (*Result, error) {
 	n := scaledNodes(600, p.Scale)
 	g, err := topology.TransitStubSized(n, 3.6, p.Seed)
 	if err != nil {
@@ -48,6 +49,9 @@ func runExtAffinityGraph(p Profile) (*Result, error) {
 		means[bi] = make([]float64, len(ns))
 		var xs, ys []float64
 		for ni, groupN := range ns {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			chain, err := affinity.NewGraphChainCached(g, 0, groupN, beta,
 				rng.New(rng.Split(p.Seed, int64(bi*1000+ni))), p.sptCache())
 			if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,19 +27,19 @@ import (
 //     protocol and shows it does not change the fitted exponent.
 
 func init() {
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "ext-shared",
 		Title:       "Extension: shared (core-based) vs source-based trees",
 		Description: "Wei-Estrin style comparison the paper's footnote 1 defers: cost overhead of core-based shared trees vs source-rooted shortest-path trees, for random and center core placement.",
 		Run:         runExtShared,
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "ext-steiner",
 		Title:       "Extension: shortest-path trees vs KMB Steiner trees",
 		Description: "Does the scaling law survive near-optimal routing? Measures L(m) for both tree types and fits both exponents.",
 		Run:         runExtSteiner,
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "ext-ensemble",
 		Title:       "Extension: footnote 4's N_network ensemble protocol",
 		Description: "Chuang-Sirbu's original protocol regenerates each random topology N_network times; shows the fitted exponent is stable under topology resampling.",
@@ -46,7 +47,7 @@ func init() {
 	})
 }
 
-func runExtShared(p Profile) (*Result, error) {
+func runExtShared(ctx context.Context, p Profile) (*Result, error) {
 	g, err := topology.GenerateCached("ts1000", 0, p.Scale)
 	if err != nil {
 		return nil, err
@@ -62,7 +63,7 @@ func runExtShared(p Profile) (*Result, error) {
 	sizes := mcast.LogSpacedSizes(p.capSize(g.N()-1), p.GridPoints)
 	prot := mcast.Protocol{NSource: p.NSource, NRcvr: p.NRcvr, Seed: p.Seed, SPTCache: p.SPTCache}
 	for _, strat := range []mcast.CoreStrategy{mcast.CoreRandom, mcast.CoreCenter, mcast.CoreSource} {
-		pts, err := mcast.MeasureSharedCurve(g, sizes, strat, prot)
+		pts, err := mcast.MeasureSharedCurveCtx(ctx, g, sizes, strat, prot)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +87,7 @@ func runExtShared(p Profile) (*Result, error) {
 	return res, nil
 }
 
-func runExtSteiner(p Profile) (*Result, error) {
+func runExtSteiner(ctx context.Context, p Profile) (*Result, error) {
 	g, err := topology.GenerateCached("ts1000", 0, p.Scale)
 	if err != nil {
 		return nil, err
@@ -114,6 +115,9 @@ func runExtSteiner(p Profile) (*Result, error) {
 	kmbYs := make([]float64, 0, len(sizes))
 	ratioAtMax := 0.0
 	for _, m := range sizes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var sptSum, kmbSum float64
 		n := 0
 		for si := 0; si < nSource; si++ {
@@ -166,18 +170,18 @@ func runExtSteiner(p Profile) (*Result, error) {
 	return res, nil
 }
 
-func runExtEnsemble(p Profile) (*Result, error) {
+func runExtEnsemble(ctx context.Context, p Profile) (*Result, error) {
 	gen := func(seed int64) (*graph.Graph, error) {
 		return topology.TransitStubSized(scaledNodes(1000, p.Scale), 3.6, seed)
 	}
 	sizes := mcast.LogSpacedSizes(p.capSize(scaledNodes(1000, p.Scale)/2), p.GridPoints)
 	prot := mcast.Protocol{NSource: p.NSource/2 + 1, NRcvr: p.NRcvr/2 + 1, Seed: p.Seed, Nested: p.Nested}
 	nNetworks := 5
-	pts, err := mcast.MeasureEnsemble(gen, nNetworks, sizes, mcast.Distinct, prot)
+	pts, err := mcast.MeasureEnsembleCtx(ctx, gen, nNetworks, sizes, mcast.Distinct, prot)
 	if err != nil {
 		return nil, err
 	}
-	single, err := mcast.MeasureEnsemble(gen, 1, sizes, mcast.Distinct, prot)
+	single, err := mcast.MeasureEnsembleCtx(ctx, gen, 1, sizes, mcast.Distinct, prot)
 	if err != nil {
 		return nil, err
 	}

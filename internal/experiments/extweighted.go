@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mtreescale/internal/mcast"
@@ -10,7 +11,7 @@ import (
 )
 
 func init() {
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "ext-weighted",
 		Title:       "Extension: hop-count vs length-weighted tree costs",
 		Description: "Footnote 3 counts hops only; this experiment measures the scaling of Euclidean-length-weighted trees on a geometric Waxman graph and shows the exponent matches the hop-count exponent.",
@@ -18,7 +19,7 @@ func init() {
 	})
 }
 
-func runExtWeighted(p Profile) (*Result, error) {
+func runExtWeighted(ctx context.Context, p Profile) (*Result, error) {
 	n := scaledNodes(2000, p.Scale)
 	gg, err := wgraph.WaxmanGeo(n, 0.6, 0.25, p.Seed)
 	if err != nil {
@@ -26,6 +27,9 @@ func runExtWeighted(p Profile) (*Result, error) {
 	}
 	maxM := p.capSize(gg.G.N() / 2)
 	sizes := mcast.LogSpacedSizes(maxM, p.GridPoints)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pts, err := wgraph.MeasureWeightedCurve(gg, sizes, p.NSource/2+1, p.NRcvr/2+1, p.Seed)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,21 +13,25 @@ import (
 )
 
 func init() {
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig1a",
 		Title:       "Figure 1(a): ln(L/ū) vs ln m, generated topologies",
 		Description: "Monte-Carlo §2 protocol on r100, ts1000, ts1008, ti5000; compares the normalized tree size against the m^0.8 law.",
-		Run:         func(p Profile) (*Result, error) { return runFig1("fig1a", topology.GeneratedNames(), p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig1(ctx, "fig1a", topology.GeneratedNames(), p)
+		},
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig1b",
 		Title:       "Figure 1(b): ln(L/ū) vs ln m, real topologies",
 		Description: "Monte-Carlo §2 protocol on ARPA, MBone, Internet, AS substitutes; compares against the m^0.8 law.",
-		Run:         func(p Profile) (*Result, error) { return runFig1("fig1b", topology.RealNames(), p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig1(ctx, "fig1b", topology.RealNames(), p)
+		},
 	})
 }
 
-func runFig1(id string, names []string, p Profile) (*Result, error) {
+func runFig1(ctx context.Context, id string, names []string, p Profile) (*Result, error) {
 	graphs, err := buildTopologies(names, p)
 	if err != nil {
 		return nil, err
@@ -50,7 +55,7 @@ func runFig1(id string, names []string, p Profile) (*Result, error) {
 			Nested:   p.Nested,
 			SPTCache: p.SPTCache,
 		}
-		pts, err := mcast.MeasureCurve(g, sizes, mcast.Distinct, prot)
+		pts, err := mcast.MeasureCurveCtx(ctx, g, sizes, mcast.Distinct, prot)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", g.Name(), err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -11,33 +12,41 @@ import (
 )
 
 func init() {
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig6a",
 		Title:       "Figure 6(a): L̄(n)/(n·C̄) vs ln n, generated topologies",
 		Description: "Equation 30 evaluated on the measured reachability functions of r100, ts1000, ts1008, ti5000; exponential-growth networks give straight lines.",
-		Run:         func(p Profile) (*Result, error) { return runFig6("fig6a", topology.GeneratedNames(), p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig6(ctx, "fig6a", topology.GeneratedNames(), p)
+		},
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig6b",
 		Title:       "Figure 6(b): L̄(n)/(n·C̄) vs ln n, real topologies",
 		Description: "Equation 30 on ARPA, MBone, Internet, AS substitutes.",
-		Run:         func(p Profile) (*Result, error) { return runFig6("fig6b", topology.RealNames(), p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig6(ctx, "fig6b", topology.RealNames(), p)
+		},
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig7a",
 		Title:       "Figure 7(a): ln T(r) vs r, generated topologies",
 		Description: "Measured cumulative reachability; transit-stub and random are exponential before saturation, TIERS is concave (sub-exponential).",
-		Run:         func(p Profile) (*Result, error) { return runFig7("fig7a", topology.GeneratedNames(), p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig7(ctx, "fig7a", topology.GeneratedNames(), p)
+		},
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig7b",
 		Title:       "Figure 7(b): ln T(r) vs r, real topologies",
 		Description: "Measured cumulative reachability of the real-map substitutes; Internet and AS exponential, ARPA and MBone concave.",
-		Run:         func(p Profile) (*Result, error) { return runFig7("fig7b", topology.RealNames(), p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig7(ctx, "fig7b", topology.RealNames(), p)
+		},
 	})
 }
 
-func runFig6(id string, names []string, p Profile) (*Result, error) {
+func runFig6(ctx context.Context, id string, names []string, p Profile) (*Result, error) {
 	graphs, err := buildTopologies(names, p)
 	if err != nil {
 		return nil, err
@@ -51,6 +60,9 @@ func runFig6(id string, names []string, p Profile) (*Result, error) {
 	}
 	res := &Result{ID: id, Title: fig.Title, Figure: fig}
 	for gi, g := range graphs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := reach.MeasureAveragedCached(g, p.NSource, rng.Split(p.Seed, int64(gi)), p.sptCache())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", g.Name(), err)
@@ -84,7 +96,7 @@ func runFig6(id string, names []string, p Profile) (*Result, error) {
 	return res, nil
 }
 
-func runFig7(id string, names []string, p Profile) (*Result, error) {
+func runFig7(ctx context.Context, id string, names []string, p Profile) (*Result, error) {
 	graphs, err := buildTopologies(names, p)
 	if err != nil {
 		return nil, err
@@ -98,6 +110,9 @@ func runFig7(id string, names []string, p Profile) (*Result, error) {
 	}
 	res := &Result{ID: id, Title: fig.Title, Figure: fig}
 	for gi, g := range graphs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := reach.MeasureAveragedCached(g, p.NSource, rng.Split(p.Seed, int64(gi)), p.sptCache())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", g.Name(), err)

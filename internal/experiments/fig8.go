@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mtreescale/internal/plot"
@@ -8,7 +9,7 @@ import (
 )
 
 func init() {
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig8",
 		Title:       "Figure 8: L̄(n)/(n·D) for exponential vs non-exponential S(r)",
 		Description: "Equation 23 under three synthetic reachability functions normalized to equal S(D): exponential 2^r, power law r^λ, and super-exponential e^{λr²}; shows the asymptotic form is exponential-specific.",
@@ -24,7 +25,7 @@ const (
 	fig8MaxN   = 1e10
 )
 
-func runFig8(p Profile) (*Result, error) {
+func runFig8(ctx context.Context, p Profile) (*Result, error) {
 	exp, pow, gau, err := reach.Figure8Models(2, fig8Lambda, fig8Depth)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -11,24 +12,24 @@ import (
 )
 
 func init() {
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig9a",
 		Title:       "Figure 9(a): L̄_β(n)/n for a binary tree, D=10",
 		Description: "Metropolis sampling of the affinity model W_α(β) ∝ exp(−β·d̂) for β ∈ {−10,−1,−0.1,0,0.1,1,10}; receivers at all sites.",
-		Run:         func(p Profile) (*Result, error) { return runFig9("fig9a", 10, p) },
+		Run:         func(ctx context.Context, p Profile) (*Result, error) { return runFig9(ctx, "fig9a", 10, p) },
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig9b",
 		Title:       "Figure 9(b): L̄_β(n)/n for a binary tree, D=12",
 		Description: "Same sweep at 4× network size: the β effect at fixed n is roughly size-independent, supporting the paper's §5.4 conjecture.",
-		Run:         func(p Profile) (*Result, error) { return runFig9("fig9b", 12, p) },
+		Run:         func(ctx context.Context, p Profile) (*Result, error) { return runFig9(ctx, "fig9b", 12, p) },
 	})
 }
 
 // fig9Betas is the paper's β sweep.
 var fig9Betas = []float64{-10, -1, -0.1, 0, 0.1, 1, 10}
 
-func runFig9(id string, depth int, p Profile) (*Result, error) {
+func runFig9(ctx context.Context, id string, depth int, p Profile) (*Result, error) {
 	// The quick profile shrinks depth to keep MCMC cheap.
 	if p.Scale < 0.2 {
 		depth -= 4

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,53 +17,69 @@ var (
 )
 
 func init() {
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig2a",
 		Title:       "Figure 2(a): h(x) vs x, k=2",
 		Description: "Exact h(x) from Equations 6+11 for binary trees of depth 10/14/17 against the x·k^{-1/2} approximation (Equation 12).",
-		Run:         func(p Profile) (*Result, error) { return runFig2("fig2a", 2, karyK2Depths, p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig2(ctx, "fig2a", 2, karyK2Depths, p)
+		},
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig2b",
 		Title:       "Figure 2(b): h(x) vs x, k=4",
 		Description: "Exact h(x) for 4-ary trees of depth 5/7/9 against x·k^{-1/2}; shows the paper's early oscillations.",
-		Run:         func(p Profile) (*Result, error) { return runFig2("fig2b", 4, karyK4Depths, p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig2(ctx, "fig2b", 4, karyK4Depths, p)
+		},
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig3a",
 		Title:       "Figure 3(a): L̄(n)/n vs n/M, k=2, receivers at leaves",
 		Description: "Exact Equation 4 normalized per receiver against the asymptotic line 1/ln k − ln(n/M)/ln k (Equation 16).",
-		Run:         func(p Profile) (*Result, error) { return runFig35("fig3a", 2, karyK2Depths, false, p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig35(ctx, "fig3a", 2, karyK2Depths, false, p)
+		},
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig3b",
 		Title:       "Figure 3(b): L̄(n)/n vs n/M, k=4, receivers at leaves",
 		Description: "Exact Equation 4 for k=4 against the Equation 16 line.",
-		Run:         func(p Profile) (*Result, error) { return runFig35("fig3b", 4, karyK4Depths, false, p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig35(ctx, "fig3b", 4, karyK4Depths, false, p)
+		},
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig4a",
 		Title:       "Figure 4(a): ln(L(m)/C̄) vs ln m, k=2",
 		Description: "Equations 4+1 composed into L(m) for binary trees, compared to the Chuang-Sirbu m^0.8 line.",
-		Run:         func(p Profile) (*Result, error) { return runFig4("fig4a", 2, karyK2Depths, p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig4(ctx, "fig4a", 2, karyK2Depths, p)
+		},
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig4b",
 		Title:       "Figure 4(b): ln(L(m)/C̄) vs ln m, k=4",
 		Description: "Equations 4+1 for 4-ary trees against m^0.8.",
-		Run:         func(p Profile) (*Result, error) { return runFig4("fig4b", 4, karyK4Depths, p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig4(ctx, "fig4b", 4, karyK4Depths, p)
+		},
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig5a",
 		Title:       "Figure 5(a): L̄(n)/n vs n/M, k=2, receivers throughout",
 		Description: "Exact Equation 21 (receivers at all non-root sites) against the Equation 16 line; same slope, shifted constant.",
-		Run:         func(p Profile) (*Result, error) { return runFig35("fig5a", 2, karyK2Depths, true, p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig35(ctx, "fig5a", 2, karyK2Depths, true, p)
+		},
 	})
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "fig5b",
 		Title:       "Figure 5(b): L̄(n)/n vs n/M, k=4, receivers throughout",
 		Description: "Exact Equation 21 for k=4 against the Equation 16 line.",
-		Run:         func(p Profile) (*Result, error) { return runFig35("fig5b", 4, karyK4Depths, true, p) },
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			return runFig35(ctx, "fig5b", 4, karyK4Depths, true, p)
+		},
 	})
 }
 
@@ -82,7 +99,7 @@ func xGrid(lo, hi float64, points int) []float64 {
 	return out
 }
 
-func runFig2(id string, k int, depths []int, p Profile) (*Result, error) {
+func runFig2(ctx context.Context, id string, k int, depths []int, p Profile) (*Result, error) {
 	fig := &plot.Figure{
 		ID:     id,
 		Title:  fmt.Sprintf("h(x) for k=%d trees, receivers at leaves", k),
@@ -124,7 +141,7 @@ func runFig2(id string, k int, depths []int, p Profile) (*Result, error) {
 	return res, nil
 }
 
-func runFig35(id string, k int, depths []int, throughout bool, p Profile) (*Result, error) {
+func runFig35(ctx context.Context, id string, k int, depths []int, throughout bool, p Profile) (*Result, error) {
 	where := "leaves"
 	if throughout {
 		where = "throughout"
@@ -183,7 +200,7 @@ func runFig35(id string, k int, depths []int, throughout bool, p Profile) (*Resu
 	return res, nil
 }
 
-func runFig4(id string, k int, depths []int, p Profile) (*Result, error) {
+func runFig4(ctx context.Context, id string, k int, depths []int, p Profile) (*Result, error) {
 	fig := &plot.Figure{
 		ID:     id,
 		Title:  fmt.Sprintf("L(m)/C̄ for k=%d trees vs the Chuang-Sirbu law", k),

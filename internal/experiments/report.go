@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -14,6 +15,15 @@ import (
 //
 // now is injected so tests can pin the timestamp; pass time.Now().
 func Report(w io.Writer, p Profile, now time.Time) error {
+	return ReportCtx(context.Background(), w, p, now)
+}
+
+// ReportCtx is Report under a cancellation context: the run stops at the
+// first experiment that observes cancellation and returns its error.
+func ReportCtx(ctx context.Context, w io.Writer, p Profile, now time.Time) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -25,7 +35,7 @@ func Report(w io.Writer, p Profile, now time.Time) error {
 		if err != nil {
 			return err
 		}
-		res, err := Run(id, p)
+		res, err := RunCtx(ctx, id, p)
 		if err != nil {
 			return fmt.Errorf("experiments: report: %s: %w", id, err)
 		}

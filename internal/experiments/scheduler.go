@@ -1,11 +1,20 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"mtreescale/internal/panicsafe"
 )
+
+// ErrHeapLimit marks an experiment aborted by ScheduleOptions.MaxHeapBytes:
+// the process heap grew past the soft limit while the experiment ran, so the
+// scheduler cancelled it rather than let the whole run die to the OOM killer.
+var ErrHeapLimit = errors.New("experiments: heap limit exceeded")
 
 // RunStats is one scheduled experiment's result plus its execution cost.
 type RunStats struct {
@@ -20,8 +29,38 @@ type RunStats struct {
 	// schedule the counter is process-global, so concurrent experiments'
 	// allocations bleed into each other and the value is approximate.
 	AllocBytes uint64
-	// Err is the experiment's failure, if any.
+	// Replayed reports that Result came from ScheduleOptions.Replay (a
+	// checkpoint) instead of a fresh execution.
+	Replayed bool
+	// Err is the experiment's failure, if any: the experiment's own error,
+	// ctx.Err() when the schedule was cancelled before/while it ran,
+	// ErrHeapLimit when the heap guard aborted it, or a *panicsafe.PanicError
+	// (with stack) when the experiment panicked.
 	Err error
+}
+
+// ScheduleOptions configures RunManyCtx.
+type ScheduleOptions struct {
+	// Parallel is the worker count (0 or negative means GOMAXPROCS).
+	Parallel int
+	// MaxHeapBytes, when positive, is a soft per-experiment memory guard:
+	// while an experiment runs, the scheduler samples runtime.MemStats and
+	// cancels that experiment's context with ErrHeapLimit once HeapAlloc
+	// exceeds the limit. The guard aborts the experiment, not the process;
+	// siblings keep running. The check is also performed synchronously
+	// before the experiment starts, so an already-breached limit fails
+	// deterministically.
+	MaxHeapBytes uint64
+	// Replay, when non-nil, is consulted before running each experiment.
+	// Returning (result, true) skips execution and records the result with
+	// Replayed set — the hook -resume uses to skip checkpointed work.
+	Replay func(id string) (*Result, bool)
+	// OnComplete, when non-nil, is called once per freshly executed
+	// successful experiment, immediately after it finishes. It is invoked
+	// from worker goroutines, possibly concurrently; the callback must be
+	// safe for concurrent use. Replayed and failed experiments are not
+	// reported — the checkpoint writer only wants new, good results.
+	OnComplete func(RunStats)
 }
 
 // RunMany executes the given experiments concurrently with up to `parallel`
@@ -31,9 +70,25 @@ type RunStats struct {
 // experiment runs even if an earlier one fails; the first failure in input
 // order is returned as the error alongside the full stats slice.
 func RunMany(ids []string, p Profile, parallel int) ([]RunStats, error) {
+	return RunManyCtx(context.Background(), ids, p, ScheduleOptions{Parallel: parallel})
+}
+
+// RunManyCtx is RunMany under a cancellation context and extended scheduling
+// options. Cancellation is observed at grid-point granularity inside the
+// measurement engines: in-flight experiments return partial work promptly
+// with ctx.Err(), unstarted experiments are marked with ctx.Err() without
+// running, and already-finished stats are kept — the partial stats slice is
+// always returned. A panicking experiment is isolated: its recovered value
+// and stack land in its RunStats.Err as a *panicsafe.PanicError while
+// sibling experiments complete normally.
+func RunManyCtx(ctx context.Context, ids []string, p Profile, opts ScheduleOptions) ([]RunStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	parallel := opts.Parallel
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -54,19 +109,21 @@ func RunMany(ids []string, p Profile, parallel int) ([]RunStats, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var ms0, ms1 runtime.MemStats
 			for i := range jobs {
-				runtime.ReadMemStats(&ms0)
-				start := time.Now()
-				res, err := Run(ids[i], p)
-				wall := time.Since(start)
-				runtime.ReadMemStats(&ms1)
-				stats[i] = RunStats{
-					ID:         ids[i],
-					Result:     res,
-					Wall:       wall,
-					AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
-					Err:        err,
+				id := ids[i]
+				if err := ctx.Err(); err != nil {
+					stats[i] = RunStats{ID: id, Err: err}
+					continue
+				}
+				if opts.Replay != nil {
+					if res, ok := opts.Replay(id); ok {
+						stats[i] = RunStats{ID: id, Result: res, Replayed: true}
+						continue
+					}
+				}
+				stats[i] = runGuarded(ctx, id, p, opts.MaxHeapBytes)
+				if opts.OnComplete != nil && stats[i].Err == nil {
+					opts.OnComplete(stats[i])
 				}
 			}
 		}()
@@ -74,8 +131,87 @@ func RunMany(ids []string, p Profile, parallel int) ([]RunStats, error) {
 	wg.Wait()
 	for i := range stats {
 		if stats[i].Err != nil {
-			return stats, fmt.Errorf("experiments: schedule: %w", stats[i].Err)
+			return stats, fmt.Errorf("experiments: schedule: %s: %w", stats[i].ID, stats[i].Err)
 		}
 	}
 	return stats, nil
+}
+
+// runGuarded executes one experiment with panic isolation and an optional
+// soft heap guard, producing its RunStats.
+func runGuarded(ctx context.Context, id string, p Profile, maxHeap uint64) RunStats {
+	runCtx := ctx
+	var stopGuard func()
+	if maxHeap > 0 {
+		// Deterministic pre-check: if the heap is already past the limit the
+		// experiment fails before doing any work, regardless of monitor
+		// timing.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > maxHeap {
+			return RunStats{ID: id, Err: fmt.Errorf("%w (heap %d > limit %d bytes)", ErrHeapLimit, ms.HeapAlloc, maxHeap)}
+		}
+		runCtx, stopGuard = heapGuard(ctx, maxHeap)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var res *Result
+	err := panicsafe.Do(func() error {
+		var rerr error
+		res, rerr = RunCtx(runCtx, id, p)
+		return rerr
+	})
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if stopGuard != nil {
+		stopGuard()
+	}
+	// The guard cancels via context; translate the generic cancellation the
+	// experiment observed back into the heap-limit sentinel.
+	if err != nil && context.Cause(runCtx) != nil && errors.Is(context.Cause(runCtx), ErrHeapLimit) {
+		err = context.Cause(runCtx)
+		res = nil
+	}
+	return RunStats{
+		ID:         id,
+		Result:     res,
+		Wall:       wall,
+		AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+		Err:        err,
+	}
+}
+
+// heapGuard derives a context that is cancelled with ErrHeapLimit once the
+// process HeapAlloc exceeds maxHeap, sampling every 100ms. stop releases the
+// monitor goroutine.
+func heapGuard(ctx context.Context, maxHeap uint64) (guarded context.Context, stop func()) {
+	gctx, cancel := context.WithCancelCause(ctx)
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-done:
+				return
+			case <-gctx.Done():
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > maxHeap {
+					cancel(fmt.Errorf("%w (heap %d > limit %d bytes)", ErrHeapLimit, ms.HeapAlloc, maxHeap))
+					return
+				}
+			}
+		}
+	}()
+	return gctx, func() {
+		once.Do(func() {
+			close(done)
+			cancel(nil)
+		})
+	}
 }

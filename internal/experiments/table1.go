@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -10,7 +11,7 @@ import (
 )
 
 func init() {
-	register(&Runner{
+	mustRegister(&Runner{
 		ID:          "table1",
 		Title:       "Table 1: description of networks",
 		Description: "Builds the eight standard topologies and reports the structural columns of Table 1, plus the measured reachability growth class (the paper's Figure 7 judgment).",
@@ -18,13 +19,16 @@ func init() {
 	})
 }
 
-func runTable1(p Profile) (*Result, error) {
+func runTable1(ctx context.Context, p Profile) (*Result, error) {
 	res := &Result{
 		ID:     "table1",
 		Title:  "Description of networks used in Figure 1",
 		Header: []string{"name", "style", "nodes", "links", "avg degree", "avg path", "diameter", "T(r) growth"},
 	}
 	for _, name := range topology.StandardNames() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		spec, err := topology.Lookup(name)
 		if err != nil {
 			return nil, err

@@ -1,12 +1,14 @@
 package mcast
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 
 	"mtreescale/internal/graph"
+	"mtreescale/internal/panicsafe"
 	"mtreescale/internal/rng"
 )
 
@@ -23,6 +25,16 @@ import (
 // inner MeasureCurve, and the reduction runs in network order, so results
 // are deterministic and identical to a sequential run.
 func MeasureEnsemble(gen func(seed int64) (*graph.Graph, error), nNetworks int, sizes []int, mode Mode, p Protocol) ([]Point, error) {
+	return MeasureEnsembleCtx(context.Background(), gen, nNetworks, sizes, mode, p)
+}
+
+// MeasureEnsembleCtx is MeasureEnsemble under a cancellation context: the
+// network workers observe ctx before each generation and propagate it into
+// every inner MeasureCurveCtx, which polls it at grid-point granularity. A
+// panic in gen or in a measurement worker surfaces as an error instead of
+// killing the process. A nil ctx means Background.
+func MeasureEnsembleCtx(ctx context.Context, gen func(seed int64) (*graph.Graph, error), nNetworks int, sizes []int, mode Mode, p Protocol) ([]Point, error) {
+	ctx = orBackground(ctx)
 	if gen == nil {
 		return nil, fmt.Errorf("mcast: nil generator")
 	}
@@ -57,23 +69,32 @@ func MeasureEnsemble(gen func(seed int64) (*graph.Graph, error), nNetworks int, 
 		go func() {
 			defer wg.Done()
 			for net := range nets {
-				g, err := gen(rng.Split(p.Seed, int64(net)))
-				if err != nil {
-					netErrs[net] = fmt.Errorf("mcast: generating network %d: %w", net, err)
+				if err := ctx.Err(); err != nil {
+					netErrs[net] = err
 					return
 				}
-				q := p
-				q.Seed = rng.Split(p.Seed, int64(1000000+net))
-				q.Workers = inner
-				// Ensemble networks are transient: caching their SPTs
-				// would pin dead topologies in the process-wide cache.
-				q.SPTCache = false
-				pts, err := MeasureCurve(g, sizes, mode, q)
+				err := panicsafe.Do(func() error {
+					g, err := gen(rng.Split(p.Seed, int64(net)))
+					if err != nil {
+						return fmt.Errorf("mcast: generating network %d: %w", net, err)
+					}
+					q := p
+					q.Seed = rng.Split(p.Seed, int64(1000000+net))
+					q.Workers = inner
+					// Ensemble networks are transient: caching their SPTs
+					// would pin dead topologies in the process-wide cache.
+					q.SPTCache = false
+					pts, err := MeasureCurveCtx(ctx, g, sizes, mode, q)
+					if err != nil {
+						return fmt.Errorf("mcast: measuring network %d: %w", net, err)
+					}
+					perNet[net] = pts
+					return nil
+				})
 				if err != nil {
-					netErrs[net] = fmt.Errorf("mcast: measuring network %d: %w", net, err)
+					netErrs[net] = err
 					return
 				}
-				perNet[net] = pts
 			}
 		}()
 	}

@@ -1,12 +1,14 @@
 package mcast
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 
 	"mtreescale/internal/graph"
+	"mtreescale/internal/panicsafe"
 	"mtreescale/internal/rng"
 )
 
@@ -104,21 +106,37 @@ func (m Mode) String() string {
 // fixed Protocol regardless of scheduling, because each source draw has its
 // own derived RNG stream and partial sums are reduced in source order.
 func MeasureCurve(g *graph.Graph, sizes []int, mode Mode, p Protocol) ([]Point, error) {
+	return MeasureCurveCtx(context.Background(), g, sizes, mode, p)
+}
+
+// MeasureCurveCtx is MeasureCurve under a cancellation context: the worker
+// pool observes ctx at grid-point granularity, abandons the sweep promptly
+// after cancellation, and returns ctx's error. A nil ctx means Background.
+func MeasureCurveCtx(ctx context.Context, g *graph.Graph, sizes []int, mode Mode, p Protocol) ([]Point, error) {
 	if p.Nested {
-		return MeasureCurveNested(g, sizes, mode, p)
+		return MeasureCurveNestedCtx(ctx, g, sizes, mode, p)
 	}
+	ctx = orBackground(ctx)
 	if err := validateCurveArgs(g, sizes, mode, p); err != nil {
 		return nil, err
 	}
 	sources := drawSources(g, p)
 	acc := newCurveAccum(p.NSource, len(sizes))
-	err := runSourceWorkers(p, func(si int) error {
-		return measureSourceIndependent(g, sources[si], si, sizes, mode, p, acc)
+	err := runSourceWorkers(ctx, p, func(si int) error {
+		return measureSourceIndependent(ctx, g, sources[si], si, sizes, mode, p, acc)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return acc.reduce(sizes), nil
+}
+
+// orBackground normalizes a nil context.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 // validateCurveArgs is the shared argument check of the independent and
@@ -230,7 +248,12 @@ func (a *curveAccum) reduce(sizes []int) []Point {
 // pool. The jobs channel is buffered to NSource so a worker that returns
 // early on error can never strand the feed loop mid-send (the deadlock a
 // failing source used to cause with an unbuffered channel).
-func runSourceWorkers(p Protocol, job func(si int) error) error {
+//
+// Robustness: workers check ctx before picking up each source job (the inner
+// measurement loops additionally poll it at grid-point granularity), and
+// every job runs under panicsafe.Do, so a panicking source job surfaces as
+// an ordinary error from the engine instead of killing the process.
+func runSourceWorkers(ctx context.Context, p Protocol, job func(si int) error) error {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -250,7 +273,11 @@ func runSourceWorkers(p Protocol, job func(si int) error) error {
 		go func(w int) {
 			defer wg.Done()
 			for si := range jobs {
-				if err := job(si); err != nil {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := panicsafe.Do(func() error { return job(si) }); err != nil {
 					errs[w] = err
 					return
 				}
@@ -258,12 +285,22 @@ func runSourceWorkers(p Protocol, job func(si int) error) error {
 		}(w)
 	}
 	wg.Wait()
+	// Prefer a real measurement failure over a bare cancellation error so
+	// the caller sees the root cause when both raced.
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		if err == context.Canceled || err == context.DeadlineExceeded {
+			ctxErr = err
+			continue
+		}
+		return err
 	}
-	return nil
+	// ctxErr is nil when every job completed before cancellation was
+	// observed — the sweep is whole, so report success.
+	return ctxErr
 }
 
 // sourceScratch is the per-worker reusable state of the curve engines: the
@@ -314,8 +351,9 @@ func (sc *sourceScratch) prepare(g *graph.Graph, src, si int, p Protocol) (*grap
 }
 
 // measureSourceIndependent runs the paper-faithful §2 inner loop for one
-// source: an independent receiver set per (size, repetition).
-func measureSourceIndependent(g *graph.Graph, src, si int, sizes []int, mode Mode, p Protocol, acc *curveAccum) error {
+// source: an independent receiver set per (size, repetition), observing ctx
+// at every grid point so cancellation interrupts even a single huge source.
+func measureSourceIndependent(ctx context.Context, g *graph.Graph, src, si int, sizes []int, mode Mode, p Protocol, acc *curveAccum) error {
 	sc := getScratch(g.N())
 	defer scratchPool.Put(sc)
 	spt, err := sc.prepare(g, src, si, p)
@@ -323,6 +361,9 @@ func measureSourceIndependent(g *graph.Graph, src, si int, sizes []int, mode Mod
 		return err
 	}
 	for k, size := range sizes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for rep := 0; rep < p.NRcvr; rep++ {
 			switch mode {
 			case Distinct:

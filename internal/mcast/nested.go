@@ -1,6 +1,7 @@
 package mcast
 
 import (
+	"context"
 	"sort"
 
 	"mtreescale/internal/graph"
@@ -30,6 +31,14 @@ import (
 // Results are deterministic for a fixed Protocol regardless of Workers,
 // exactly like MeasureCurve.
 func MeasureCurveNested(g *graph.Graph, sizes []int, mode Mode, p Protocol) ([]Point, error) {
+	return MeasureCurveNestedCtx(context.Background(), g, sizes, mode, p)
+}
+
+// MeasureCurveNestedCtx is MeasureCurveNested under a cancellation context:
+// the growth loop observes ctx between repetitions and returns its error
+// promptly after cancellation. A nil ctx means Background.
+func MeasureCurveNestedCtx(ctx context.Context, g *graph.Graph, sizes []int, mode Mode, p Protocol) ([]Point, error) {
+	ctx = orBackground(ctx)
 	p.Nested = false // normalize: routing flag only, not consumed below
 	if err := validateCurveArgs(g, sizes, mode, p); err != nil {
 		return nil, err
@@ -38,8 +47,8 @@ func MeasureCurveNested(g *graph.Graph, sizes []int, mode Mode, p Protocol) ([]P
 	maxSize := cuts[len(cuts)-1].size
 	sources := drawSources(g, p)
 	acc := newCurveAccum(p.NSource, len(sizes))
-	err := runSourceWorkers(p, func(si int) error {
-		return measureSourceNested(g, sources[si], si, cuts, maxSize, mode, p, acc)
+	err := runSourceWorkers(ctx, p, func(si int) error {
+		return measureSourceNested(ctx, g, sources[si], si, cuts, maxSize, mode, p, acc)
 	})
 	if err != nil {
 		return nil, err
@@ -63,8 +72,10 @@ func sizeCuts(sizes []int) []sizeCut {
 }
 
 // measureSourceNested runs the nested inner loop for one source: NRcvr
-// growth sequences, each measured at every cut.
-func measureSourceNested(g *graph.Graph, src, si int, cuts []sizeCut, maxSize int, mode Mode, p Protocol, acc *curveAccum) error {
+// growth sequences, each measured at every cut. ctx is polled once per
+// repetition — one repetition is one O(L(maxM)) tree walk, the nested
+// engine's grid-point unit of work.
+func measureSourceNested(ctx context.Context, g *graph.Graph, src, si int, cuts []sizeCut, maxSize int, mode Mode, p Protocol, acc *curveAccum) error {
 	sc := getScratch(g.N())
 	defer scratchPool.Put(sc)
 	spt, err := sc.prepare(g, src, si, p)
@@ -72,6 +83,9 @@ func measureSourceNested(g *graph.Graph, src, si int, cuts []sizeCut, maxSize in
 		return err
 	}
 	for rep := 0; rep < p.NRcvr; rep++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		switch mode {
 		case Distinct:
 			sc.recv, err = sc.smp.Permutation(maxSize, sc.recv)

@@ -1,6 +1,7 @@
 package mcast
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -177,7 +178,7 @@ func TestRunSourceWorkersErrorNoDeadlock(t *testing.T) {
 	boom := errors.New("injected source failure")
 	done := make(chan error, 1)
 	go func() {
-		done <- runSourceWorkers(Protocol{NSource: 200, NRcvr: 1, Workers: 2}, func(si int) error {
+		done <- runSourceWorkers(context.Background(), Protocol{NSource: 200, NRcvr: 1, Workers: 2}, func(si int) error {
 			if si < 2 {
 				return boom // fail every worker's first job
 			}

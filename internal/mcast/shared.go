@@ -1,6 +1,7 @@
 package mcast
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -101,6 +102,14 @@ type SharedPoint struct {
 // Workers setting. Source and core draws come from independent pre-drawn RNG
 // streams, matching the sequential engine's sequences exactly.
 func MeasureSharedCurve(g *graph.Graph, sizes []int, strategy CoreStrategy, p Protocol) ([]SharedPoint, error) {
+	return MeasureSharedCurveCtx(context.Background(), g, sizes, strategy, p)
+}
+
+// MeasureSharedCurveCtx is MeasureSharedCurve under a cancellation context:
+// the worker pool observes ctx at grid-point granularity and returns its
+// error promptly after cancellation. A nil ctx means Background.
+func MeasureSharedCurveCtx(ctx context.Context, g *graph.Graph, sizes []int, strategy CoreStrategy, p Protocol) ([]SharedPoint, error) {
+	ctx = orBackground(ctx)
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -142,8 +151,8 @@ func MeasureSharedCurve(g *graph.Graph, sizes []int, strategy CoreStrategy, p Pr
 	}
 
 	acc := newSharedAccum(p.NSource, len(sizes))
-	err := runSourceWorkers(p, func(si int) error {
-		return measureSourceShared(g, sources[si], cores[si], si, sizes, p, acc)
+	err := runSourceWorkers(ctx, p, func(si int) error {
+		return measureSourceShared(ctx, g, sources[si], cores[si], si, sizes, p, acc)
 	})
 	if err != nil {
 		return nil, err
@@ -205,8 +214,8 @@ func (a *sharedAccum) reduce(sizes []int) []SharedPoint {
 
 // measureSourceShared runs the shared-curve inner loop for one source: both
 // trees resolved (from the SPT cache when enabled), then every (size, rep)
-// sample measured against each.
-func measureSourceShared(g *graph.Graph, source, core, si int, sizes []int, p Protocol, acc *sharedAccum) error {
+// sample measured against each. ctx is polled at every grid point.
+func measureSourceShared(ctx context.Context, g *graph.Graph, source, core, si int, sizes []int, p Protocol, acc *sharedAccum) error {
 	sc := getScratch(g.N())
 	defer scratchPool.Put(sc)
 	srcSPT, coreSPT := &sc.spt, &sc.spt2
@@ -233,6 +242,9 @@ func measureSourceShared(g *graph.Graph, source, core, si int, sizes []int, p Pr
 	}
 	var err error
 	for k, size := range sizes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for rep := 0; rep < p.NRcvr; rep++ {
 			sc.recv, err = sc.smp.Distinct(size, sc.recv)
 			if err != nil {

@@ -1,0 +1,38 @@
+// Package panicsafe isolates panics: a panicking function is converted into
+// an ordinary error carrying the panic value and stack, so one failing
+// experiment or measurement worker cannot take down the whole process. The
+// experiment scheduler and the mcast worker pools run every job through Do.
+package panicsafe
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered panic, preserved as an error.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the goroutine stack at recovery time (debug.Stack).
+	Stack []byte
+}
+
+// Error implements the error interface, including the stack so a scheduled
+// experiment's failure is diagnosable from its RunStats.Err alone.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Do runs f, converting a panic into a *PanicError. A nil f is a no-op.
+// runtime.Goexit is not recoverable and passes through.
+func Do(f func() error) (err error) {
+	if f == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}

@@ -1,0 +1,52 @@
+package panicsafe
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDoPassesThroughResults(t *testing.T) {
+	if err := Do(nil); err != nil {
+		t.Fatalf("nil func: %v", err)
+	}
+	if err := Do(func() error { return nil }); err != nil {
+		t.Fatalf("clean func: %v", err)
+	}
+	want := errors.New("boom")
+	if err := Do(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("error not passed through: %v", err)
+	}
+}
+
+func TestDoRecoversPanicWithStack(t *testing.T) {
+	err := Do(func() error { panic("exploded in flight") })
+	if err == nil {
+		t.Fatal("panic must surface as an error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T", err)
+	}
+	if pe.Value != "exploded in flight" {
+		t.Fatalf("panic value %v", pe.Value)
+	}
+	if !strings.Contains(err.Error(), "exploded in flight") {
+		t.Fatalf("message lacks panic value: %s", err)
+	}
+	// The stack must name this test's frames, not just the recover site.
+	if !strings.Contains(string(pe.Stack), "TestDoRecoversPanicWithStack") {
+		t.Fatalf("stack does not reach the panicking frame:\n%s", pe.Stack)
+	}
+}
+
+func TestDoRecoversNonStringPanic(t *testing.T) {
+	err := Do(func() error { panic(errors.New("typed")) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T", err)
+	}
+	if !strings.Contains(err.Error(), "typed") {
+		t.Fatalf("message %q", err.Error())
+	}
+}
