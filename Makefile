@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare fuzz results results-paper report clean
+.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare fuzz fuzz-smoke results results-paper report clean
 
 all: build vet test
 
@@ -20,21 +20,25 @@ test:
 	$(GO) test ./...
 
 # Race-detect the packages that spawn goroutines (measurement workers,
-# ensemble networks, experiment scheduler, mtsim's checkpointer) and the
-# shared caches (SPT cache, topology generation cache). race-all covers
-# everything but takes several times longer.
+# ensemble networks, experiment scheduler, mtsim's checkpointer, the mtsimd
+# daemon and its serve substrate) and the shared caches (SPT cache, topology
+# generation cache). race-all covers everything but takes several times
+# longer.
 race:
 	$(GO) test -race ./internal/graph/... ./internal/topology/... \
-		./internal/mcast/... ./internal/experiments/... ./cmd/mtsim/...
+		./internal/mcast/... ./internal/experiments/... ./internal/serve/... \
+		./cmd/mtsim/... ./cmd/mtsimd/...
 
 # The robustness surface under contention: cancellation, panic isolation,
-# checkpoint/resume, and heap-guard tests under the race detector, with a
-# hard timeout so a lost cancellation hangs CI instead of passing silently.
+# checkpoint/resume, heap-guard, admission/shedding, drain, and quarantine
+# tests under the race detector, with a hard timeout so a lost cancellation
+# hangs CI instead of passing silently.
 race-robust:
 	$(GO) test -race -timeout 5m \
-		-run 'Cancel|Panic|Recover|Resume|Checkpoint|HeapGuard|MaxHeap|Timeout|Register|Commit|WriteFile' \
+		-run 'Cancel|Panic|Recover|Resume|Checkpoint|HeapGuard|MaxHeap|Timeout|Register|Commit|WriteFile|Quarantine|Shed|Drain|Saturat|Degraded|SlowLoris|Restart|Eviction' \
 		./internal/mcast/... ./internal/experiments/... ./internal/panicsafe/... \
-		./internal/atomicio/... ./cmd/mtsim/...
+		./internal/atomicio/... ./internal/serve/... ./internal/graph/... \
+		./cmd/mtsim/... ./cmd/mtsimd/...
 
 race-all:
 	$(GO) test -race ./...
@@ -65,10 +69,23 @@ BENCH_NEW ?= BENCH_2.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(BENCH_OLD) $(BENCH_NEW)
 
-# Short fuzzing passes over the two parsers.
+# Short fuzzing passes over the parsers.
 fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 30s ./internal/plot/
+	$(GO) test -fuzz FuzzParseCheckpointLine -fuzztime 30s ./internal/experiments/
+	$(GO) test -fuzz FuzzParseBenchOutput -fuzztime 30s ./cmd/benchjson/
+	$(GO) test -fuzz FuzzCompareDocs -fuzztime 30s ./cmd/benchjson/
+
+# The CI fuzz gate: every target for a short burst, cheap enough to run on
+# each push (regressions on known-crasher corpora surface immediately; long
+# exploration stays in `make fuzz`).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime 10s ./internal/plot/
+	$(GO) test -run '^$$' -fuzz FuzzParseCheckpointLine -fuzztime 10s ./internal/experiments/
+	$(GO) test -run '^$$' -fuzz FuzzParseBenchOutput -fuzztime 10s ./cmd/benchjson/
+	$(GO) test -run '^$$' -fuzz FuzzCompareDocs -fuzztime 10s ./cmd/benchjson/
 
 # Regenerate every experiment at the default (medium) profile.
 results:

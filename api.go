@@ -17,8 +17,10 @@ import (
 	"mtreescale/internal/plot"
 	"mtreescale/internal/reach"
 	"mtreescale/internal/rng"
+	"mtreescale/internal/serve"
 	"mtreescale/internal/steiner"
 	"mtreescale/internal/topology"
+	"mtreescale/internal/valid"
 	"mtreescale/internal/wgraph"
 )
 
@@ -416,6 +418,26 @@ func ProfileByName(name string) (Profile, error) { return experiments.ProfileByN
 // order.
 func ExperimentIDs() []string { return experiments.IDs() }
 
+// ExperimentListing is one registry entry: id, one-line title, description.
+type ExperimentListing = experiments.Info
+
+// ListExperiments returns every registered experiment's listing in paper
+// order — the helper behind `mtsim -list` and the daemon's /experiments
+// endpoint.
+func ListExperiments() []ExperimentListing { return experiments.List() }
+
+// ErrInvalidParam is the sentinel wrapped by every boundary-validation
+// failure (bad profile fields, impossible group sizes, NaN affinity β).
+// Serving layers use errors.Is(err, ErrInvalidParam) to answer 400 instead
+// of 500.
+var ErrInvalidParam = valid.ErrParam
+
+// ParseByteSize parses a byte count with an optional k/m/g suffix (binary
+// multiples, optional trailing 'b'): "512m", "4g", "1048576". An empty
+// string is 0 (no limit). Shared by the mtsim and mtsimd -maxheap flags;
+// failures wrap ErrInvalidParam.
+func ParseByteSize(s string) (uint64, error) { return valid.ParseByteSize(s) }
+
 // RunExperiment reproduces one paper table or figure.
 func RunExperiment(id string, p Profile) (*Result, error) { return experiments.Run(id, p) }
 
@@ -476,6 +498,65 @@ func WriteReport(w io.Writer, p Profile) error {
 func WriteReportCtx(ctx context.Context, w io.Writer, p Profile) error {
 	return experiments.ReportCtx(ctx, w, p, time.Now())
 }
+
+// CheckpointFile is the journal name inside an output directory
+// ("checkpoint.jsonl"): one fsynced JSON record per completed experiment.
+const CheckpointFile = experiments.CheckpointFile
+
+// CheckpointRecord is one journaled experiment result, bound to the profile
+// that produced it by ProfileKey.
+type CheckpointRecord = experiments.CheckpointRecord
+
+// ProfileKey fingerprints a profile; (key, id) identifies a deterministic
+// experiment result exactly.
+func ProfileKey(p Profile) string { return experiments.ProfileKey(p) }
+
+// ParseCheckpointLine decodes one journal line, rejecting torn or incomplete
+// records with an ErrInvalidParam-wrapped error.
+func ParseCheckpointLine(line []byte) (CheckpointRecord, error) {
+	return experiments.ParseCheckpointLine(line)
+}
+
+// Checkpointer appends completed experiments to <dir>/checkpoint.jsonl,
+// fsynced per record and safe for concurrent use.
+type Checkpointer = experiments.Checkpointer
+
+// NewCheckpointer opens the journal for appending, truncating any previous
+// journal unless resume is set.
+func NewCheckpointer(dir string, resume bool) (*Checkpointer, error) {
+	return experiments.NewCheckpointer(dir, resume)
+}
+
+// LoadCheckpoints reads <dir>/checkpoint.jsonl and returns the completed
+// results recorded under the given profile key, skipping torn lines.
+func LoadCheckpoints(dir, key string) (map[string]*Result, error) {
+	return experiments.LoadCheckpoints(dir, key)
+}
+
+// LoadAllCheckpoints reads the journal and returns every recorded result
+// grouped by profile key — the daemon's degraded-mode cache shape.
+func LoadAllCheckpoints(dir string) (map[string]map[string]*Result, error) {
+	return experiments.LoadAllCheckpoints(dir)
+}
+
+// Quarantine is the exponential-backoff registry for workloads that have
+// proven dangerous (a panic or heap-guard trip). Share one instance between
+// RunExperimentsCtx (ScheduleOptions.Quarantine) and a serving layer so a
+// misbehaving experiment is refused everywhere until its backoff elapses.
+type Quarantine = serve.Quarantine
+
+// QuarantineInfo describes one quarantined id for health reporting.
+type QuarantineInfo = serve.QuarantineInfo
+
+// NewQuarantine returns a quarantine registry with the given backoff base
+// and cap (non-positive values default to 1s and 5m).
+func NewQuarantine(base, max time.Duration) *Quarantine {
+	return serve.NewQuarantine(base, max)
+}
+
+// ErrQuarantined marks work refused because its id is inside a quarantine
+// backoff window.
+var ErrQuarantined = serve.ErrQuarantined
 
 // WriteFileAtomic writes data to path crash-safely: the bytes land in a
 // temporary file in the same directory, are fsynced, and are renamed over

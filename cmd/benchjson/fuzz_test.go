@@ -1,0 +1,75 @@
+package main
+
+import (
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParseBenchOutput feeds arbitrary text through the bench-output parser.
+// The invariant under test: any document parse accepts satisfies validateDoc
+// and JSON-encodes cleanly, so a parse→write→compare pipeline can never fail
+// downstream of a successful parse. (This fuzz target caught two real bugs:
+// a bare "Benchmark" line produced an empty benchmark name that readDoc
+// rejects, and ParseFloat accepted NaN/Inf values that json.Marshal cannot
+// encode.)
+func FuzzParseBenchOutput(f *testing.F) {
+	f.Add("goos: linux\ngoarch: amd64\nBenchmarkMeasureCurve-8 100 11183044 ns/op 75060 B/op 913 allocs/op\n")
+	f.Add("BenchmarkX 5 3.5 ns/op\n")
+	f.Add("Benchmark 100 5 ns/op\n")       // empty name after prefix strip
+	f.Add("Benchmark-8 100 5 ns/op\n")     // empty name with procs suffix
+	f.Add("BenchmarkY 10 NaN ns/op\n")     // JSON-unencodable value
+	f.Add("BenchmarkY 10 +Inf ns/op\n")    //
+	f.Add("BenchmarkZ 10 -4 ns/op\n")      // non-positive ns/op
+	f.Add("BenchmarkW 10 0.0001 ns/op\n")  //
+	f.Add("cpu: weird   \nBenchmarkQ bad") //
+	f.Add(strings.Repeat("B", 2000) + "\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := validateDoc(doc); verr != nil {
+			t.Fatalf("parse accepted a doc readDoc would reject: %v", verr)
+		}
+		for _, b := range doc.Benchmarks {
+			if !(b.NsPerOp > 0) || math.IsInf(b.NsPerOp, 0) {
+				t.Fatalf("benchmark %q accepted with ns/op = %v", b.Name, b.NsPerOp)
+			}
+		}
+		if err := writeDocTo(filepath.Join(t.TempDir(), "doc.json"), doc); err != nil {
+			t.Fatalf("parsed doc does not encode: %v", err)
+		}
+	})
+}
+
+// FuzzCompareDocs drives the -compare input path with two arbitrary files:
+// whatever the bytes, runCompare must either error cleanly or finish the
+// comparison — never panic, never divide by a stale zero.
+func FuzzCompareDocs(f *testing.F) {
+	good := `{"benchmarks":[{"name":"X","procs":1,"iterations":10,"ns_per_op":100,"bytes_per_op":-1,"allocs_per_op":-1}]}`
+	f.Add(good, good)
+	f.Add(good, `{"benchmarks":[{"name":"X","ns_per_op":200}]}`)
+	f.Add(`{"benchmarks":[{"name":"X","ns_per_op":0}]}`, good) // zero old ns/op
+	f.Add(``, good)
+	f.Add(`{`, good)
+	f.Add(`{"benchmarks":[]}`, good)
+	f.Add(`{"benchmarks":[{"name":"","ns_per_op":5}]}`, good)
+	f.Add(good, `[1,2,3]`)
+	f.Fuzz(func(t *testing.T, oldJSON, newJSON string) {
+		dir := t.TempDir()
+		oldPath := filepath.Join(dir, "old.json")
+		newPath := filepath.Join(dir, "new.json")
+		if err := os.WriteFile(oldPath, []byte(oldJSON), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(newPath, []byte(newJSON), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Either outcome is fine; reaching it without a panic is the test.
+		_, _ = runCompare(io.Discard, oldPath, newPath, 10)
+	})
+}

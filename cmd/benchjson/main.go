@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -124,15 +125,25 @@ func readDoc(path string) (*Doc, error) {
 	if err := json.Unmarshal(data, doc); err != nil {
 		return nil, fmt.Errorf("%s: malformed JSON: %v", path, err)
 	}
+	if err := validateDoc(doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
+}
+
+// validateDoc is the shared document invariant: every doc accepted by
+// readDoc AND every doc produced by parse satisfies it, so a parse→write→
+// read round-trip can never fail halfway.
+func validateDoc(doc *Doc) error {
 	if len(doc.Benchmarks) == 0 {
-		return nil, fmt.Errorf("%s: no benchmarks in document", path)
+		return fmt.Errorf("no benchmarks in document")
 	}
 	for _, b := range doc.Benchmarks {
 		if b.Name == "" {
-			return nil, fmt.Errorf("%s: benchmark entry with empty name", path)
+			return fmt.Errorf("benchmark entry with empty name")
 		}
 	}
-	return doc, nil
+	return nil
 }
 
 // runCompare prints the per-benchmark ns/op delta table and reports whether
@@ -228,15 +239,22 @@ func parseLine(line string) (Benchmark, bool) {
 		}
 	}
 	b.Name = strings.TrimPrefix(b.Name, "Benchmark")
+	if b.Name == "" {
+		// A bare "Benchmark" (or "Benchmark-8") line would produce a doc
+		// that readDoc rejects on the next run.
+		return Benchmark{}, false
+	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Benchmark{}, false
 	}
 	b.Iterations = iters
-	// Remaining fields come in (value, unit) pairs.
+	// Remaining fields come in (value, unit) pairs. ParseFloat accepts
+	// "NaN" and "Inf", which JSON cannot encode — reject them here or the
+	// document write fails long after the bad line scrolled by.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 			return Benchmark{}, false
 		}
 		switch fields[i+1] {
@@ -248,7 +266,7 @@ func parseLine(line string) (Benchmark, bool) {
 			b.AllocsPerOp = int64(v)
 		}
 	}
-	if b.NsPerOp == 0 {
+	if b.NsPerOp <= 0 {
 		return Benchmark{}, false
 	}
 	return b, true

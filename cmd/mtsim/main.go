@@ -41,7 +41,6 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"syscall"
 	"text/tabwriter"
@@ -65,7 +64,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fs := flag.NewFlagSet("mtsim", flag.ContinueOnError)
 	var (
-		list       = fs.Bool("list", false, "list experiment ids and exit")
+		list       = fs.Bool("list", false, "list experiment ids with one-line titles and exit")
 		describe   = fs.Bool("describe", false, "list experiment ids with titles and descriptions")
 		report     = fs.Bool("report", false, "run every experiment and emit a Markdown report")
 		experiment = fs.String("experiment", "", "experiment id (e.g. fig1a), comma-separated ids, or 'all'")
@@ -85,10 +84,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	if *list {
-		for _, id := range mtreescale.ExperimentIDs() {
-			fmt.Fprintln(out, id)
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		for _, e := range mtreescale.ListExperiments() {
+			fmt.Fprintf(tw, "%s\t%s\n", e.ID, oneLine(e.Title))
 		}
-		return nil
+		return tw.Flush()
 	}
 	if *describe {
 		for _, id := range mtreescale.ExperimentIDs() {
@@ -107,7 +107,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *resume && *outDir == "" {
 		return fmt.Errorf("-resume requires -out (the checkpoint journal lives in the output directory)")
 	}
-	maxHeapBytes, err := parseByteSize(*maxHeap)
+	maxHeapBytes, err := mtreescale.ParseByteSize(*maxHeap)
 	if err != nil {
 		return fmt.Errorf("-maxheap: %w", err)
 	}
@@ -140,6 +140,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	})
 }
 
+// oneLine collapses a multi-line description to its first line for -list.
+func oneLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
 // expandIDs resolves the -experiment argument: "all", one id, or a
 // comma-separated list.
 func expandIDs(arg string) ([]string, error) {
@@ -161,33 +169,6 @@ func expandIDs(arg string) ([]string, error) {
 		return nil, fmt.Errorf("empty -experiment list")
 	}
 	return ids, nil
-}
-
-// parseByteSize parses a byte count with an optional k/m/g suffix (binary
-// multiples, optional trailing 'b'): "512m", "4g", "1048576".
-func parseByteSize(s string) (uint64, error) {
-	s = strings.TrimSpace(strings.ToLower(s))
-	if s == "" {
-		return 0, nil
-	}
-	mult := uint64(1)
-	s = strings.TrimSuffix(s, "b")
-	switch {
-	case strings.HasSuffix(s, "k"):
-		mult, s = 1<<10, strings.TrimSuffix(s, "k")
-	case strings.HasSuffix(s, "m"):
-		mult, s = 1<<20, strings.TrimSuffix(s, "m")
-	case strings.HasSuffix(s, "g"):
-		mult, s = 1<<30, strings.TrimSuffix(s, "g")
-	}
-	n, err := strconv.ParseUint(s, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad size %q (want e.g. 512m, 4g, 1048576)", s)
-	}
-	if n > ^uint64(0)/mult {
-		return 0, fmt.Errorf("size %q overflows", s)
-	}
-	return n * mult, nil
 }
 
 type scheduleConfig struct {
@@ -221,11 +202,11 @@ func emit(out io.Writer, res *mtreescale.Result, format, outDir string, w, h int
 // never thrown away.
 func runScheduled(ctx context.Context, out io.Writer, ids []string, p mtreescale.Profile, cfg scheduleConfig) error {
 	opts := mtreescale.ScheduleOptions{Parallel: cfg.parallel, MaxHeapBytes: cfg.maxHeap}
-	var ck *checkpointer
+	var ck *mtreescale.Checkpointer
 	if cfg.outDir != "" {
-		key := profileKey(p)
+		key := mtreescale.ProfileKey(p)
 		if cfg.resume {
-			done, err := loadCheckpoints(cfg.outDir, key)
+			done, err := mtreescale.LoadCheckpoints(cfg.outDir, key)
 			if err != nil {
 				return err
 			}
@@ -238,12 +219,12 @@ func runScheduled(ctx context.Context, out io.Writer, ids []string, p mtreescale
 			}
 		}
 		var err error
-		if ck, err = newCheckpointer(cfg.outDir, key, cfg.resume); err != nil {
+		if ck, err = mtreescale.NewCheckpointer(cfg.outDir, cfg.resume); err != nil {
 			return err
 		}
-		defer ck.close()
+		defer ck.Close()
 		opts.OnComplete = func(st mtreescale.ExperimentStats) {
-			ck.append(st.ID, st.Result)
+			ck.Append(key, st.ID, st.Result)
 		}
 	}
 	start := time.Now()
@@ -272,7 +253,7 @@ func runScheduled(ctx context.Context, out io.Writer, ids []string, p mtreescale
 		printSummary(out, stats, cfg.parallel, p.Name, total)
 	}
 	if ck != nil {
-		return ck.close()
+		return ck.Close()
 	}
 	return nil
 }

@@ -22,7 +22,7 @@ func readOutputs(t *testing.T, dir string) map[string][]byte {
 	}
 	out := map[string][]byte{}
 	for _, e := range entries {
-		if e.IsDir() || e.Name() == checkpointFile {
+		if e.IsDir() || e.Name() == mtreescale.CheckpointFile {
 			continue
 		}
 		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
@@ -68,7 +68,7 @@ func TestResumeByteIdenticalOutputs(t *testing.T) {
 	if err := run(context.Background(), []string{"-experiment", "fig8", "-profile", "quick", "-out", resumed}, &buf); err != nil {
 		t.Fatal(err)
 	}
-	ck, err := os.ReadFile(filepath.Join(resumed, checkpointFile))
+	ck, err := os.ReadFile(filepath.Join(resumed, mtreescale.CheckpointFile))
 	if err != nil {
 		t.Fatalf("no checkpoint journal after -out run: %v", err)
 	}
@@ -146,39 +146,6 @@ func TestMaxHeapAbortsExperiment(t *testing.T) {
 	}
 }
 
-func TestParseByteSize(t *testing.T) {
-	cases := []struct {
-		in      string
-		want    uint64
-		wantErr bool
-	}{
-		{"", 0, false},
-		{"0", 0, false},
-		{"1048576", 1 << 20, false},
-		{"512k", 512 << 10, false},
-		{"512K", 512 << 10, false},
-		{"512kb", 512 << 10, false},
-		{"256m", 256 << 20, false},
-		{"4g", 4 << 30, false},
-		{"4GB", 4 << 30, false},
-		{" 2g ", 2 << 30, false},
-		{"12x", 0, true},
-		{"g", 0, true},
-		{"-1", 0, true},
-		{"1.5g", 0, true},
-	}
-	for _, c := range cases {
-		got, err := parseByteSize(c.in)
-		if (err != nil) != c.wantErr {
-			t.Errorf("parseByteSize(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
-			continue
-		}
-		if got != c.want {
-			t.Errorf("parseByteSize(%q) = %d, want %d", c.in, got, c.want)
-		}
-	}
-}
-
 func TestExpandIDs(t *testing.T) {
 	if ids, err := expandIDs("all"); err != nil || len(ids) < 10 {
 		t.Fatalf("all → %v, %v", ids, err)
@@ -209,80 +176,6 @@ func TestCommaSeparatedExperiments(t *testing.T) {
 	}
 }
 
-func TestCheckpointJournalRoundTrip(t *testing.T) {
-	dir := t.TempDir()
-	key := profileKey(mtreescale.QuickProfile())
-	ck, err := newCheckpointer(dir, key, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resA := &mtreescale.Result{ID: "a", Title: "A", Notes: []string{"n1"}}
-	resB := &mtreescale.Result{ID: "b", Title: "B"}
-	ck.append("a", resA)
-	ck.append("b", resB)
-	if err := ck.close(); err != nil {
-		t.Fatal(err)
-	}
-
-	// Simulate a crash mid-append: a torn trailing line must be tolerated.
-	f, err := os.OpenFile(filepath.Join(dir, checkpointFile), os.O_APPEND|os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.WriteString(`{"key":"` + key + `","id":"c","resu`); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
-
-	done, err := loadCheckpoints(dir, key)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(done) != 2 || done["a"] == nil || done["b"] == nil {
-		t.Fatalf("loaded %d records, want a and b", len(done))
-	}
-	if done["a"].Title != "A" || len(done["a"].Notes) != 1 {
-		t.Fatalf("record a did not round-trip: %+v", done["a"])
-	}
-
-	// Records keyed to a different profile are invisible.
-	other, err := loadCheckpoints(dir, profileKey(mtreescale.MediumProfile()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(other) != 0 {
-		t.Fatalf("wrong-profile load returned %d records", len(other))
-	}
-
-	// Not resuming truncates the journal.
-	ck2, err := newCheckpointer(dir, key, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := ck2.close(); err != nil {
-		t.Fatal(err)
-	}
-	done, err = loadCheckpoints(dir, key)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(done) != 0 {
-		t.Fatalf("journal not truncated on fresh run: %d records", len(done))
-	}
-}
-
-func TestProfileKeyDistinguishesProfiles(t *testing.T) {
-	q := mtreescale.QuickProfile()
-	m := mtreescale.MediumProfile()
-	if profileKey(q) == profileKey(m) {
-		t.Fatal("distinct profiles share a key")
-	}
-	nested := q
-	nested.Nested = true
-	if profileKey(q) == profileKey(nested) {
-		t.Fatal("-nested does not change the checkpoint key")
-	}
-	if profileKey(q) != profileKey(mtreescale.QuickProfile()) {
-		t.Fatal("key not stable for identical profiles")
-	}
-}
+// The checkpoint journal's own round-trip, torn-line and profile-key tests
+// live with the implementation in internal/experiments/checkpoint_test.go;
+// here we only keep the CLI-level resume behavior above.

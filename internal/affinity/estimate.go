@@ -1,10 +1,11 @@
 package affinity
 
 import (
-	"fmt"
+	"math"
 
 	"mtreescale/internal/rng"
 	"mtreescale/internal/stats"
+	"mtreescale/internal/valid"
 )
 
 // Estimate is the Monte-Carlo estimate of L̄_β(n) for one (β, n) pair.
@@ -47,7 +48,22 @@ func (p *Params) normalize() error {
 		p.Thin = 1
 	}
 	if p.BurnInSweeps < 0 || p.SampleSweeps < 1 || p.Thin < 1 {
-		return fmt.Errorf("affinity: invalid sampler params %+v", *p)
+		return valid.Badf("affinity: invalid sampler params %+v", *p)
+	}
+	return nil
+}
+
+// checkBeta rejects the affinity strengths no chain can sample: NaN poisons
+// every Metropolis acceptance ratio (comparisons with NaN are all false, so
+// the chain silently freezes), and ±Inf overflows exp() in the acceptance
+// rule. Finite β of either sign is legal — negative β is the dispersion
+// regime.
+func checkBeta(beta float64) error {
+	if math.IsNaN(beta) {
+		return valid.Badf("affinity: beta is NaN")
+	}
+	if math.IsInf(beta, 0) {
+		return valid.Badf("affinity: beta is infinite (%v)", beta)
 	}
 	return nil
 }

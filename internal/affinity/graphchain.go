@@ -6,6 +6,7 @@ import (
 
 	"mtreescale/internal/graph"
 	"mtreescale/internal/mcast"
+	"mtreescale/internal/valid"
 )
 
 // MaxGraphChainNodes bounds the all-pairs distance matrix a GraphChain will
@@ -53,19 +54,22 @@ func NewGraphChain(g *graph.Graph, source, n int, beta float64, r randSource) (*
 // sweep's BFS work to a single pass.
 func NewGraphChainCached(g *graph.Graph, source, n int, beta float64, r randSource, spts *graph.SPTCache) (*GraphChain, error) {
 	if g.N() < 2 {
-		return nil, fmt.Errorf("affinity: graph too small (N=%d)", g.N())
+		return nil, valid.Badf("affinity: graph too small (N=%d)", g.N())
 	}
 	if g.N() > MaxGraphChainNodes {
-		return nil, fmt.Errorf("affinity: graph has %d nodes, above the %d all-pairs limit", g.N(), MaxGraphChainNodes)
+		return nil, valid.Badf("affinity: graph has %d nodes, above the %d all-pairs limit", g.N(), MaxGraphChainNodes)
 	}
 	if source < 0 || source >= g.N() {
-		return nil, fmt.Errorf("affinity: source %d out of range", source)
+		return nil, valid.Badf("affinity: source %d out of range", source)
 	}
 	if n < 1 {
-		return nil, fmt.Errorf("affinity: chain needs n >= 1, got %d", n)
+		return nil, valid.Badf("affinity: chain needs n >= 1, got %d", n)
+	}
+	if err := checkBeta(beta); err != nil {
+		return nil, err
 	}
 	if r == nil {
-		return nil, fmt.Errorf("affinity: chain needs a random source")
+		return nil, valid.Badf("affinity: chain needs a random source")
 	}
 	c := &GraphChain{
 		g:       g,

@@ -17,6 +17,8 @@ package affinity
 import (
 	"fmt"
 	"math"
+
+	"mtreescale/internal/valid"
 )
 
 // TreeModel is the k-ary tree substrate for the fast chain. Sites are all
@@ -135,10 +137,13 @@ func (m *TreeModel) NewLeafChain(n int, beta float64, r randSource) (*Chain, err
 
 func (m *TreeModel) newChain(n int, beta float64, r randSource, siteBase, siteCount int) (*Chain, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("affinity: chain needs n >= 1, got %d", n)
+		return nil, valid.Badf("affinity: chain needs n >= 1, got %d", n)
+	}
+	if err := checkBeta(beta); err != nil {
+		return nil, err
 	}
 	if r == nil {
-		return nil, fmt.Errorf("affinity: chain needs a random source")
+		return nil, valid.Badf("affinity: chain needs a random source")
 	}
 	c := &Chain{
 		m:         m,

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mtreescale/internal/valid"
+)
+
+// CheckpointFile is the journal name inside an output directory: one JSON
+// record per completed experiment, fsynced, so an interrupted run can resume
+// without redoing finished work, and the mtsimd daemon can answer queries
+// from precomputed results after a restart.
+const CheckpointFile = "checkpoint.jsonl"
+
+// CheckpointRecord is one completed experiment. Key binds the record to the
+// exact profile that produced it: a resume or a serving lookup under a
+// different profile ignores it.
+type CheckpointRecord struct {
+	Key    string  `json:"key"`
+	ID     string  `json:"id"`
+	Result *Result `json:"result"`
+}
+
+// ProfileKey fingerprints a profile. Experiments are deterministic functions
+// of the profile, so (key, id) identifies a result exactly; %#v covers every
+// field including ones added later.
+func ProfileKey(p Profile) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", p)))
+	return hex.EncodeToString(sum[:])
+}
+
+// ParseCheckpointLine decodes one journal line. Malformed or incomplete
+// records — the torn trailing write a crash leaves behind — are rejected
+// with a valid.ErrParam-wrapped error so loaders can skip them.
+func ParseCheckpointLine(line []byte) (CheckpointRecord, error) {
+	var rec CheckpointRecord
+	if len(line) == 0 {
+		return CheckpointRecord{}, valid.Badf("experiments: empty checkpoint line")
+	}
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return CheckpointRecord{}, valid.Badf("experiments: malformed checkpoint line: %v", err)
+	}
+	if rec.Key == "" || rec.ID == "" || rec.Result == nil {
+		return CheckpointRecord{}, valid.Badf("experiments: incomplete checkpoint record (key %q, id %q)", rec.Key, rec.ID)
+	}
+	return rec, nil
+}
+
+// Checkpointer appends completed experiments to <dir>/checkpoint.jsonl.
+// Append is safe for concurrent use (the scheduler calls OnComplete from
+// worker goroutines; the daemon appends from request handlers) and fsyncs
+// after every record so a crash loses at most the experiment in flight.
+type Checkpointer struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error // first write failure; reported once at Close
+}
+
+// NewCheckpointer opens the journal for appending, truncating any previous
+// journal unless resume is set.
+func NewCheckpointer(dir string, resume bool) (*Checkpointer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(filepath.Join(dir, CheckpointFile), flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpointer{f: f}, nil
+}
+
+// Append journals one completed experiment under the given profile key.
+// Failures are remembered rather than returned: the scheduler's OnComplete
+// hook has no error channel, and a broken journal must not fail the
+// experiments themselves.
+func (c *Checkpointer) Append(key, id string, res *Result) {
+	rec, err := json.Marshal(CheckpointRecord{Key: key, ID: id, Result: res})
+	if err == nil {
+		rec = append(rec, '\n')
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	if err == nil {
+		_, err = c.f.Write(rec)
+	}
+	if err == nil {
+		err = c.f.Sync()
+	}
+	if err != nil {
+		c.err = fmt.Errorf("checkpoint: %s: %w", id, err)
+	}
+}
+
+// Close releases the journal and reports the first deferred write failure.
+// Close is idempotent.
+func (c *Checkpointer) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f != nil {
+		if cerr := c.f.Close(); c.err == nil && cerr != nil {
+			c.err = cerr
+		}
+		c.f = nil
+	}
+	return c.err
+}
+
+// LoadCheckpoints reads the journal from dir and returns the completed
+// results recorded under the given profile key. A missing journal is an
+// empty resume; a torn trailing line (the crash case the journal exists for)
+// is skipped, as are records from other profiles.
+func LoadCheckpoints(dir, key string) (map[string]*Result, error) {
+	byKey, err := LoadAllCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	done := byKey[key]
+	if done == nil {
+		done = map[string]*Result{}
+	}
+	return done, nil
+}
+
+// LoadAllCheckpoints reads the journal from dir and returns every recorded
+// result grouped by profile key — the form the daemon's degraded-mode cache
+// wants, since it serves more than one profile from a single journal.
+func LoadAllCheckpoints(dir string) (map[string]map[string]*Result, error) {
+	out := map[string]map[string]*Result{}
+	f, err := os.Open(filepath.Join(dir, CheckpointFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		rec, err := ParseCheckpointLine(sc.Bytes())
+		if err != nil {
+			continue // torn trailing write from a crash
+		}
+		if out[rec.Key] == nil {
+			out[rec.Key] = map[string]*Result{}
+		}
+		out[rec.Key][rec.ID] = rec.Result
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return out, nil
+}

@@ -13,6 +13,7 @@ import (
 	"mtreescale/internal/graph"
 	"mtreescale/internal/plot"
 	"mtreescale/internal/topology"
+	"mtreescale/internal/valid"
 )
 
 // Profile scales an experiment between a seconds-long smoke run and the
@@ -47,22 +48,25 @@ type Profile struct {
 	SPTCache bool
 }
 
-// Validate checks profile sanity.
+// Validate checks profile sanity. Failures wrap valid.ErrParam so callers at
+// a serving boundary can map them to "bad request" rather than "server
+// error". The Scale check is written positively so NaN (which fails every
+// comparison) is rejected rather than slipping through.
 func (p Profile) Validate() error {
-	if p.Scale <= 0 || p.Scale > 1 {
-		return fmt.Errorf("experiments: scale must be in (0,1], got %v", p.Scale)
+	if !(p.Scale > 0 && p.Scale <= 1) {
+		return valid.Badf("experiments: scale must be in (0,1], got %v", p.Scale)
 	}
 	if p.NSource < 1 || p.NRcvr < 1 {
-		return fmt.Errorf("experiments: NSource/NRcvr must be >= 1 (got %d, %d)", p.NSource, p.NRcvr)
+		return valid.Badf("experiments: NSource/NRcvr must be >= 1 (got %d, %d)", p.NSource, p.NRcvr)
 	}
 	if p.GridPoints < 2 {
-		return fmt.Errorf("experiments: need >= 2 grid points, got %d", p.GridPoints)
+		return valid.Badf("experiments: need >= 2 grid points, got %d", p.GridPoints)
 	}
 	if p.MCMCBurnIn < 0 || p.MCMCSamples < 1 {
-		return fmt.Errorf("experiments: bad MCMC sweeps (%d, %d)", p.MCMCBurnIn, p.MCMCSamples)
+		return valid.Badf("experiments: bad MCMC sweeps (%d, %d)", p.MCMCBurnIn, p.MCMCSamples)
 	}
 	if p.MaxGroupSize < 0 {
-		return fmt.Errorf("experiments: negative MaxGroupSize")
+		return valid.Badf("experiments: negative MaxGroupSize")
 	}
 	return nil
 }
@@ -203,6 +207,26 @@ func IDs() []string {
 		if !found {
 			out = append(out, id)
 		}
+	}
+	return out
+}
+
+// Info is one registry listing entry: the experiment id with its one-line
+// title and description — the shared shape behind `mtsim -list` and the
+// daemon's /experiments endpoint.
+type Info struct {
+	ID          string `json:"id"`
+	Title       string `json:"title"`
+	Description string `json:"description"`
+}
+
+// List returns every registered experiment's Info in paper order.
+func List() []Info {
+	ids := IDs()
+	out := make([]Info, 0, len(ids))
+	for _, id := range ids {
+		r := registry[id]
+		out = append(out, Info{ID: id, Title: r.Title, Description: r.Description})
 	}
 	return out
 }

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mtreescale/internal/serve"
+)
+
+// A panicking experiment strikes the shared quarantine registry; while its
+// backoff holds, the scheduler refuses to rerun it with ErrQuarantined, and
+// once the backoff elapses a successful retry clears the strikes.
+func TestSchedulerQuarantinesPanickingExperiment(t *testing.T) {
+	var calls atomic.Int32
+	registerTemp(t, &Runner{
+		ID: "zz-quarantine-panic",
+		Run: func(ctx context.Context, p Profile) (*Result, error) {
+			if calls.Add(1) == 1 {
+				panic("first run explodes")
+			}
+			return &Result{ID: "zz-quarantine-panic"}, nil
+		},
+	})
+	q := serve.NewQuarantine(time.Minute, time.Hour)
+	opts := ScheduleOptions{Parallel: 1, Quarantine: q}
+
+	// First run: panic → strike.
+	stats, err := RunManyCtx(context.Background(), []string{"zz-quarantine-panic"}, Quick(), opts)
+	if err == nil {
+		t.Fatal("panicking run must fail")
+	}
+	if ok, _ := q.Allowed("zz-quarantine-panic"); ok {
+		t.Fatal("panicking experiment was not quarantined")
+	}
+
+	// Second run inside the backoff window: refused without executing.
+	stats, err = RunManyCtx(context.Background(), []string{"zz-quarantine-panic"}, Quick(), opts)
+	if !errors.Is(err, serve.ErrQuarantined) {
+		t.Fatalf("err = %v, want ErrQuarantined", err)
+	}
+	if stats[0].Result != nil || stats[0].Wall != 0 {
+		t.Fatalf("quarantined experiment still executed: %+v", stats[0])
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("runner called %d times, want 1 (skip while quarantined)", got)
+	}
+
+	// Force the backoff to elapse, retry succeeds, strikes clear.
+	q.Clear("zz-quarantine-panic")
+	stats, err = RunManyCtx(context.Background(), []string{"zz-quarantine-panic"}, Quick(), opts)
+	if err != nil {
+		t.Fatalf("retry after clear: %v", err)
+	}
+	if stats[0].Result == nil {
+		t.Fatal("retry produced no result")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("successful retry left %d quarantine entries", q.Len())
+	}
+}
+
+// Ordinary compute errors and cancellations must NOT quarantine: they say
+// nothing about whether the experiment is dangerous.
+func TestSchedulerDoesNotQuarantineOrdinaryFailures(t *testing.T) {
+	boom := errors.New("deterministic compute failure")
+	registerTemp(t, failRunner("zz-ordinary-fail", boom))
+	q := serve.NewQuarantine(time.Minute, time.Hour)
+	_, err := RunManyCtx(context.Background(), []string{"zz-ordinary-fail"}, Quick(),
+		ScheduleOptions{Parallel: 1, Quarantine: q})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the runner's own error", err)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("ordinary failure created %d quarantine entries", q.Len())
+	}
+
+	// Cancellation before the run is likewise not a strike.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = RunManyCtx(ctx, []string{"zz-ordinary-fail"}, Quick(),
+		ScheduleOptions{Parallel: 1, Quarantine: q})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("cancellation created %d quarantine entries", q.Len())
+	}
+}
+
+// The heap-guard trip is a dangerous failure: it must strike the registry.
+func TestSchedulerQuarantinesHeapLimit(t *testing.T) {
+	registerTemp(t, okRunner("zz-heap-quarantine", 0))
+	q := serve.NewQuarantine(time.Minute, time.Hour)
+	// 1 byte: the deterministic pre-check trips before the runner starts.
+	_, err := RunManyCtx(context.Background(), []string{"zz-heap-quarantine"}, Quick(),
+		ScheduleOptions{Parallel: 1, MaxHeapBytes: 1, Quarantine: q})
+	if !errors.Is(err, ErrHeapLimit) {
+		t.Fatalf("err = %v, want ErrHeapLimit", err)
+	}
+	if ok, _ := q.Allowed("zz-heap-quarantine"); ok {
+		t.Fatal("heap-guard trip did not quarantine the experiment")
+	}
+}

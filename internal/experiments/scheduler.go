@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mtreescale/internal/panicsafe"
+	"mtreescale/internal/serve"
 )
 
 // ErrHeapLimit marks an experiment aborted by ScheduleOptions.MaxHeapBytes:
@@ -61,6 +62,14 @@ type ScheduleOptions struct {
 	// safe for concurrent use. Replayed and failed experiments are not
 	// reported — the checkpoint writer only wants new, good results.
 	OnComplete func(RunStats)
+	// Quarantine, when non-nil, is consulted before each experiment and
+	// updated after it: an id inside its backoff window is skipped with a
+	// serve.ErrQuarantined-wrapped error instead of run, a panic or
+	// heap-guard trip strikes the id (exponential backoff before the next
+	// retry), and a successful run clears it. The daemon and the scheduler
+	// share one registry, so an experiment that kills a batch run is also
+	// refused at the serving boundary until its backoff elapses.
+	Quarantine *serve.Quarantine
 }
 
 // RunMany executes the given experiments concurrently with up to `parallel`
@@ -121,7 +130,16 @@ func RunManyCtx(ctx context.Context, ids []string, p Profile, opts ScheduleOptio
 						continue
 					}
 				}
+				if opts.Quarantine != nil {
+					if ok, retry := opts.Quarantine.Allowed(id); !ok {
+						stats[i] = RunStats{ID: id, Err: fmt.Errorf("%w (retry in %s)", serve.ErrQuarantined, retry.Round(time.Millisecond))}
+						continue
+					}
+				}
 				stats[i] = runGuarded(ctx, id, p, opts.MaxHeapBytes)
+				if opts.Quarantine != nil {
+					reportToQuarantine(opts.Quarantine, id, stats[i].Err)
+				}
 				if opts.OnComplete != nil && stats[i].Err == nil {
 					opts.OnComplete(stats[i])
 				}
@@ -135,6 +153,21 @@ func RunManyCtx(ctx context.Context, ids []string, p Profile, opts ScheduleOptio
 		}
 	}
 	return stats, nil
+}
+
+// reportToQuarantine translates one run outcome into quarantine state: only
+// the dangerous failure classes (panic, heap-guard trip) strike the id —
+// cancellation and ordinary compute errors say nothing about whether the
+// experiment is safe to rerun — and success clears it.
+func reportToQuarantine(q *serve.Quarantine, id string, err error) {
+	if err == nil {
+		q.Clear(id)
+		return
+	}
+	var pe *panicsafe.PanicError
+	if errors.As(err, &pe) || errors.Is(err, ErrHeapLimit) {
+		q.Report(id, err)
+	}
 }
 
 // runGuarded executes one experiment with panic isolation and an optional

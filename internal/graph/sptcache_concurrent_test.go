@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Hammer the SPT cache from many goroutines while the byte budget is being
+// shrunk, grown, and cleared underneath them — unlike the churn test in
+// sptcache_test.go, the limit itself moves during the race. Run under -race,
+// this is the eviction path's data-race check; the assertions verify that
+// whatever the interleaving, every Get still answers with a correct tree.
+func TestSPTCacheConcurrentEvictionWithLimitChurn(t *testing.T) {
+	g := randomGraph(7, 200, 500)
+	// A budget of ~3 trees forces constant eviction under 8 workers × 16
+	// sources.
+	small := 3 * sptBytes(&SPT{Parent: make([]int32, g.N()), Dist: make([]int32, g.N()), Order: make([]int32, g.N())})
+	c := NewSPTCache(small)
+
+	want := make([]*SPT, 16)
+	for s := 0; s < 16; s++ {
+		spt, err := g.BFS(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[s] = spt
+	}
+
+	var wrong atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				src := (w*31 + i) % 16
+				spt, err := c.Get(g, src)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Spot-check a few nodes against the reference tree.
+				for _, v := range []int{0, g.N() / 2, g.N() - 1} {
+					if spt.Dist[v] != want[src].Dist[v] {
+						wrong.Add(1)
+					}
+				}
+				switch i % 75 {
+				case 20:
+					c.SetLimit(small / 2)
+				case 40:
+					c.SetLimit(small * 4)
+				case 60:
+					c.Clear()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d stale/corrupt SPT reads under concurrent eviction", n)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("budget never forced an eviction (stats %+v); the test exercised nothing", st)
+	}
+	if st.Bytes < 0 || st.Entries < 0 {
+		t.Fatalf("negative accounting after the hammer: %+v", st)
+	}
+
+	// With a sane budget restored, the cache still converges to steady hits.
+	c.SetLimit(small * 16)
+	a, err := c.Get(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache no longer memoizes after the eviction hammer")
+	}
+}
+
+// A non-positive budget degrades the cache to singleflight-only but must
+// stay correct and race-free under concurrency.
+func TestSPTCacheZeroBudgetConcurrent(t *testing.T) {
+	g := randomGraph(11, 120, 240)
+	c := NewSPTCache(0)
+	ref, err := g.BFS(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				spt, err := c.Get(g, 5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if spt.Dist[g.N()-1] != ref.Dist[g.N()-1] {
+					t.Error("zero-budget cache returned a wrong tree")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes != 0 {
+		t.Fatalf("zero-budget cache retains %d bytes", st.Bytes)
+	}
+}

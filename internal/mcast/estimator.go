@@ -10,6 +10,7 @@ import (
 	"mtreescale/internal/graph"
 	"mtreescale/internal/panicsafe"
 	"mtreescale/internal/rng"
+	"mtreescale/internal/valid"
 )
 
 // Protocol is the Monte-Carlo measurement protocol of §2 of the paper:
@@ -44,13 +45,14 @@ type Protocol struct {
 	SPTCache bool
 }
 
-// Validate checks protocol sanity.
+// Validate checks protocol sanity. Failures wrap valid.ErrParam, so a
+// serving boundary can classify them as bad requests.
 func (p Protocol) Validate() error {
 	if p.NSource <= 0 || p.NRcvr <= 0 {
-		return fmt.Errorf("mcast: protocol needs NSource > 0 and NRcvr > 0 (got %d, %d)", p.NSource, p.NRcvr)
+		return valid.Badf("mcast: protocol needs NSource > 0 and NRcvr > 0 (got %d, %d)", p.NSource, p.NRcvr)
 	}
 	if p.Workers < 0 {
-		return fmt.Errorf("mcast: negative worker count %d", p.Workers)
+		return valid.Badf("mcast: negative worker count %d", p.Workers)
 	}
 	return nil
 }
@@ -146,10 +148,13 @@ func validateCurveArgs(g *graph.Graph, sizes []int, mode Mode, p Protocol) error
 		return err
 	}
 	if mode != Distinct && mode != WithReplacement {
-		return fmt.Errorf("mcast: unknown mode %v", mode)
+		return valid.Badf("mcast: unknown mode %v", mode)
 	}
 	if g.N() < 2 {
-		return fmt.Errorf("mcast: graph too small (N=%d)", g.N())
+		return valid.Badf("mcast: graph too small (N=%d)", g.N())
+	}
+	if len(sizes) == 0 {
+		return valid.Badf("mcast: empty group-size grid")
 	}
 	maxPop := g.N()
 	if !p.IncludeSource {
@@ -157,10 +162,10 @@ func validateCurveArgs(g *graph.Graph, sizes []int, mode Mode, p Protocol) error
 	}
 	for _, s := range sizes {
 		if s <= 0 {
-			return fmt.Errorf("mcast: group size %d must be positive", s)
+			return valid.Badf("mcast: group size %d must be positive", s)
 		}
 		if mode == Distinct && s > maxPop {
-			return fmt.Errorf("mcast: m=%d exceeds receiver population %d", s, maxPop)
+			return valid.Badf("mcast: m=%d exceeds receiver population %d", s, maxPop)
 		}
 	}
 	return nil

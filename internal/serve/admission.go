@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrSaturated is returned by Queue.Acquire when both the active slots and
+// the waiting room are full. A serving boundary maps it to 429 Too Many
+// Requests with a Retry-After hint; shedding here keeps /healthz and the
+// cheap endpoints responsive instead of letting every connection pile onto
+// the compute pool.
+var ErrSaturated = errors.New("serve: admission queue saturated")
+
+// Queue is a bounded admission queue: at most maxActive acquisitions run
+// concurrently and at most maxWait callers block waiting for a slot; any
+// caller beyond that is shed immediately with ErrSaturated. The zero value
+// is not usable; construct with NewQueue.
+type Queue struct {
+	slots chan struct{}
+
+	mu       sync.Mutex
+	maxWait  int
+	waiting  int
+	admitted uint64
+	shed     uint64
+}
+
+// QueueStats is a point-in-time snapshot of the admission queue.
+type QueueStats struct {
+	// Active and Waiting are the current occupancy.
+	Active, Waiting int
+	// MaxActive and MaxWait are the configured bounds.
+	MaxActive, MaxWait int
+	// Admitted and Shed are cumulative counters.
+	Admitted, Shed uint64
+}
+
+// NewQueue returns a queue running at most maxActive concurrent admissions
+// with a waiting room of maxWait. maxActive is clamped to at least 1;
+// a negative maxWait means no waiting room (pure load shedding).
+func NewQueue(maxActive, maxWait int) *Queue {
+	if maxActive < 1 {
+		maxActive = 1
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &Queue{
+		slots:   make(chan struct{}, maxActive),
+		maxWait: maxWait,
+	}
+}
+
+// Acquire claims a slot, blocking in the waiting room when all slots are
+// busy. It returns an idempotent release function on success, ErrSaturated
+// when the waiting room is full, or ctx.Err() if the caller's context ends
+// while waiting.
+func (q *Queue) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot, no waiting.
+	select {
+	case q.slots <- struct{}{}:
+		q.mu.Lock()
+		q.admitted++
+		q.mu.Unlock()
+		return q.releaseFunc(), nil
+	default:
+	}
+	q.mu.Lock()
+	if q.waiting >= q.maxWait {
+		q.shed++
+		q.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	q.waiting++
+	q.mu.Unlock()
+	defer func() {
+		q.mu.Lock()
+		q.waiting--
+		if err == nil {
+			q.admitted++
+		}
+		q.mu.Unlock()
+	}()
+	select {
+	case q.slots <- struct{}{}:
+		return q.releaseFunc(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc frees one slot, exactly once however many times it is called.
+func (q *Queue) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() { <-q.slots })
+	}
+}
+
+// Stats snapshots the queue counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{
+		Active:    len(q.slots),
+		Waiting:   q.waiting,
+		MaxActive: cap(q.slots),
+		MaxWait:   q.maxWait,
+		Admitted:  q.admitted,
+		Shed:      q.shed,
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueFastPath(t *testing.T) {
+	q := NewQueue(2, 0)
+	r1, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.Active != 2 || st.Admitted != 2 {
+		t.Fatalf("stats = %+v, want 2 active, 2 admitted", st)
+	}
+	// No waiting room: the third caller is shed immediately.
+	if _, err := q.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if st := q.Stats(); st.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", st.Shed)
+	}
+	r1()
+	r1() // idempotent
+	if st := q.Stats(); st.Active != 1 {
+		t.Fatalf("active after release = %d, want 1", st.Active)
+	}
+	r2()
+}
+
+func TestQueueWaitingRoom(t *testing.T) {
+	q := NewQueue(1, 1)
+	release, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r, err := q.Acquire(context.Background())
+		if err == nil {
+			defer r()
+		}
+		got <- err
+	}()
+	// Wait until the goroutine occupies the waiting room.
+	deadline := time.Now().Add(2 * time.Second)
+	for q.Stats().Waiting != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Waiting room full: next caller is shed, not queued.
+	if _, err := q.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated with a full waiting room", err)
+	}
+	release()
+	if err := <-got; err != nil {
+		t.Fatalf("waiter failed: %v", err)
+	}
+}
+
+func TestQueueAcquireHonorsContext(t *testing.T) {
+	q := NewQueue(1, 4)
+	release, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := q.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if st := q.Stats(); st.Waiting != 0 {
+		t.Fatalf("waiting = %d after context expiry, want 0", st.Waiting)
+	}
+}
+
+// Hammer the queue from many goroutines and check the concurrency invariant:
+// never more than maxActive holders at once, and every admitted acquisition
+// is released.
+func TestQueueConcurrentInvariant(t *testing.T) {
+	const maxActive, goroutines = 3, 32
+	q := NewQueue(maxActive, goroutines)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				release, err := q.Acquire(context.Background())
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > maxActive {
+		t.Fatalf("observed %d concurrent holders, limit %d", p, maxActive)
+	}
+	if st := q.Stats(); st.Active != 0 || st.Waiting != 0 {
+		t.Fatalf("queue not drained: %+v", st)
+	}
+}

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"time"
+
+	"mtreescale/internal/valid"
+)
+
+// Deadline resolves the effective per-request compute budget: def when the
+// client requested nothing, the requested value otherwise, never above
+// ceiling. A non-positive ceiling means def is also the ceiling.
+func Deadline(def, ceiling, requested time.Duration) time.Duration {
+	if ceiling <= 0 {
+		ceiling = def
+	}
+	d := def
+	if requested > 0 {
+		d = requested
+	}
+	if d > ceiling {
+		d = ceiling
+	}
+	return d
+}
+
+// ParseDeadline parses a client-supplied deadline string ("2s", "150ms").
+// Empty means "no request" (0). Malformed or non-positive values are
+// rejected with a valid.ErrParam-wrapped error, so the boundary answers 400.
+func ParseDeadline(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, valid.Badf("serve: bad deadline %q", s)
+	}
+	if d <= 0 {
+		return 0, valid.Badf("serve: deadline must be positive, got %v", d)
+	}
+	return d, nil
+}

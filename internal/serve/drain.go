@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrDraining is returned by Drainer.Enter once a drain has begun: the
+// server has stopped admitting new work and is waiting for in-flight work to
+// finish. A serving boundary maps it to 503 Service Unavailable.
+var ErrDraining = errors.New("serve: draining")
+
+// Drainer tracks in-flight operations and coordinates a graceful drain:
+// after Drain is called, Enter rejects new work, and Drain blocks until the
+// last in-flight operation exits or its context expires (the drain budget).
+// The zero value is ready to use.
+type Drainer struct {
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	zero     chan struct{} // created by Drain when work is in flight; closed at inflight == 0
+}
+
+// Enter registers one in-flight operation. The returned exit function is
+// idempotent and must be called when the operation finishes. Once a drain
+// has begun, Enter fails with ErrDraining.
+func (d *Drainer) Enter() (exit func(), err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return nil, ErrDraining
+	}
+	d.inflight++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			d.mu.Lock()
+			d.inflight--
+			if d.inflight == 0 && d.zero != nil {
+				close(d.zero)
+				d.zero = nil
+			}
+			d.mu.Unlock()
+		})
+	}, nil
+}
+
+// Draining reports whether a drain has begun.
+func (d *Drainer) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Inflight reports the number of operations currently in flight.
+func (d *Drainer) Inflight() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inflight
+}
+
+// Drain stops admissions and blocks until every in-flight operation exits
+// (nil) or ctx expires (ctx.Err()), whichever comes first. ctx carries the
+// drain budget; on budget expiry the caller is expected to cancel the
+// in-flight work's contexts and force-close. Calling Drain more than once is
+// allowed; each call waits for the same condition.
+func (d *Drainer) Drain(ctx context.Context) error {
+	d.mu.Lock()
+	d.draining = true
+	if d.inflight == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	if d.zero == nil {
+		d.zero = make(chan struct{})
+	}
+	zero := d.zero
+	d.mu.Unlock()
+	select {
+	case <-zero:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

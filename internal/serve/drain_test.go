@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDrainImmediateWhenIdle(t *testing.T) {
+	var d Drainer
+	if err := d.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Draining() {
+		t.Fatal("not draining after Drain")
+	}
+	if _, err := d.Enter(); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Enter after drain: err = %v, want ErrDraining", err)
+	}
+}
+
+func TestDrainWaitsForInflight(t *testing.T) {
+	var d Drainer
+	exit, err := d.Enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.Drain(context.Background()) }()
+	// Drain must not return while work is in flight.
+	select {
+	case err := <-done:
+		t.Fatalf("drain returned %v with work in flight", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if d.Inflight() != 1 {
+		t.Fatalf("inflight = %d, want 1", d.Inflight())
+	}
+	exit()
+	exit() // idempotent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain did not observe the exit")
+	}
+}
+
+func TestDrainBudgetExpiry(t *testing.T) {
+	var d Drainer
+	exit, err := d.Enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exit()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := d.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded when the budget expires", err)
+	}
+	// A second Drain after the straggler exits succeeds.
+	exit()
+	if err := d.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"mtreescale/internal/panicsafe"
+)
+
+// WriteJSONError emits the daemon's uniform error body. retryAfter > 0 adds
+// a Retry-After header (whole seconds, rounded up, at least 1).
+func WriteJSONError(w http.ResponseWriter, status int, msg string, retryAfter time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+var incidentSeq atomic.Uint64
+
+// NewIncidentID mints an opaque incident identifier: random hex plus a
+// process-unique sequence number, so a 500 can be correlated with the
+// server-side log line without leaking panic internals to the client.
+func NewIncidentID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the sequence alone; uniqueness within the process is
+		// all correlation needs.
+		return fmt.Sprintf("inc-%06d", incidentSeq.Add(1))
+	}
+	return fmt.Sprintf("inc-%s-%d", hex.EncodeToString(b[:]), incidentSeq.Add(1))
+}
+
+// Recoverer wraps a handler so a panic answers 500 with an opaque incident
+// id instead of killing the process. onIncident (optional) receives the id
+// and the recovered *panicsafe.PanicError for logging. If the handler had
+// already written headers the 500 cannot be sent; the connection is simply
+// dropped — handlers below this middleware buffer their responses.
+func Recoverer(onIncident func(id string, pe *panicsafe.PanicError), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		err := panicsafe.Do(func() error {
+			next.ServeHTTP(w, r)
+			return nil
+		})
+		if err == nil {
+			return
+		}
+		pe, ok := err.(*panicsafe.PanicError)
+		if !ok {
+			pe = &panicsafe.PanicError{Value: err}
+		}
+		id := NewIncidentID()
+		if onIncident != nil {
+			onIncident(id, pe)
+		}
+		WriteJSONError(w, http.StatusInternalServerError, "internal error (incident "+id+")", 0)
+	})
+}
+
+// ctxKeyDeadline marks request contexts that already carry the resolved
+// compute budget.
+type ctxKeyDeadline struct{}
+
+// RequestBudget returns the compute budget WithRequestDeadline resolved for
+// this request, or 0 when the middleware is not installed.
+func RequestBudget(ctx context.Context) time.Duration {
+	d, _ := ctx.Value(ctxKeyDeadline{}).(time.Duration)
+	return d
+}
+
+// WithRequestDeadline resolves the request's compute budget — the server
+// default def, optionally overridden by a ?deadline= query parameter, capped
+// at ceiling — applies it to the request context, and records it for
+// RequestBudget. A malformed or non-positive ?deadline= answers 400.
+func WithRequestDeadline(def, ceiling time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requested, err := ParseDeadline(r.URL.Query().Get("deadline"))
+		if err != nil {
+			WriteJSONError(w, http.StatusBadRequest, err.Error(), 0)
+			return
+		}
+		d := Deadline(def, ceiling, requested)
+		ctx := context.WithValue(r.Context(), ctxKeyDeadline{}, d)
+		if d > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

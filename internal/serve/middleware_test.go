@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mtreescale/internal/panicsafe"
+	"mtreescale/internal/valid"
+)
+
+func TestDeadlineResolution(t *testing.T) {
+	cases := []struct {
+		def, ceiling, requested, want time.Duration
+	}{
+		{10 * time.Second, time.Minute, 0, 10 * time.Second},              // no request → default
+		{10 * time.Second, time.Minute, 2 * time.Second, 2 * time.Second}, // request honored
+		{10 * time.Second, time.Minute, time.Hour, time.Minute},           // capped at ceiling
+		{10 * time.Second, 0, time.Hour, 10 * time.Second},                // no ceiling → default caps
+	}
+	for _, c := range cases {
+		if got := Deadline(c.def, c.ceiling, c.requested); got != c.want {
+			t.Errorf("Deadline(%v, %v, %v) = %v, want %v", c.def, c.ceiling, c.requested, got, c.want)
+		}
+	}
+}
+
+func TestParseDeadline(t *testing.T) {
+	if d, err := ParseDeadline(""); err != nil || d != 0 {
+		t.Fatalf("empty = %v, %v", d, err)
+	}
+	if d, err := ParseDeadline("150ms"); err != nil || d != 150*time.Millisecond {
+		t.Fatalf("150ms = %v, %v", d, err)
+	}
+	for _, bad := range []string{"nope", "-2s", "0s", "2"} {
+		if _, err := ParseDeadline(bad); !valid.IsParam(err) {
+			t.Errorf("ParseDeadline(%q) err = %v, want valid.ErrParam", bad, err)
+		}
+	}
+}
+
+func TestWithRequestDeadlineAppliesBudget(t *testing.T) {
+	var sawBudget time.Duration
+	var hadDeadline bool
+	h := WithRequestDeadline(5*time.Second, 10*time.Second, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawBudget = RequestBudget(r.Context())
+		_, hadDeadline = r.Context().Deadline()
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/curve?deadline=2s", nil))
+	if sawBudget != 2*time.Second || !hadDeadline {
+		t.Fatalf("budget = %v (deadline set: %v), want 2s with a context deadline", sawBudget, hadDeadline)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/curve?deadline=junk", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed deadline: status %d, want 400", rec.Code)
+	}
+}
+
+func TestRecovererIsolatesPanic(t *testing.T) {
+	var gotID string
+	var gotPE *panicsafe.PanicError
+	h := Recoverer(func(id string, pe *panicsafe.PanicError) { gotID, gotPE = id, pe },
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			panic("handler exploded")
+		}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, gotID) {
+		t.Fatalf("body %q does not carry incident id %q", body, gotID)
+	}
+	if strings.Contains(body, "handler exploded") {
+		t.Fatalf("panic value leaked to the client: %q", body)
+	}
+	if gotPE == nil || gotPE.Value != "handler exploded" {
+		t.Fatalf("onIncident got %+v", gotPE)
+	}
+}
+
+func TestRecovererPassesThrough(t *testing.T) {
+	h := Recoverer(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d, want passthrough 418", rec.Code)
+	}
+}
+
+func TestWriteJSONErrorRetryAfter(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSONError(rec, http.StatusTooManyRequests, "saturated", 1500*time.Millisecond)
+	if rec.Code != 429 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want rounded-up seconds \"2\"", ra)
+	}
+	if !strings.Contains(rec.Body.String(), "saturated") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestNewIncidentIDUnique(t *testing.T) {
+	a, b := NewIncidentID(), NewIncidentID()
+	if a == b || a == "" {
+		t.Fatalf("ids not unique: %q, %q", a, b)
+	}
+}
+
+func TestRequestBudgetWithoutMiddleware(t *testing.T) {
+	if d := RequestBudget(context.Background()); d != 0 {
+		t.Fatalf("budget = %v, want 0", d)
+	}
+}

@@ -1,0 +1,11 @@
+// Package serve is the robustness substrate shared by the mtsimd daemon and
+// the experiment scheduler: a bounded admission queue with load shedding, a
+// per-request deadline helper with HTTP middleware, a drain controller for
+// graceful shutdown, and a quarantine registry that applies exponential
+// backoff to workloads that have proven dangerous (a panic or a heap-guard
+// trip).
+//
+// The primitives are deliberately HTTP-agnostic — the scheduler uses the
+// quarantine registry directly — with thin net/http adapters (middleware.go)
+// layered on top for the daemon.
+package serve

@@ -1,0 +1,81 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+)
+
+// Hammer the generation cache from many goroutines while the byte budget is
+// shrunk and the cache reset underneath them — the -race check for the
+// eviction and reset paths. Every Get must still return a usable graph, and
+// the accounting must end non-negative.
+func TestGenerateCachedConcurrentEviction(t *testing.T) {
+	ResetCache()
+	defer func() {
+		ResetCache()
+		SetCacheLimit(DefaultCacheBytes)
+	}()
+
+	// Small scaled topologies so each build is cheap; a tiny budget keeps
+	// the LRU evicting constantly.
+	keys := []struct {
+		name  string
+		scale float64
+	}{
+		{"r100", 1}, {"r100", 0.5}, {"ts1000", 0.1}, {"ts1000", 0.05}, {"ts1008", 0.1},
+	}
+	probe, err := GenerateCached(keys[0].name, 0, keys[0].scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetCacheLimit(2 * probe.MemBytes())
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				k := keys[(w+i)%len(keys)]
+				g, err := GenerateCached(k.name, 0, k.scale)
+				if err != nil {
+					t.Errorf("GenerateCached(%s, %v): %v", k.name, k.scale, err)
+					return
+				}
+				if g.N() < 2 {
+					t.Errorf("GenerateCached(%s, %v) returned a degenerate graph", k.name, k.scale)
+					return
+				}
+				switch i % 30 {
+				case 10:
+					SetCacheLimit(probe.MemBytes())
+				case 20:
+					ResetCache()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := CacheInfo()
+	if st.Bytes < 0 {
+		t.Fatalf("negative byte accounting after the hammer: %+v", st)
+	}
+	if st.Bytes > st.Limit && st.Limit > 0 {
+		t.Fatalf("cache holds %d bytes over the %d limit", st.Bytes, st.Limit)
+	}
+
+	// Determinism survives: the same key still yields the same graph shape.
+	a, err := GenerateCached("r100", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	b, err := GenerateCached("r100", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("rebuild after reset changed the graph: %d/%d vs %d/%d nodes/edges", a.N(), a.M(), b.N(), b.M())
+	}
+}

@@ -1,0 +1,58 @@
+// Package valid defines the typed parameter-validation error shared by the
+// engine boundaries. Every engine entry point (profiles, protocols, curve
+// arguments, affinity samplers) rejects malformed input with an error that
+// wraps ErrParam instead of panicking deep inside a measurement loop, so
+// callers — the CLI and, above all, the mtsimd serving daemon — can tell
+// "the request was bad" (HTTP 400) apart from "the computation failed"
+// (HTTP 500) with a single errors.Is check.
+package valid
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrParam is the sentinel wrapped by every boundary-validation failure.
+var ErrParam = errors.New("invalid parameter")
+
+// Badf builds a validation error: fmt.Errorf(format, args...) wrapping
+// ErrParam.
+func Badf(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrParam)
+}
+
+// IsParam reports whether err is (or wraps) a parameter-validation error.
+func IsParam(err error) bool {
+	return errors.Is(err, ErrParam)
+}
+
+// ParseByteSize parses a byte count with an optional k/m/g suffix (binary
+// multiples, optional trailing 'b'): "512m", "4g", "1048576". An empty
+// string is 0 (no limit). Shared by the mtsim -maxheap and mtsimd -maxheap
+// flags; failures wrap ErrParam.
+func ParseByteSize(s string) (uint64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := uint64(1)
+	s = strings.TrimSuffix(s, "b")
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "g")
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, Badf("bad size %q (want e.g. 512m, 4g, 1048576)", s)
+	}
+	if n > ^uint64(0)/mult {
+		return 0, Badf("size %q overflows", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,70 @@
+package valid
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestBadfWrapsErrParam(t *testing.T) {
+	err := Badf("scale must be in (0,1], got %v", -2.5)
+	if !errors.Is(err, ErrParam) {
+		t.Fatal("Badf error does not wrap ErrParam")
+	}
+	if !IsParam(err) {
+		t.Fatal("IsParam(Badf(...)) = false")
+	}
+	want := "scale must be in (0,1], got -2.5: invalid parameter"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestIsParamSurvivesWrapping(t *testing.T) {
+	err := fmt.Errorf("experiments: fig1a: %w", Badf("bad m"))
+	if !IsParam(err) {
+		t.Fatal("wrapped validation error not recognized")
+	}
+	if IsParam(errors.New("compute exploded")) {
+		t.Fatal("ordinary error misclassified as validation")
+	}
+	if IsParam(nil) {
+		t.Fatal("nil misclassified as validation")
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    uint64
+		wantErr bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"1048576", 1 << 20, false},
+		{"512k", 512 << 10, false},
+		{"512K", 512 << 10, false},
+		{"512kb", 512 << 10, false},
+		{"256m", 256 << 20, false},
+		{"4g", 4 << 30, false},
+		{"4GB", 4 << 30, false},
+		{" 2g ", 2 << 30, false},
+		{"12x", 0, true},
+		{"g", 0, true},
+		{"-1", 0, true},
+		{"1.5g", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseByteSize(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseByteSize(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err != nil && !IsParam(err) {
+			t.Errorf("ParseByteSize(%q) error %v does not wrap ErrParam", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
