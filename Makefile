@@ -35,7 +35,7 @@ race:
 # hangs CI instead of passing silently.
 race-robust:
 	$(GO) test -race -timeout 5m \
-		-run 'Cancel|Panic|Recover|Resume|Checkpoint|HeapGuard|MaxHeap|Timeout|Register|Commit|WriteFile|Quarantine|Shed|Drain|Saturat|Degraded|SlowLoris|Restart|Eviction' \
+		-run 'Cancel|Panic|Recover|Resume|Checkpoint|HeapGuard|MaxHeap|Timeout|Register|Commit|WriteFile|Quarantine|Shed|Drain|Saturat|Degraded|SlowLoris|Restart|Eviction|Churn' \
 		./internal/mcast/... ./internal/experiments/... ./internal/panicsafe/... \
 		./internal/atomicio/... ./internal/serve/... ./internal/graph/... \
 		./cmd/mtsim/... ./cmd/mtsimd/...
@@ -43,18 +43,18 @@ race-robust:
 race-all:
 	$(GO) test -race ./...
 
-# Record the engine benchmarks as machine-readable JSON. BENCH_2.json is the
-# committed perf-trajectory point for this engine generation (hybrid BFS, SPT
-# cache, parallel shared curve); bump the suffix when recording a new point so
-# history stays comparable.
-BENCH_JSON ?= BENCH_2.json
+# Record the engine benchmarks as machine-readable JSON. BENCH_5.json is the
+# committed perf-trajectory point for this engine generation (MS-BFS batch
+# kernel, batched tree accumulation, bulk RNG draws); bump the suffix when
+# recording a new point so history stays comparable.
+BENCH_JSON ?= BENCH_5.json
 
 bench:
 	{ $(GO) test -run '^$$' \
-		-bench 'BenchmarkMeasureCurve$$|BenchmarkMeasureCurveNested$$|BenchmarkMeasureCurveCached$$|BenchmarkMeasureSharedCurve$$' \
+		-bench 'BenchmarkMeasureCurve$$|BenchmarkMeasureCurveNested$$|BenchmarkMeasureCurveNestedSerialBFS$$|BenchmarkMeasureCurveCached$$|BenchmarkMeasureSharedCurve$$' \
 		-benchmem -count 1 . ; \
 	  $(GO) test -run '^$$' \
-		-bench 'BenchmarkBFS50k$$|BenchmarkBFS50kSerial$$|BenchmarkBFS50kDense$$|BenchmarkBFS50kDenseSerial$$' \
+		-bench 'BenchmarkBFS50k$$|BenchmarkBFS50kSerial$$|BenchmarkBFS50kDense$$|BenchmarkBFS50kDenseSerial$$|BenchmarkBatchSPTs64$$|BenchmarkBatchSPTs64Serial$$' \
 		-benchmem -count 1 ./internal/graph ; } | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 	@cat $(BENCH_JSON)
 
@@ -63,15 +63,16 @@ bench-all:
 
 # Gate a new perf point against the previous one: per-benchmark ns/op deltas,
 # nonzero exit when anything shared slowed down by more than 10%.
-BENCH_OLD ?= BENCH_1.json
-BENCH_NEW ?= BENCH_2.json
+BENCH_OLD ?= BENCH_2.json
+BENCH_NEW ?= BENCH_5.json
 
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(BENCH_OLD) $(BENCH_NEW)
 
 # Short fuzzing passes over the parsers.
 fuzz:
-	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/graph/
+	$(GO) test -fuzz FuzzRead$$ -fuzztime 30s ./internal/graph/
+	$(GO) test -fuzz FuzzMSBFSEquivalence -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 30s ./internal/plot/
 	$(GO) test -fuzz FuzzParseCheckpointLine -fuzztime 30s ./internal/experiments/
 	$(GO) test -fuzz FuzzParseBenchOutput -fuzztime 30s ./cmd/benchjson/
@@ -81,7 +82,8 @@ fuzz:
 # each push (regressions on known-crasher corpora surface immediately; long
 # exploration stays in `make fuzz`).
 fuzz-smoke:
-	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz FuzzRead$$ -fuzztime 10s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz FuzzMSBFSEquivalence -fuzztime 10s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime 10s ./internal/plot/
 	$(GO) test -run '^$$' -fuzz FuzzParseCheckpointLine -fuzztime 10s ./internal/experiments/
 	$(GO) test -run '^$$' -fuzz FuzzParseBenchOutput -fuzztime 10s ./cmd/benchjson/

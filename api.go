@@ -118,6 +118,16 @@ func SetSPTCacheLimit(maxBytes int64) int64 { return graph.SharedSPTs.SetLimit(m
 // counters.
 func ResetSPTCache() { graph.SharedSPTs.Clear() }
 
+// SPTBatch holds the shortest-path trees of up to len(sources) sources in one
+// dense slab, as produced by the multi-source BFS kernel.
+type SPTBatch = graph.SPTBatch
+
+// BatchSPTs computes the shortest-path trees of all sources through the
+// MS-BFS kernel, up to 64 sources per graph traversal. Each tree is
+// node-for-node identical to BFS(source). The measurement engines use this
+// kernel whenever Protocol.BatchBFS is set.
+func BatchSPTs(g *Topology, sources []int) (*SPTBatch, error) { return g.BatchSPTs(sources) }
+
 // GNP generates an Erdős–Rényi G(n,p) graph's giant component.
 func GNP(n int, p float64, seed int64) (*Topology, error) { return topology.GNP(n, p, seed) }
 

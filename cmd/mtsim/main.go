@@ -38,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // -pprof flag: profiling handlers on the default mux
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -76,6 +78,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		parallel   = fs.Int("parallel", 1, "run independent experiments on up to N workers (0 = all cores); output stays in paper order")
 		nested     = fs.Bool("nested", false, "use the incremental nested-growth engine for simulation figures (statistically equivalent, faster)")
 		sptcache   = fs.Bool("sptcache", true, "reuse shortest-path trees across experiments via the process-wide SPT cache (byte-identical output; -sptcache=false disables)")
+		batchbfs   = fs.Bool("batchbfs", true, "resolve source trees through the multi-source BFS batch kernel, up to 64 sources per traversal (byte-identical output; -batchbfs=false disables)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		timeout    = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
 		maxHeap    = fs.String("maxheap", "", "soft per-experiment heap limit, e.g. 512m or 4g (empty = no limit); an experiment exceeding it is aborted, its siblings continue")
 		resume     = fs.Bool("resume", false, "with -out: skip experiments already journaled in <out>/checkpoint.jsonl for this profile")
@@ -117,6 +121,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	p.Nested = *nested
 	p.SPTCache = *sptcache
+	p.BatchBFS = *batchbfs
+	if *pprofAddr != "" {
+		// net/http/pprof registers its handlers on the default mux; serve it
+		// on a side listener for the lifetime of the run.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mtsim: pprof server:", err)
+			}
+		}()
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -250,7 +264,7 @@ func runScheduled(ctx context.Context, out io.Writer, ids []string, p mtreescale
 		}
 	}
 	if cfg.parallel != 1 {
-		printSummary(out, stats, cfg.parallel, p.Name, total)
+		printSummary(out, stats, cfg.parallel, p, total)
 	}
 	if ck != nil {
 		return ck.Close()
@@ -259,9 +273,12 @@ func runScheduled(ctx context.Context, out io.Writer, ids []string, p mtreescale
 }
 
 // printSummary appends the per-experiment wall-clock/allocation table.
-func printSummary(out io.Writer, stats []mtreescale.ExperimentStats, parallel int, profile string, total time.Duration) {
-	fmt.Fprintf(out, "# schedule: %d experiments, parallel=%d, profile=%s, total wall %.2fs\n",
-		len(stats), parallel, profile, total.Seconds())
+func printSummary(out io.Writer, stats []mtreescale.ExperimentStats, parallel int, p mtreescale.Profile, total time.Duration) {
+	// The engine worker count the profile actually gets: Protocol.Workers
+	// defaults to GOMAXPROCS and is clamped to the profile's source count.
+	engineWorkers := mtreescale.Protocol{NSource: p.NSource}.EffectiveWorkers()
+	fmt.Fprintf(out, "# schedule: %d experiments, parallel=%d, engine workers/experiment=%d, profile=%s, total wall %.2fs\n",
+		len(stats), parallel, engineWorkers, p.Name, total.Seconds())
 	var sumWall time.Duration
 	replayed := 0
 	for _, st := range stats {

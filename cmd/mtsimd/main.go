@@ -38,6 +38,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof flag: profiling handlers on the default mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -72,6 +73,8 @@ func runDaemon(ctx context.Context, args []string, logw io.Writer) error {
 	fs.DurationVar(&cfg.quarBase, "quarantine-base", cfg.quarBase, "quarantine backoff after an experiment's first dangerous failure (doubles per strike)")
 	fs.DurationVar(&cfg.quarMax, "quarantine-max", cfg.quarMax, "quarantine backoff cap")
 	fs.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", cfg.readHeaderTimeout, "slow-loris defense: close connections that have not finished sending headers")
+	fs.BoolVar(&cfg.batchBFS, "batchbfs", cfg.batchBFS, "resolve source trees through the multi-source BFS batch kernel (byte-identical results; -batchbfs=false disables)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on a separate listener at this address (e.g. localhost:6060); empty disables")
 	maxHeap := fs.String("maxheap", "", "per-experiment soft heap cap, e.g. 512m (empty = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +89,17 @@ func runDaemon(ctx context.Context, args []string, logw io.Writer) error {
 	s, err := newServer(cfg, logf)
 	if err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		// Profiling stays off the serving listener: net/http/pprof registers
+		// on the default mux, which the service handler never exposes.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		defer pln.Close()
+		logf("mtsimd: pprof on http://%s", pln.Addr())
+		go func() { _ = http.Serve(pln, nil) }()
 	}
 	defer s.close()
 	ln, err := net.Listen("tcp", cfg.addr)

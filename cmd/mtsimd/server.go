@@ -30,6 +30,10 @@ type config struct {
 
 	maxHeap uint64
 
+	// batchBFS resolves source trees through the MS-BFS batch kernel in
+	// every computed experiment (output is byte-identical either way).
+	batchBFS bool
+
 	quarBase time.Duration
 	quarMax  time.Duration
 
@@ -49,6 +53,7 @@ func defaultConfig() config {
 		quarBase:          10 * time.Second,
 		quarMax:           5 * time.Minute,
 		readHeaderTimeout: 5 * time.Second,
+		batchBFS:          true,
 	}
 }
 
@@ -219,6 +224,7 @@ func (s *server) handleCurve(w http.ResponseWriter, r *http.Request) {
 		serve.WriteJSONError(w, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
+	p.BatchBFS = s.cfg.batchBFS
 	if !knownExperiment(id) {
 		serve.WriteJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q (see /experiments)", id), 0)
 		return

@@ -1,0 +1,60 @@
+package affinity
+
+import (
+	"testing"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/rng"
+)
+
+// The batch knob of NewGraphChainBatch only changes how the all-pairs
+// distance matrix is computed; distances are identical, so two chains built
+// with the same seed must walk the same trajectory step for step.
+func TestGraphChainBatchByteIdentical(t *testing.T) {
+	g := smallGraph(t)
+	build := func(spts *graph.SPTCache, batch bool) *GraphChain {
+		t.Helper()
+		c, err := NewGraphChainBatch(g, 0, 12, 0.8, rng.New(5), spts, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ref := build(nil, false)
+	variants := map[string]*GraphChain{
+		"batch-slab":   build(nil, true),
+		"cache-serial": build(graph.NewSPTCache(1<<30), false),
+		"cache-batch":  build(graph.NewSPTCache(1<<30), true),
+	}
+	for name, c := range variants {
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if c.dist[u][v] != ref.dist[u][v] {
+					t.Fatalf("%s: dist[%d][%d] = %d, want %d", name, u, v, c.dist[u][v], ref.dist[u][v])
+				}
+			}
+		}
+	}
+	for sweep := 0; sweep < 20; sweep++ {
+		ref.Sweep()
+		for name, c := range variants {
+			c.Sweep()
+			if c.AvgPairDist() != ref.AvgPairDist() || c.TreeSize() != ref.TreeSize() {
+				t.Fatalf("%s diverged at sweep %d: d̂=%v tree=%d, want d̂=%v tree=%d",
+					name, sweep, c.AvgPairDist(), c.TreeSize(), ref.AvgPairDist(), ref.TreeSize())
+			}
+			got, want := c.Positions(), ref.Positions()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s diverged at sweep %d: positions[%d] = %d, want %d",
+						name, sweep, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	for name, c := range variants {
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

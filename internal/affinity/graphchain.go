@@ -53,6 +53,15 @@ func NewGraphChain(g *graph.Graph, source, n int, beta float64, r randSource) (*
 // chain per (β, n) point on the SAME graph, so a shared cache collapses the
 // sweep's BFS work to a single pass.
 func NewGraphChainCached(g *graph.Graph, source, n int, beta float64, r randSource, spts *graph.SPTCache) (*GraphChain, error) {
+	return NewGraphChainBatch(g, source, n, beta, r, spts, false)
+}
+
+// NewGraphChainBatch is NewGraphChainCached with an explicit batch knob: with
+// batch set, the all-pairs pass runs through the MS-BFS kernel, 64 sources
+// per traversal — as a cache pre-fill when a cache is supplied, else reading
+// distance rows straight off a pooled slab. Distances are identical either
+// way, so the chain's behavior is unchanged.
+func NewGraphChainBatch(g *graph.Graph, source, n int, beta float64, r randSource, spts *graph.SPTCache, batch bool) (*GraphChain, error) {
 	if g.N() < 2 {
 		return nil, valid.Badf("affinity: graph too small (N=%d)", g.N())
 	}
@@ -80,26 +89,64 @@ func NewGraphChainCached(g *graph.Graph, source, n int, beta float64, r randSour
 		dist:    make([][]int16, g.N()),
 		counter: mcast.NewTreeCounter(g.N()),
 	}
-	var sptBuf graph.SPT
-	for v := 0; v < g.N(); v++ {
-		spt := &sptBuf
-		if spts != nil {
-			cached, err := spts.Get(g, v)
-			if err != nil {
-				return nil, err
-			}
-			spt = cached
-		} else if err := g.BFSInto(v, &sptBuf); err != nil {
+	if batch && spts != nil {
+		all := make([]int, g.N())
+		for v := range all {
+			all[v] = v
+		}
+		if err := spts.FillBatch(g, all); err != nil {
 			return nil, err
 		}
-		if spt.Reachable() != g.N() {
-			return nil, fmt.Errorf("affinity: graph not connected (source %d reaches %d of %d)", v, spt.Reachable(), g.N())
+	}
+	if batch && spts == nil {
+		b := graph.AcquireSPTBatch()
+		defer graph.ReleaseSPTBatch(b)
+		srcs := make([]int, 0, 64)
+		for base := 0; base < g.N(); base += 64 {
+			srcs = srcs[:0]
+			for v := base; v < base+64 && v < g.N(); v++ {
+				srcs = append(srcs, v)
+			}
+			if err := g.BatchSPTsInto(srcs, b); err != nil {
+				return nil, err
+			}
+			for i, v := range srcs {
+				row := make([]int16, g.N())
+				reached := 0
+				for u, d := range b.DistRow(i) {
+					if d != graph.Unreachable {
+						reached++
+					}
+					row[u] = int16(d)
+				}
+				if reached != g.N() {
+					return nil, fmt.Errorf("affinity: graph not connected (source %d reaches %d of %d)", v, reached, g.N())
+				}
+				c.dist[v] = row
+			}
 		}
-		row := make([]int16, g.N())
-		for u := 0; u < g.N(); u++ {
-			row[u] = int16(spt.Dist[u])
+	} else {
+		var sptBuf graph.SPT
+		for v := 0; v < g.N(); v++ {
+			spt := &sptBuf
+			if spts != nil {
+				cached, err := spts.Get(g, v)
+				if err != nil {
+					return nil, err
+				}
+				spt = cached
+			} else if err := g.BFSInto(v, &sptBuf); err != nil {
+				return nil, err
+			}
+			if spt.Reachable() != g.N() {
+				return nil, fmt.Errorf("affinity: graph not connected (source %d reaches %d of %d)", v, spt.Reachable(), g.N())
+			}
+			row := make([]int16, g.N())
+			for u := 0; u < g.N(); u++ {
+				row[u] = int16(spt.Dist[u])
+			}
+			c.dist[v] = row
 		}
-		c.dist[v] = row
 	}
 	if spts != nil {
 		var err error

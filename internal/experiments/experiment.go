@@ -40,6 +40,12 @@ type Profile struct {
 	// GridPoints× less tree-walk work. Off by default so the default
 	// outputs stay paper-faithful bit for bit.
 	Nested bool
+	// BatchBFS routes multi-source tree builds through the MS-BFS batch
+	// kernel (graph.BatchSPTs): up to 64 sources share one traversal. The
+	// trees produced are identical to per-source BFS, so output is
+	// byte-identical with the knob on or off; the standard profiles enable
+	// it.
+	BatchBFS bool
 	// SPTCache routes every shortest-path-tree build through the
 	// process-wide graph.SharedSPTs cache. Experiments sharing a profile
 	// sweep the same cached topologies and redraw the same source streams,
@@ -77,7 +83,7 @@ func Paper() Profile {
 	return Profile{
 		Name: "paper", Scale: 1, NSource: 100, NRcvr: 100,
 		GridPoints: 24, Seed: 1999, MCMCBurnIn: 200, MCMCSamples: 400,
-		SPTCache: true,
+		SPTCache: true, BatchBFS: true,
 	}
 }
 
@@ -87,7 +93,7 @@ func Medium() Profile {
 	return Profile{
 		Name: "medium", Scale: 0.25, NSource: 30, NRcvr: 30,
 		GridPoints: 16, Seed: 1999, MCMCBurnIn: 100, MCMCSamples: 200,
-		SPTCache: true,
+		SPTCache: true, BatchBFS: true,
 	}
 }
 
@@ -96,7 +102,7 @@ func Quick() Profile {
 	return Profile{
 		Name: "quick", Scale: 0.05, NSource: 8, NRcvr: 8,
 		GridPoints: 8, Seed: 1999, MCMCBurnIn: 30, MCMCSamples: 60,
-		MaxGroupSize: 2000, SPTCache: true,
+		MaxGroupSize: 2000, SPTCache: true, BatchBFS: true,
 	}
 }
 

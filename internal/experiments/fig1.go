@@ -54,6 +54,7 @@ func runFig1(ctx context.Context, id string, names []string, p Profile) (*Result
 			Seed:     rng.Split(p.Seed, int64(gi)),
 			Nested:   p.Nested,
 			SPTCache: p.SPTCache,
+			BatchBFS: p.BatchBFS,
 		}
 		pts, err := mcast.MeasureCurveCtx(ctx, g, sizes, mcast.Distinct, prot)
 		if err != nil {

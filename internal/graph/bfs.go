@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // Unreachable marks a node with no path from the BFS source.
@@ -12,6 +13,12 @@ const Unreachable int32 = -1
 // reachable from Source, Parent gives the previous hop on one shortest path
 // and Dist the hop count. Unreachable nodes have Parent == Dist == -1.
 //
+// Parents are canonical: Parent[v] is the lowest-index neighbor of v at
+// distance Dist[v]-1. Every kernel (serial, direction-optimizing, MS-BFS)
+// resolves ties the same way, so an SPT is a pure function of
+// (graph, source) regardless of which kernel produced it — the property the
+// SPT cache and the batch measurement path rely on to stay byte-identical.
+//
 // The multicast engine builds every delivery tree as a subtree of an SPT,
 // matching the paper's source-specific shortest-path routing model
 // (footnote 1: "packets traverse the shortest path between source and
@@ -20,8 +27,10 @@ type SPT struct {
 	Source int
 	Parent []int32
 	Dist   []int32
-	// Order lists reachable nodes in nondecreasing distance (BFS order);
-	// Order[0] == Source.
+	// Order lists reachable nodes in nondecreasing distance; Order[0] ==
+	// Source. The relative order of nodes at the same distance is
+	// kernel-dependent (queue order, frontier order, or index order) — no
+	// consumer may rely on it beyond the nondecreasing-distance guarantee.
 	Order []int32
 }
 
@@ -40,9 +49,8 @@ func (g *Graph) BFS(source int) (*SPT, error) {
 //
 // Above directionOptThreshold nodes it routes to the direction-optimizing
 // kernel (hybrid.go); below it, to the reference queue BFS. Both produce
-// identical Dist arrays; Parent ties may resolve differently, but each
-// kernel is a pure function of (graph, source), so the routed result is
-// deterministic.
+// identical Dist arrays and identical canonical (lowest-index) Parent
+// arrays; only the within-level Order may differ between kernels.
 func (g *Graph) BFSInto(source int, t *SPT) error {
 	n := g.N()
 	if source < 0 || source >= n {
@@ -69,23 +77,56 @@ func (g *Graph) BFSInto(source int, t *SPT) error {
 	return nil
 }
 
-// serialBFSInto is the reference queue BFS: a single FIFO frontier stored in
-// t.Order, expanded in discovery order. It is the kernel of record that the
-// direction-optimizing kernel is tested against.
+// serialBFSInto is the reference level-synchronous BFS: level membership
+// lives in a bitset, scanned in ascending node order, so the first
+// discoverer of every next-level node is its lowest-index previous-level
+// neighbor — parents come out canonical with no per-edge tie-break. The
+// membership scan costs N/64 word reads per level, noise next to the edge
+// scan it sits on top of. This is the kernel of record that the
+// direction-optimizing and multi-source kernels are tested against.
 func (g *Graph) serialBFSInto(source int, t *SPT) {
+	n := g.N()
+	words := (n + 63) / 64
+	sc := bfsScratchPool.Get().(*bfsScratch)
+	if cap(sc.visited) < words {
+		sc.visited = make([]uint64, words)
+		sc.front = make([]uint64, words)
+	}
+	cur := sc.visited[:words]
+	next := sc.front[:words]
+	for i := range next {
+		cur[i] = 0
+		next[i] = 0
+	}
+	defer bfsScratchPool.Put(sc)
+
 	t.Dist[source] = 0
 	t.Parent[source] = int32(source)
 	t.Order = append(t.Order, int32(source))
-	for head := 0; head < len(t.Order); head++ {
-		u := t.Order[head]
-		du := t.Dist[u]
-		for _, w := range g.Neighbors(int(u)) {
-			if t.Dist[w] == Unreachable {
-				t.Dist[w] = du + 1
-				t.Parent[w] = u
-				t.Order = append(t.Order, w)
+	cur[source>>6] |= 1 << (uint(source) & 63)
+	for du := int32(0); ; du++ {
+		grew := false
+		for wi := 0; wi < words; wi++ {
+			f := cur[wi]
+			cur[wi] = 0
+			for f != 0 {
+				u := int32(wi<<6 + bits.TrailingZeros64(f))
+				f &= f - 1
+				for _, w := range g.Neighbors(int(u)) {
+					if t.Dist[w] == Unreachable {
+						t.Dist[w] = du + 1
+						t.Parent[w] = u
+						t.Order = append(t.Order, w)
+						next[w>>6] |= 1 << (uint(w) & 63)
+						grew = true
+					}
+				}
 			}
 		}
+		if !grew {
+			return
+		}
+		cur, next = next, cur
 	}
 }
 

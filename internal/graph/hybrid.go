@@ -15,16 +15,15 @@ import (
 // and the bottom-up pass touches each of them through at most a handful of
 // adjacency probes instead of scanning every frontier edge.
 //
-// Determinism: top-down steps scan the frontier in BFS order and each node's
-// CSR adjacency in index order; bottom-up steps scan unvisited nodes in index
-// order and adopt the lowest-index parent on the previous level (CSR
-// adjacency is sorted, so the first hit is the minimum). Both directions are
-// pure functions of (graph, source), so repeated runs — and any mix of
-// worker counts above the kernel — produce identical SPTs. Dist arrays are
-// identical to the reference queue BFS by construction (level-synchronous
-// expansion visits exactly the distance-d set at step d); Parent arrays are
-// valid shortest-path parents but may pick different ties than the queue
-// order.
+// Determinism: top-down steps scan the whole frontier and keep the
+// lowest-index previous-level neighbor as each discovered node's parent;
+// bottom-up steps scan unvisited nodes in index order and adopt the
+// lowest-index parent on the previous level (CSR adjacency is sorted, so the
+// first hit is the minimum). Dist arrays are identical to the reference
+// queue BFS by construction (level-synchronous expansion visits exactly the
+// distance-d set at step d), and Parent arrays are the same canonical
+// lowest-index parents every kernel in this package produces — so the SPT is
+// a pure function of (graph, source) independent of kernel routing.
 
 const (
 	// bfsAlpha triggers the top-down → bottom-up switch: the frontier's
@@ -137,7 +136,10 @@ func (g *Graph) hybridBFSInto(source int, t *SPT) {
 		} else {
 			// Top-down step: expand the frontier through the visited
 			// bitset (one bit per membership probe instead of a 4-byte
-			// Dist load).
+			// Dist load). The else-branch keeps parents canonical: every
+			// previous-level neighbor of a node discovered this step is on
+			// the frontier and therefore scanned, so the running minimum
+			// settles on the lowest-index one.
 			for i := levelStart; i < levelEnd; i++ {
 				u := t.Order[i]
 				for _, w := range g.Neighbors(int(u)) {
@@ -147,6 +149,8 @@ func (g *Graph) hybridBFSInto(source int, t *SPT) {
 						t.Parent[w] = u
 						t.Order = append(t.Order, w)
 						nextEdges += int64(g.Degree(int(w)))
+					} else if t.Dist[w] == dist && u < t.Parent[w] {
+						t.Parent[w] = u
 					}
 				}
 			}

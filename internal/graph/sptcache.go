@@ -128,6 +128,102 @@ func (c *SPTCache) Get(g *Graph, source int) (*SPT, error) {
 	return e.spt, e.err
 }
 
+// Peek returns the cached tree for (g, source) without filling on a miss.
+// Like Get, it blocks on an in-flight fill for the key (sharing its result)
+// and counts a hit; a true miss returns (nil, false) and counts nothing, so
+// callers can decide how to compute the tree — the batch scheduling path
+// peeks every distinct source and routes the misses through one MS-BFS
+// traversal.
+func (c *SPTCache) Peek(g *Graph, source int) (*SPT, bool) {
+	if g == nil {
+		return nil, false
+	}
+	key := sptKey{g: g, source: source}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.hits++
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+	c.mu.Unlock()
+	<-e.ready
+	if e.err != nil {
+		return nil, false
+	}
+	return e.spt, true
+}
+
+// Add inserts an already-computed tree for (g, source), if the key is absent.
+// It returns the cached tree for the key: t itself when the insert won, or
+// the existing (possibly in-flight) entry's tree when another fill got there
+// first — so callers always end up sharing the canonical cached copy. t must
+// be a standalone SPT the cache may own indefinitely (e.g. from
+// SPTBatch.Materialize), never a view into pooled storage.
+func (c *SPTCache) Add(g *Graph, source int, t *SPT) (*SPT, error) {
+	if g == nil || t == nil {
+		return nil, fmt.Errorf("graph: SPT cache Add needs a graph and a tree")
+	}
+	key := sptKey{g: g, source: source}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		<-e.ready
+		return e.spt, e.err
+	}
+	e := &sptEntry{key: key, ready: make(chan struct{}), spt: t}
+	close(e.ready)
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	e.bytes = sptBytes(t)
+	c.bytes += e.bytes
+	c.evictLocked()
+	c.mu.Unlock()
+	return t, nil
+}
+
+// FillBatch ensures trees for every given source are cached, computing the
+// misses through the multi-source BFS kernel in 64-lane groups instead of
+// one BFS per source. MS-BFS produces the same canonical trees as the
+// single-source kernels, so subsequent Gets are byte-identical to
+// cache-as-you-go filling.
+func (c *SPTCache) FillBatch(g *Graph, sources []int) error {
+	var need []int
+	var pending map[int]struct{}
+	for _, s := range sources {
+		if _, dup := pending[s]; dup {
+			continue
+		}
+		if _, ok := c.Peek(g, s); !ok {
+			if pending == nil {
+				pending = make(map[int]struct{})
+			}
+			pending[s] = struct{}{}
+			need = append(need, s)
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	b := AcquireSPTBatch()
+	defer ReleaseSPTBatch(b)
+	if err := g.BatchSPTsInto(need, b); err != nil {
+		return err
+	}
+	for i, s := range need {
+		if _, err := c.Add(g, s, b.Materialize(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // removeLocked unlinks an entry without counting it as an eviction.
 func (c *SPTCache) removeLocked(e *sptEntry) {
 	delete(c.entries, e.key)

@@ -27,8 +27,11 @@ type Protocol struct {
 	// IncludeSource lets the source site also be drawn as a receiver.
 	// The paper excludes it (receivers are *other* sites).
 	IncludeSource bool
-	// Workers bounds the number of concurrent source workers;
-	// 0 means GOMAXPROCS.
+	// Workers bounds the number of concurrent source workers; 0 means
+	// GOMAXPROCS. The pool never runs more workers than there are source
+	// jobs, so the effective concurrency is min(Workers, NSource) — see
+	// EffectiveWorkers. Requesting more is not an error, just headroom
+	// that cannot be used.
 	Workers int
 	// Nested routes MeasureCurve through the incremental nested-growth
 	// engine (MeasureCurveNested): one receiver permutation per repetition,
@@ -43,10 +46,22 @@ type Protocol struct {
 	// as the uncached path, so results are byte-identical either way.
 	// Leave false for transient graphs that should not pin cache budget.
 	SPTCache bool
+	// BatchBFS routes shortest-path-tree construction through the
+	// multi-source BFS kernel (graph.BatchSPTs): the engines resolve a
+	// sweep's source trees in 64-lane batches before the worker fan-out,
+	// so one traversal of a shared frontier advances up to 64 sources at
+	// once. With SPTCache set, the batch pre-fills graph.SharedSPTs;
+	// without it, workers read zero-copy lane views of one pooled slab.
+	// Every kernel produces the same canonical trees, so results are
+	// byte-identical with the flag on or off.
+	BatchBFS bool
 }
 
 // Validate checks protocol sanity. Failures wrap valid.ErrParam, so a
-// serving boundary can classify them as bad requests.
+// serving boundary can classify them as bad requests. Workers > NSource is
+// accepted (the pool clamps, it does not fail): worker count is a resource
+// hint, and rejecting it would make the same protocol valid or invalid
+// depending on an unrelated sample-size field.
 func (p Protocol) Validate() error {
 	if p.NSource <= 0 || p.NRcvr <= 0 {
 		return valid.Badf("mcast: protocol needs NSource > 0 and NRcvr > 0 (got %d, %d)", p.NSource, p.NRcvr)
@@ -57,9 +72,25 @@ func (p Protocol) Validate() error {
 	return nil
 }
 
-// DefaultProtocol is the paper's 100×100 protocol.
+// EffectiveWorkers returns the number of source workers the engines will
+// actually run for this protocol: Workers (or GOMAXPROCS when 0), clamped to
+// NSource because the pool parallelizes over source jobs and extra workers
+// would sit idle.
+func (p Protocol) EffectiveWorkers() int {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > p.NSource && p.NSource > 0 {
+		workers = p.NSource
+	}
+	return workers
+}
+
+// DefaultProtocol is the paper's 100×100 protocol, measured through the
+// batched MS-BFS scheduling path (byte-identical to per-source BFS).
 func DefaultProtocol(seed int64) Protocol {
-	return Protocol{NSource: 100, NRcvr: 100, Seed: seed}
+	return Protocol{NSource: 100, NRcvr: 100, Seed: seed, BatchBFS: true}
 }
 
 // Point is the aggregated observation for one group size.
@@ -123,9 +154,14 @@ func MeasureCurveCtx(ctx context.Context, g *graph.Graph, sizes []int, mode Mode
 		return nil, err
 	}
 	sources := drawSources(g, p)
+	bt, err := resolveBatch(g, sources, p)
+	if err != nil {
+		return nil, err
+	}
+	defer bt.release()
 	acc := newCurveAccum(p.NSource, len(sizes))
-	err := runSourceWorkers(ctx, p, func(si int) error {
-		return measureSourceIndependent(ctx, g, sources[si], si, sizes, mode, p, acc)
+	err = runSourceWorkers(ctx, p, func(si int) error {
+		return measureSourceIndependent(ctx, g, sources[si], si, sizes, mode, p, bt, acc)
 	})
 	if err != nil {
 		return nil, err
@@ -259,13 +295,7 @@ func (a *curveAccum) reduce(sizes []int) []Point {
 // every job runs under panicsafe.Do, so a panicking source job surfaces as
 // an ordinary error from the engine instead of killing the process.
 func runSourceWorkers(ctx context.Context, p Protocol, job func(si int) error) error {
-	workers := p.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > p.NSource {
-		workers = p.NSource
-	}
+	workers := p.EffectiveWorkers()
 	jobs := make(chan int, p.NSource)
 	for si := 0; si < p.NSource; si++ {
 		jobs <- si
@@ -315,6 +345,9 @@ func runSourceWorkers(ctx context.Context, p Protocol, job func(si int) error) e
 type sourceScratch struct {
 	spt     graph.SPT
 	spt2    graph.SPT // core-rooted tree for the shared-curve engine
+	view    graph.SPT // batch lane view; aliases a slab, never fed to BFSInto
+	view2   graph.SPT // core lane view for the shared-curve batch path
+	pd, pd2 []int64   // packed (dist, parent) words for the fused loops
 	counter *TreeCounter
 	smp     Sampler
 	recv    []int32
@@ -330,13 +363,20 @@ func getScratch(n int) *sourceScratch {
 	return sc
 }
 
-// prepare resolves the source's shortest-path tree — from the process-wide
-// cache when the protocol allows, otherwise into the scratch buffer — and
-// resets the sampler for the source. The returned SPT is read-only when it
-// came from the cache; every consumer (TreeCounter, Dist reads) only reads.
-func (sc *sourceScratch) prepare(g *graph.Graph, src, si int, p Protocol) (*graph.SPT, error) {
+// prepare resolves the source's shortest-path tree — from the pre-resolved
+// batch when the engine engaged the batch scheduling path, from the
+// process-wide cache when the protocol allows, otherwise into the scratch
+// buffer — and resets the sampler for the source. The returned SPT is
+// read-only when it came from the batch or the cache; every consumer
+// (TreeCounter, Dist reads) only reads. Batch views land in sc.view, which
+// is never handed to BFSInto, so slab aliases cannot leak into later
+// BFS reuse of the pooled scratch.
+func (sc *sourceScratch) prepare(g *graph.Graph, src, si int, p Protocol, bt *batchTrees) (*graph.SPT, error) {
 	spt := &sc.spt
-	if p.SPTCache {
+	if bt != nil {
+		bt.view(si, &sc.view)
+		spt = &sc.view
+	} else if p.SPTCache {
 		cached, err := graph.SharedSPTs.Get(g, src)
 		if err != nil {
 			return nil, err
@@ -358,13 +398,16 @@ func (sc *sourceScratch) prepare(g *graph.Graph, src, si int, p Protocol) (*grap
 // measureSourceIndependent runs the paper-faithful §2 inner loop for one
 // source: an independent receiver set per (size, repetition), observing ctx
 // at every grid point so cancellation interrupts even a single huge source.
-func measureSourceIndependent(ctx context.Context, g *graph.Graph, src, si int, sizes []int, mode Mode, p Protocol, acc *curveAccum) error {
+// The tree is packed once per source and every sample measured through the
+// fused packed walk (exact-integer equivalent of counter.Measure).
+func measureSourceIndependent(ctx context.Context, g *graph.Graph, src, si int, sizes []int, mode Mode, p Protocol, bt *batchTrees, acc *curveAccum) error {
 	sc := getScratch(g.N())
 	defer scratchPool.Put(sc)
-	spt, err := sc.prepare(g, src, si, p)
+	spt, err := sc.prepare(g, src, si, p, bt)
 	if err != nil {
 		return err
 	}
+	sc.pd = packTree(spt, sc.pd)
 	for k, size := range sizes {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -381,7 +424,7 @@ func measureSourceIndependent(ctx context.Context, g *graph.Graph, src, si int, 
 			if err != nil {
 				return err
 			}
-			meas := sc.counter.Measure(spt, sc.recv)
+			meas := sc.counter.measurePacked(int32(spt.Source), sc.pd, sc.recv)
 			if meas.Receivers == 0 {
 				continue // source in a tiny component; skip sample
 			}

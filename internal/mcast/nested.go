@@ -46,9 +46,14 @@ func MeasureCurveNestedCtx(ctx context.Context, g *graph.Graph, sizes []int, mod
 	cuts := sizeCuts(sizes)
 	maxSize := cuts[len(cuts)-1].size
 	sources := drawSources(g, p)
+	bt, err := resolveBatch(g, sources, p)
+	if err != nil {
+		return nil, err
+	}
+	defer bt.release()
 	acc := newCurveAccum(p.NSource, len(sizes))
-	err := runSourceWorkers(ctx, p, func(si int) error {
-		return measureSourceNested(ctx, g, sources[si], si, cuts, maxSize, mode, p, acc)
+	err = runSourceWorkers(ctx, p, func(si int) error {
+		return measureSourceNested(ctx, g, sources[si], si, cuts, maxSize, mode, p, bt, acc)
 	})
 	if err != nil {
 		return nil, err
@@ -75,13 +80,24 @@ func sizeCuts(sizes []int) []sizeCut {
 // growth sequences, each measured at every cut. ctx is polled once per
 // repetition — one repetition is one O(L(maxM)) tree walk, the nested
 // engine's grid-point unit of work.
-func measureSourceNested(ctx context.Context, g *graph.Graph, src, si int, cuts []sizeCut, maxSize int, mode Mode, p Protocol, acc *curveAccum) error {
+//
+// The tree is packed once per source (see packed.go) and the growth loop is
+// the fused packed form of Begin/Add: one int64 load per climb step carries
+// both the distance and the parent, the visited-epoch scheme is the
+// counter's own, and nextCut keeps the grid read-off to one scalar compare
+// per receiver. The integers produced are exactly those of the unfused
+// loop, so the engine's results are unchanged.
+func measureSourceNested(ctx context.Context, g *graph.Graph, src, si int, cuts []sizeCut, maxSize int, mode Mode, p Protocol, bt *batchTrees, acc *curveAccum) error {
 	sc := getScratch(g.N())
 	defer scratchPool.Put(sc)
-	spt, err := sc.prepare(g, src, si, p)
+	spt, err := sc.prepare(g, src, si, p, bt)
 	if err != nil {
 		return err
 	}
+	sc.pd = packTree(spt, sc.pd)
+	pd := sc.pd
+	source := int32(spt.Source)
+	c := sc.counter
 	for rep := 0; rep < p.NRcvr; rep++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -95,23 +111,70 @@ func measureSourceNested(ctx context.Context, g *graph.Graph, src, si int, cuts 
 		if err != nil {
 			return err
 		}
-		sc.counter.Begin(spt)
+		if len(pd) > len(c.visited) {
+			c.visited = make([]int32, len(pd))
+			c.epoch = 0
+		}
+		c.epoch++
+		epoch, visited := c.epoch, c.visited
+		visited[source] = epoch
 		links := 0
 		var hops int64
 		reachable := 0
-		ci := 0
-		for j, r := range sc.recv {
-			links += sc.counter.Add(spt, r)
-			if r >= 0 && int(r) < len(spt.Dist) && spt.Dist[r] != graph.Unreachable {
-				hops += int64(spt.Dist[r])
-				reachable++
+		// Grow the tree segment by segment: within a segment (receivers
+		// between consecutive cuts) climbs interleave four wide (climb4),
+		// draining at each cut boundary so the recorded (links, hops,
+		// reachable) are exactly the prefix integers the one-at-a-time loop
+		// produces there.
+		recv := sc.recv
+		for j, ci := 0, 0; ci < len(cuts); {
+			cut := cuts[ci].size
+			for ; j+4 <= cut; j += 4 {
+				r0, r1, r2, r3 := recv[j], recv[j+1], recv[j+2], recv[j+3]
+				w0, w1, w2, w3 := pd[r0], pd[r1], pd[r2], pd[r3]
+				if w0 < 0 {
+					r0 = source
+				} else {
+					hops += w0 >> 32
+					reachable++
+				}
+				if w1 < 0 {
+					r1 = source
+				} else {
+					hops += w1 >> 32
+					reachable++
+				}
+				if w2 < 0 {
+					r2 = source
+				} else {
+					hops += w2 >> 32
+					reachable++
+				}
+				if w3 < 0 {
+					r3 = source
+				} else {
+					hops += w3 >> 32
+					reachable++
+				}
+				links += climb4(pd, visited, epoch, r0, r1, r2, r3)
 			}
-			for ci < len(cuts) && cuts[ci].size == j+1 {
+			for ; j < cut; j++ {
+				r := recv[j]
+				if w := pd[r]; w >= 0 {
+					hops += w >> 32
+					reachable++
+					for v := r; visited[v] != epoch; {
+						visited[v] = epoch
+						links++
+						v = int32(uint32(pd[v]))
+					}
+				}
+			}
+			for ; ci < len(cuts) && cuts[ci].size == cut; ci++ {
 				if reachable > 0 {
 					m := Measurement{Links: links, UnicastHops: hops, Receivers: reachable}
 					acc.add(si, cuts[ci].k, m.Ratio(), float64(m.Links), m.AvgUnicast())
 				}
-				ci++
 			}
 		}
 	}

@@ -17,10 +17,17 @@ import (
 // safe for concurrent use.
 type Sampler struct {
 	r rng.Source
+	// rr is r when it is a concrete *rng.Rand (every production stream is):
+	// the hot draw loops use it for static dispatch and an inlined bounded
+	// draw. nil when a test supplies a scripted Source.
+	rr *rng.Rand
 	// sites is the population to draw from.
 	sites []int32
 	// buf is scratch for the Fisher-Yates distinct path.
 	buf []int32
+	// draws is scratch for the bulk-drawn index sequences of the Floyd and
+	// with-replacement paths.
+	draws []int32
 	// mark implements an O(1)-clear scratch set over site indices:
 	// mark[i] == epoch means index i is stamped for the current draw.
 	mark  []int32
@@ -48,6 +55,7 @@ func (s *Sampler) Reset(n int, exclude int, r rng.Source) error {
 		return fmt.Errorf("mcast: sampler needs a random source")
 	}
 	s.r = r
+	s.rr, _ = r.(*rng.Rand)
 	s.sites = s.sites[:0]
 	for v := 0; v < n; v++ {
 		if v != exclude {
@@ -66,7 +74,8 @@ func NewSiteSampler(sites []int32, r rng.Source) (*Sampler, error) {
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("mcast: empty site population")
 	}
-	return &Sampler{r: r, sites: append([]int32(nil), sites...)}, nil
+	rr, _ := r.(*rng.Rand)
+	return &Sampler{r: r, rr: rr, sites: append([]int32(nil), sites...)}, nil
 }
 
 // Population returns the number of candidate sites (the paper's M).
@@ -97,6 +106,18 @@ func (s *Sampler) WithReplacement(n int, dst []int32) ([]int32, error) {
 		return nil, fmt.Errorf("mcast: negative sample size %d", n)
 	}
 	dst = dst[:0]
+	if rr, sites := s.rr, s.sites; rr != nil {
+		// Bulk-draw the site indices (identical to n Intn draws), then gather.
+		if cap(s.draws) < n {
+			s.draws = make([]int32, n)
+		}
+		draws := s.draws[:n]
+		rr.FillIntn(len(sites), draws)
+		for _, t := range draws {
+			dst = append(dst, sites[t])
+		}
+		return dst, nil
+	}
 	for i := 0; i < n; i++ {
 		dst = append(dst, s.sites[s.r.Intn(len(s.sites))])
 	}
@@ -125,10 +146,15 @@ func (s *Sampler) Distinct(m int, dst []int32) ([]int32, error) {
 		}
 		s.buf = s.buf[:M]
 		copy(s.buf, s.sites)
+		buf := s.buf
+		if rr := s.rr; rr != nil {
+			rr.PermPrefix32(buf, m)
+			return append(dst, buf[:m]...), nil
+		}
 		for i := 0; i < m; i++ {
 			j := i + s.r.Intn(M-i)
-			s.buf[i], s.buf[j] = s.buf[j], s.buf[i]
-			dst = append(dst, s.buf[i])
+			buf[i], buf[j] = buf[j], buf[i]
+			dst = append(dst, buf[i])
 		}
 		return dst, nil
 	}
@@ -136,6 +162,24 @@ func (s *Sampler) Distinct(m int, dst []int32) ([]int32, error) {
 	// already taken, else take j. The "taken" set is the epoch-stamped mark
 	// array, so the draw allocates nothing.
 	s.stamp()
+	if rr := s.rr; rr != nil {
+		// Bulk-draw Floyd's index sequence (identical to the Intn(j+1) loop),
+		// then run the membership logic over the drawn indices.
+		if cap(s.draws) < m {
+			s.draws = make([]int32, m)
+		}
+		draws := s.draws[:m]
+		rr.FillBounded(M-m, draws)
+		mark, epoch, sites := s.mark, s.epoch, s.sites
+		for k, pick := range draws {
+			if mark[pick] == epoch {
+				pick = int32(M - m + k)
+			}
+			mark[pick] = epoch
+			dst = append(dst, sites[pick])
+		}
+		return dst, nil
+	}
 	for j := M - m; j < M; j++ {
 		t := int32(s.r.Intn(j + 1))
 		pick := t
@@ -165,6 +209,10 @@ func (s *Sampler) Permutation(m int, dst []int32) ([]int32, error) {
 		return nil, fmt.Errorf("mcast: cannot draw %d distinct sites from %d", m, M)
 	}
 	dst = dst[:0]
+	if rr := s.rr; rr != nil {
+		rr.PermPrefix32(sites, m)
+		return append(dst, sites[:m]...), nil
+	}
 	r := s.r
 	for i := 0; i < m; i++ {
 		j := i + r.Intn(M-i)

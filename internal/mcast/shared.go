@@ -125,7 +125,7 @@ func MeasureSharedCurveCtx(ctx context.Context, g *graph.Graph, sizes []int, str
 	var center int
 	if strategy == CoreCenter {
 		var err error
-		center, err = approxCenter(g, p.Seed)
+		center, err = approxCenter(g, p.Seed, p.BatchBFS)
 		if err != nil {
 			return nil, err
 		}
@@ -150,9 +150,19 @@ func MeasureSharedCurveCtx(ctx context.Context, g *graph.Graph, sizes []int, str
 		}
 	}
 
+	// The batch path resolves source and core trees in one slab: lane si is
+	// sources[si], lane NSource+si is cores[si].
+	combined := make([]int, 0, 2*p.NSource)
+	combined = append(combined, sources...)
+	combined = append(combined, cores...)
+	bt, err := resolveBatch(g, combined, p)
+	if err != nil {
+		return nil, err
+	}
+	defer bt.release()
 	acc := newSharedAccum(p.NSource, len(sizes))
-	err := runSourceWorkers(ctx, p, func(si int) error {
-		return measureSourceShared(ctx, g, sources[si], cores[si], si, sizes, p, acc)
+	err = runSourceWorkers(ctx, p, func(si int) error {
+		return measureSourceShared(ctx, g, sources[si], cores[si], si, sizes, p, bt, acc)
 	})
 	if err != nil {
 		return nil, err
@@ -213,13 +223,19 @@ func (a *sharedAccum) reduce(sizes []int) []SharedPoint {
 }
 
 // measureSourceShared runs the shared-curve inner loop for one source: both
-// trees resolved (from the SPT cache when enabled), then every (size, rep)
-// sample measured against each. ctx is polled at every grid point.
-func measureSourceShared(ctx context.Context, g *graph.Graph, source, core, si int, sizes []int, p Protocol, acc *sharedAccum) error {
+// trees resolved (lane views when the batch path is engaged, else from the
+// SPT cache when enabled, else per-source BFS), packed, then every
+// (size, rep) sample measured against each through the fused packed walks.
+// ctx is polled at every grid point.
+func measureSourceShared(ctx context.Context, g *graph.Graph, source, core, si int, sizes []int, p Protocol, bt *batchTrees, acc *sharedAccum) error {
 	sc := getScratch(g.N())
 	defer scratchPool.Put(sc)
 	srcSPT, coreSPT := &sc.spt, &sc.spt2
-	if p.SPTCache {
+	if bt != nil {
+		bt.view(si, &sc.view)
+		bt.view(p.NSource+si, &sc.view2)
+		srcSPT, coreSPT = &sc.view, &sc.view2
+	} else if p.SPTCache {
 		var err error
 		if srcSPT, err = graph.SharedSPTs.Get(g, source); err != nil {
 			return err
@@ -235,6 +251,8 @@ func measureSourceShared(ctx context.Context, g *graph.Graph, source, core, si i
 			return err
 		}
 	}
+	sc.pd = packTree(srcSPT, sc.pd)
+	sc.pd2 = packTree(coreSPT, sc.pd2)
 	// Receivers always exclude the source here (the shared-tree comparison
 	// keeps the paper's receiver model regardless of IncludeSource).
 	if err := sc.smp.Reset(g.N(), source, rng.NewChild(p.Seed, int64(si))); err != nil {
@@ -250,8 +268,8 @@ func measureSourceShared(ctx context.Context, g *graph.Graph, source, core, si i
 			if err != nil {
 				return err
 			}
-			src := sc.counter.TreeSize(srcSPT, sc.recv)
-			shr := sc.counter.SharedTreeSize(coreSPT, int32(source), sc.recv)
+			src := sc.counter.treeSizePacked(int32(srcSPT.Source), sc.pd, sc.recv)
+			shr := sc.counter.sharedTreeSizePacked(int32(coreSPT.Source), sc.pd2, int32(source), sc.recv)
 			if src == 0 {
 				continue
 			}
@@ -264,8 +282,10 @@ func measureSourceShared(ctx context.Context, g *graph.Graph, source, core, si i
 // approxCenter returns a node with approximately minimum eccentricity by
 // sampling BFS sources and picking the node minimizing the max distance to
 // the sampled sources — a cheap 2-approximation-flavor heuristic adequate
-// for core placement.
-func approxCenter(g *graph.Graph, seed int64) (int, error) {
+// for core placement. With batch set, the sampled traversals run as one
+// MS-BFS batch; the sample sources are pre-drawn from the same stream in the
+// same order, and only Dist values are read, so the result is identical.
+func approxCenter(g *graph.Graph, seed int64, batch bool) (int, error) {
 	if g.N() == 0 {
 		return 0, fmt.Errorf("mcast: empty graph")
 	}
@@ -274,20 +294,37 @@ func approxCenter(g *graph.Graph, seed int64) (int, error) {
 	if samples > g.N() {
 		samples = g.N()
 	}
+	srcs := make([]int, samples)
+	for i := range srcs {
+		srcs[i] = r.Intn(g.N())
+	}
 	maxDist := make([]int32, g.N())
-	var spt graph.SPT
-	for i := 0; i < samples; i++ {
-		if err := g.BFSInto(r.Intn(g.N()), &spt); err != nil {
-			return 0, err
-		}
-		for v := 0; v < g.N(); v++ {
-			d := spt.Dist[v]
+	accumulate := func(dist []int32) {
+		for v, d := range dist {
 			if d == graph.Unreachable {
 				d = math.MaxInt32
 			}
 			if d > maxDist[v] {
 				maxDist[v] = d
 			}
+		}
+	}
+	if batch {
+		b := graph.AcquireSPTBatch()
+		defer graph.ReleaseSPTBatch(b)
+		if err := g.BatchSPTsInto(srcs, b); err != nil {
+			return 0, err
+		}
+		for i := range srcs {
+			accumulate(b.DistRow(i))
+		}
+	} else {
+		var spt graph.SPT
+		for _, s := range srcs {
+			if err := g.BFSInto(s, &spt); err != nil {
+				return 0, err
+			}
+			accumulate(spt.Dist)
 		}
 	}
 	best := 0

@@ -1,0 +1,47 @@
+package reach
+
+import (
+	"testing"
+
+	"mtreescale/internal/graph"
+	"mtreescale/internal/topology"
+)
+
+// The batch knob of MeasureAveragedBatch must not change a single bit of
+// S(r): sources are pre-drawn from the same stream, and histogram counts are
+// exact integers in float64. Compare every slab/cache/serial combination
+// against the plain serial run.
+func TestMeasureAveragedBatchByteIdentical(t *testing.T) {
+	g, err := topology.TransitStubSized(400, 3.6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nSources, seed = 25, 917
+	want, err := MeasureAveragedBatch(g, nSources, seed, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		spts  *graph.SPTCache
+		batch bool
+	}{
+		{"batch-slab", nil, true},
+		{"cache-serial", graph.NewSPTCache(1 << 30), false},
+		{"cache-batch", graph.NewSPTCache(1 << 30), true},
+	}
+	for _, tc := range cases {
+		got, err := MeasureAveragedBatch(g, nSources, seed, tc.spts, tc.batch)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(got.S) != len(want.S) {
+			t.Fatalf("%s: %d radii, want %d", tc.name, len(got.S), len(want.S))
+		}
+		for d := range want.S {
+			if got.S[d] != want.S[d] {
+				t.Fatalf("%s: S(%d) = %v, want %v", tc.name, d, got.S[d], want.S[d])
+			}
+		}
+	}
+}

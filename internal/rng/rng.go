@@ -5,15 +5,26 @@
 // single integer seed. To keep independent streams independent (e.g. the
 // stream that places sources and the stream that places receivers), seeds are
 // split with a SplitMix64-style mixing function rather than by sharing one
-// rand.Rand across subsystems.
+// generator across subsystems.
+//
+// The concrete generator is xoshiro256++ (Blackman & Vigna, "Scrambled
+// linear pseudorandom number generators", 2019): 256 bits of state seeded by
+// four SplitMix64 steps. The measurement engines derive one child stream per
+// Monte-Carlo source, so stream construction is on the hot path — seeding
+// four words costs nanoseconds where seeding math/rand's 607-word lagged
+// Fibonacci state cost microseconds, and the bounded-draw path (Lemire's
+// multiply-shift rejection, one 64×64→128 multiply per draw) replaces
+// math/rand's double-modulo rejection.
 package rng
 
 import (
-	"math/rand"
+	"math/bits"
 )
 
-// Source is the subset of *rand.Rand the simulator consumes. It is an
-// interface so tests can substitute scripted sequences.
+// Source is the random-draw interface the simulator consumes. It is an
+// interface so tests can substitute scripted sequences; production code
+// always passes *Rand, and hot loops may type-assert to it for static
+// dispatch.
 type Source interface {
 	// Intn returns a uniform int in [0, n). It panics if n <= 0.
 	Intn(n int) int
@@ -25,9 +36,189 @@ type Source interface {
 	Shuffle(n int, swap func(i, j int))
 }
 
+// Rand is a xoshiro256++ generator. It is not safe for concurrent use; the
+// engines give every worker its own child stream.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
 // New returns a deterministic Source for the given seed.
-func New(seed int64) *rand.Rand {
-	return rand.New(rand.NewSource(Mix(seed)))
+func New(seed int64) *Rand {
+	r := &Rand{}
+	// Expand the mixed seed through SplitMix64, as the xoshiro authors
+	// recommend, so related seeds still yield unrelated states.
+	z := uint64(Mix(seed))
+	next := func() uint64 {
+		z += 0x9E3779B97F4A7C15
+		x := z
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		return x ^ (x >> 31)
+	}
+	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1 // xoshiro state must not be all-zero
+	}
+	return r
+}
+
+// Uint64 returns the next 64 uniform bits.
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n) by Lemire's multiply-shift bounded
+// draw. It panics if n <= 0, matching math/rand.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), uint64(n))
+	if lo < uint64(n) {
+		return r.intnSlow(n, hi, lo)
+	}
+	return int(hi)
+}
+
+// intnSlow is Intn's debiasing tail, kept out of line so the common path
+// stays inlinable: once lo clears the (-n mod n) threshold the draw is
+// exactly uniform.
+func (r *Rand) intnSlow(n int, hi, lo uint64) int {
+	thresh := (-uint64(n)) % uint64(n)
+	for lo < thresh {
+		hi, lo = bits.Mul64(r.Uint64(), uint64(n))
+	}
+	return int(hi)
+}
+
+// PermPrefix32 runs the first m steps of a Fisher-Yates shuffle of a: after
+// the call, a[:m] is a uniform ordered m-sample of a's elements (and every
+// prefix of it is a uniform sample of its own length). The draw sequence is
+// exactly Intn(len(a)-i) for i = 0..m-1 — callers may mix PermPrefix32 and
+// explicit Intn loops without perturbing the stream — but the generator
+// state is held in registers across the loop instead of round-tripping
+// through memory on every draw. It panics if m is outside [0, len(a)].
+func (r *Rand) PermPrefix32(a []int32, m int) {
+	if m < 0 || m > len(a) {
+		panic("rng: PermPrefix32 sample size out of range")
+	}
+	M := len(a)
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for i := 0; i < m; i++ {
+		res := bits.RotateLeft64(s0+s3, 23) + s0
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		bound := uint64(M - i)
+		hi, lo := bits.Mul64(res, bound)
+		if lo < bound {
+			// Debias tail (probability bound/2^64): commit state, reuse
+			// Intn's out-of-line rejection loop, reload.
+			r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+			hi = uint64(r.intnSlow(int(bound), hi, lo))
+			s0, s1, s2, s3 = r.s0, r.s1, r.s2, r.s3
+		}
+		j := i + int(hi)
+		a[i], a[j] = a[j], a[i]
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
+// FillBounded fills dst[k] with a uniform draw in [0, base+k+1) for each k —
+// the ascending bound sequence Floyd's distinct sampling consumes. The draws
+// are exactly Intn(base+k+1) in order, with the generator state held in
+// registers across the loop. It panics if base < 0.
+func (r *Rand) FillBounded(base int, dst []int32) {
+	if base < 0 {
+		panic("rng: FillBounded called with base < 0")
+	}
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for k := range dst {
+		res := bits.RotateLeft64(s0+s3, 23) + s0
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		bound := uint64(base + k + 1)
+		hi, lo := bits.Mul64(res, bound)
+		if lo < bound {
+			r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+			hi = uint64(r.intnSlow(int(bound), hi, lo))
+			s0, s1, s2, s3 = r.s0, r.s1, r.s2, r.s3
+		}
+		dst[k] = int32(hi)
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
+// FillIntn fills dst with uniform draws in [0, n), exactly Intn(n) in order,
+// with the generator state held in registers across the loop. It panics if
+// n <= 0.
+func (r *Rand) FillIntn(n int, dst []int32) {
+	if n <= 0 {
+		panic("rng: FillIntn called with n <= 0")
+	}
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for k := range dst {
+		res := bits.RotateLeft64(s0+s3, 23) + s0
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		hi, lo := bits.Mul64(res, uint64(n))
+		if lo < uint64(n) {
+			r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+			hi = uint64(r.intnSlow(n, hi, lo))
+			s0, s1, s2, s3 = r.s0, r.s1, r.s2, r.s3
+		}
+		dst[k] = int32(hi)
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
+// Float64 returns a uniform float64 in [0.0, 1.0) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements, like math/rand's.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("rng: Shuffle called with n < 0")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
 }
 
 // Mix applies a SplitMix64 finalizer to a seed so that adjacent seeds
@@ -37,8 +228,8 @@ func Mix(seed int64) int64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z = z ^ (z >> 31)
-	// Clear the sign bit: rand.NewSource rejects nothing, but keeping seeds
-	// non-negative makes them printable/replayable without surprises.
+	// Clear the sign bit: nothing downstream rejects negatives, but keeping
+	// seeds non-negative makes them printable/replayable without surprises.
 	return int64(z &^ (1 << 63))
 }
 
@@ -49,6 +240,6 @@ func Split(parent int64, id int64) int64 {
 }
 
 // NewChild returns a deterministic Source for the id-th child stream.
-func NewChild(parent int64, id int64) *rand.Rand {
+func NewChild(parent int64, id int64) *Rand {
 	return New(Split(parent, id))
 }

@@ -108,3 +108,74 @@ func TestUniformityRough(t *testing.T) {
 		}
 	}
 }
+
+// The bulk draw methods promise exactly the Intn draw sequence — streams must
+// be interchangeable between the loop forms.
+
+func TestPermPrefix32MatchesIntnLoop(t *testing.T) {
+	for _, m := range []int{0, 1, 7, 100, 500, 999, 1000} {
+		a := make([]int32, 1000)
+		b := make([]int32, 1000)
+		for i := range a {
+			a[i] = int32(i)
+			b[i] = int32(i)
+		}
+		ra, rb := New(42), New(42)
+		ra.PermPrefix32(a, m)
+		for i := 0; i < m; i++ {
+			j := i + rb.Intn(len(b)-i)
+			b[i], b[j] = b[j], b[i]
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("m=%d: PermPrefix32 diverges from Intn loop at %d: %d != %d", m, i, a[i], b[i])
+			}
+		}
+		// The generator state must also match: the next draws agree.
+		if ra.Intn(1 << 30) != rb.Intn(1<<30) {
+			t.Fatalf("m=%d: post-shuffle states diverge", m)
+		}
+	}
+}
+
+func TestPermPrefix32Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PermPrefix32 with m > len(a) must panic")
+		}
+	}()
+	New(1).PermPrefix32(make([]int32, 3), 4)
+}
+
+func TestFillBoundedMatchesIntnLoop(t *testing.T) {
+	for _, tc := range []struct{ base, m int }{{0, 1}, {0, 64}, {990, 10}, {1, 777}} {
+		dst := make([]int32, tc.m)
+		ra, rb := New(7), New(7)
+		ra.FillBounded(tc.base, dst)
+		for k, got := range dst {
+			want := int32(rb.Intn(tc.base + k + 1))
+			if got != want {
+				t.Fatalf("base=%d: FillBounded[%d] = %d, want %d", tc.base, k, got, want)
+			}
+		}
+		if ra.Intn(1<<30) != rb.Intn(1<<30) {
+			t.Fatalf("base=%d: post-fill states diverge", tc.base)
+		}
+	}
+}
+
+func TestFillIntnMatchesIntnLoop(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 1000, 1 << 20} {
+		dst := make([]int32, 512)
+		ra, rb := New(11), New(11)
+		ra.FillIntn(n, dst)
+		for k, got := range dst {
+			if want := int32(rb.Intn(n)); got != want {
+				t.Fatalf("n=%d: FillIntn[%d] = %d, want %d", n, k, got, want)
+			}
+		}
+		if ra.Intn(1<<30) != rb.Intn(1<<30) {
+			t.Fatalf("n=%d: post-fill states diverge", n)
+		}
+	}
+}
