@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare fuzz fuzz-smoke results results-paper report clean
+.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare bench-large large-smoke fuzz fuzz-smoke results results-paper report clean
 
 all: build vet test
 
-# The default pre-commit gate: build, vet, full test suite, and a race pass
-# over the concurrent packages (engine + scheduler).
-check: build vet test race
+# The default pre-commit gate: build, vet, full test suite, a race pass over
+# the concurrent packages (engine + scheduler), and the large-graph smoke
+# (1M-node streamed build + memory-model assertion + one curve point).
+check: build vet test race large-smoke
 
 build:
 	$(GO) build ./...
@@ -43,35 +44,56 @@ race-robust:
 race-all:
 	$(GO) test -race ./...
 
-# Record the engine benchmarks as machine-readable JSON. BENCH_5.json is the
-# committed perf-trajectory point for this engine generation (MS-BFS batch
-# kernel, batched tree accumulation, bulk RNG draws); bump the suffix when
-# recording a new point so history stays comparable.
-BENCH_JSON ?= BENCH_5.json
+# Record the engine benchmarks as machine-readable JSON. BENCH_6.json is the
+# committed perf-trajectory point for this engine generation (compressed CSR,
+# slab arenas, streamed 10M-node topologies on top of the MS-BFS batch
+# kernel); bump the suffix when recording a new point so history stays
+# comparable.
+BENCH_JSON ?= BENCH_6.json
 
+# The BenchmarkLarge* suite self-skips unless MTREESCALE_LARGE=1, so the plain
+# `make bench` pipeline includes the invocation but records nothing for it;
+# `make bench-large` records the same doc with the large points filled in.
 bench:
 	{ $(GO) test -run '^$$' \
-		-bench 'BenchmarkMeasureCurve$$|BenchmarkMeasureCurveNested$$|BenchmarkMeasureCurveNestedSerialBFS$$|BenchmarkMeasureCurveCached$$|BenchmarkMeasureSharedCurve$$' \
+		-bench 'BenchmarkMeasureCurve$$|BenchmarkMeasureCurveNested$$|BenchmarkMeasureCurveNestedCompressed$$|BenchmarkMeasureCurveNestedSerialBFS$$|BenchmarkMeasureCurveCached$$|BenchmarkMeasureSharedCurve$$' \
 		-benchmem -count 1 . ; \
 	  $(GO) test -run '^$$' \
-		-bench 'BenchmarkBFS50k$$|BenchmarkBFS50kSerial$$|BenchmarkBFS50kDense$$|BenchmarkBFS50kDenseSerial$$|BenchmarkBatchSPTs64$$|BenchmarkBatchSPTs64Serial$$' \
-		-benchmem -count 1 ./internal/graph ; } | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+		-bench 'BenchmarkBFS50k$$|BenchmarkBFS50kSerial$$|BenchmarkBFS50kDense$$|BenchmarkBFS50kDenseSerial$$|BenchmarkBatchSPTs64$$|BenchmarkBatchSPTs64Serial$$|BenchmarkBatchSPTs64Compressed$$|BenchmarkBatchSPTs64Relabeled$$' \
+		-benchmem -count 1 ./internal/graph ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkLarge' \
+		-benchmem -benchtime 1x -count 1 -timeout 120m . ; } | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 	@cat $(BENCH_JSON)
+
+bench-large:
+	MTREESCALE_LARGE=1 $(MAKE) bench
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Gate a new perf point against the previous one: per-benchmark ns/op deltas,
-# nonzero exit when anything shared slowed down by more than 10%.
-BENCH_OLD ?= BENCH_2.json
-BENCH_NEW ?= BENCH_5.json
+# nonzero exit when anything shared slowed down by more than BENCH_THRESHOLD
+# percent. Points recorded in different sessions of a shared host can drift
+# ±20% on the cache-sensitive kernels (see EXPERIMENTS.md); for a strict gate
+# re-record both generations back-to-back, or loosen the threshold.
+BENCH_OLD ?= BENCH_5.json
+BENCH_NEW ?= BENCH_6.json
+BENCH_THRESHOLD ?= 10
 
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare $(BENCH_OLD) $(BENCH_NEW)
+	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
+
+# The large-graph smoke: 1M-node streamed transit-stub, retained-heap bound
+# against the streaming memory model, compression ratio, and one curve point
+# byte-identical across flat/compressed/relabeled layouts. ~2s; part of
+# `make check` and CI.
+large-smoke:
+	MTREESCALE_LARGE_SMOKE=1 $(GO) test -run 'TestLargeGraphSmoke$$' -timeout 10m .
 
 # Short fuzzing passes over the parsers.
 fuzz:
 	$(GO) test -fuzz FuzzRead$$ -fuzztime 30s ./internal/graph/
+	$(GO) test -fuzz FuzzAdjCodec -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzMSBFSEquivalence -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 30s ./internal/plot/
 	$(GO) test -fuzz FuzzParseCheckpointLine -fuzztime 30s ./internal/experiments/
@@ -83,6 +105,7 @@ fuzz:
 # exploration stays in `make fuzz`).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRead$$ -fuzztime 10s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz FuzzAdjCodec -fuzztime 10s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz FuzzMSBFSEquivalence -fuzztime 10s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime 10s ./internal/plot/
 	$(GO) test -run '^$$' -fuzz FuzzParseCheckpointLine -fuzztime 10s ./internal/experiments/

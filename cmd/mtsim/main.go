@@ -79,6 +79,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		nested     = fs.Bool("nested", false, "use the incremental nested-growth engine for simulation figures (statistically equivalent, faster)")
 		sptcache   = fs.Bool("sptcache", true, "reuse shortest-path trees across experiments via the process-wide SPT cache (byte-identical output; -sptcache=false disables)")
 		batchbfs   = fs.Bool("batchbfs", true, "resolve source trees through the multi-source BFS batch kernel, up to 64 sources per traversal (byte-identical output; -batchbfs=false disables)")
+		compress   = fs.Bool("compress", false, "hold topologies in the compressed CSR layout (~half the adjacency bytes; byte-identical output) — the large-graph memory mode")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		timeout    = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
 		maxHeap    = fs.String("maxheap", "", "soft per-experiment heap limit, e.g. 512m or 4g (empty = no limit); an experiment exceeding it is aborted, its siblings continue")
@@ -122,6 +123,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	p.Nested = *nested
 	p.SPTCache = *sptcache
 	p.BatchBFS = *batchbfs
+	p.LargeGraph = *compress
 	if *pprofAddr != "" {
 		// net/http/pprof registers its handlers on the default mux; serve it
 		// on a side listener for the lifetime of the run.

@@ -74,6 +74,7 @@ func runDaemon(ctx context.Context, args []string, logw io.Writer) error {
 	fs.DurationVar(&cfg.quarMax, "quarantine-max", cfg.quarMax, "quarantine backoff cap")
 	fs.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", cfg.readHeaderTimeout, "slow-loris defense: close connections that have not finished sending headers")
 	fs.BoolVar(&cfg.batchBFS, "batchbfs", cfg.batchBFS, "resolve source trees through the multi-source BFS batch kernel (byte-identical results; -batchbfs=false disables)")
+	fs.BoolVar(&cfg.compress, "compress", cfg.compress, "hold topologies in the compressed CSR layout (byte-identical results; ~half the adjacency bytes)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on a separate listener at this address (e.g. localhost:6060); empty disables")
 	maxHeap := fs.String("maxheap", "", "per-experiment soft heap cap, e.g. 512m (empty = unlimited)")
 	if err := fs.Parse(args); err != nil {

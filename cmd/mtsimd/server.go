@@ -34,6 +34,11 @@ type config struct {
 	// every computed experiment (output is byte-identical either way).
 	batchBFS bool
 
+	// compress holds topologies in the compressed CSR layout (output is
+	// byte-identical either way; ~half the adjacency bytes). The
+	// large-graph memory mode.
+	compress bool
+
 	quarBase time.Duration
 	quarMax  time.Duration
 
@@ -225,6 +230,7 @@ func (s *server) handleCurve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p.BatchBFS = s.cfg.batchBFS
+	p.LargeGraph = s.cfg.compress
 	if !knownExperiment(id) {
 		serve.WriteJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q (see /experiments)", id), 0)
 		return

@@ -1,0 +1,201 @@
+// Package arena implements a size-classed slab allocator for the simulator's
+// per-worker scratch state. The measurement engines and BFS kernels keep
+// large flat buffers (MS-BFS distance/parent slabs, lane-mask arrays, packed
+// tree words, sampler site populations) whose sizes track the graph being
+// measured. Allocating them with bare make() means every change of graph
+// size — a 1M-node sweep following a 10M-node one, or interleaved
+// experiments at different scales — drops multi-hundred-megabyte buffers on
+// the garbage collector and immediately re-allocates near-identical ones.
+//
+// An Arena instead recycles slabs through power-of-two size classes: a
+// buffer released at one size serves any later request that rounds to the
+// same class, regardless of element type, so steady-state measurement
+// performs no heap allocation and GC pressure stays flat even at 10M nodes.
+//
+// Slabs are backed by []uint64 and re-viewed as int32/int64/uint64 slices
+// with unsafe.Slice, which guarantees 8-byte alignment for every view.
+// Returned memory is NOT zeroed: callers own initialization, exactly as the
+// kernels already initialize their scratch each traversal. Epoch-stamped
+// structures (TreeCounter.visited, Sampler.mark) must clear recycled buffers
+// before trusting them.
+//
+// An Arena is not safe for concurrent use. The intended pattern is one
+// arena per pooled worker scratch struct: the sync.Pool recycles the scratch
+// together with its arena, so slabs migrate between workers only through the
+// pool, never concurrently.
+package arena
+
+import (
+	"math/bits"
+	"unsafe"
+)
+
+// maxClass bounds the supported slab size at 2^(maxClass-1) words — far past
+// any physical allocation (2^46 bytes).
+const maxClass = 44
+
+// Arena is a size-classed free list of 8-byte-aligned slabs. The zero value
+// is ready to use.
+type Arena struct {
+	classes [maxClass][][]uint64
+	// held tracks the total words parked on the free lists, for Stats.
+	held int64
+}
+
+// New returns an empty arena. The zero value works too; New exists so pools
+// can use arena.New() in their New functions without composite literals.
+func New() *Arena { return &Arena{} }
+
+// classFor returns the size class whose slabs hold at least words words.
+func classFor(words int) int {
+	if words <= 1 {
+		return 0
+	}
+	return bits.Len(uint(words - 1))
+}
+
+// slab returns a slab of exactly 1<<classFor(words) words, recycled when the
+// class has one parked, freshly allocated otherwise. Recycled slabs hold
+// stale contents.
+func (a *Arena) slab(words int) []uint64 {
+	c := classFor(words)
+	if list := a.classes[c]; len(list) > 0 {
+		s := list[len(list)-1]
+		list[len(list)-1] = nil
+		a.classes[c] = list[:len(list)-1]
+		a.held -= int64(len(s))
+		return s
+	}
+	return make([]uint64, 1<<c)
+}
+
+// put parks a full slab (len == cap == a power of two) on its class list.
+func (a *Arena) put(s []uint64) {
+	n := cap(s)
+	if n == 0 || n&(n-1) != 0 {
+		return // not one of ours; let the GC have it
+	}
+	c := classFor(n)
+	a.classes[c] = append(a.classes[c], s[:n])
+	a.held += int64(n)
+}
+
+// wordsFor returns the slab word count backing n elements of size elem bytes.
+func wordsFor(n, elem int) int {
+	return (n*elem + 7) / 8
+}
+
+// Uint64 returns an uninitialized slice of n uint64s with slab-rounded
+// capacity. Release it with PutUint64 when it is no longer referenced.
+func (a *Arena) Uint64(n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	return a.slab(n)[:n]
+}
+
+// PutUint64 returns a Uint64 slice's slab to the arena. Slices not handed
+// out by an arena are ignored (the GC reclaims them), so callers can release
+// buffers that predate arena adoption without bookkeeping.
+func (a *Arena) PutUint64(s []uint64) {
+	if cap(s) == 0 {
+		return
+	}
+	a.put(s[:cap(s)])
+}
+
+// Int64 returns an uninitialized slice of n int64s backed by a slab.
+func (a *Arena) Int64(n int) []int64 {
+	if n <= 0 {
+		return nil
+	}
+	w := a.slab(n)
+	return unsafe.Slice((*int64)(unsafe.Pointer(&w[0])), cap(w))[:n]
+}
+
+// PutInt64 releases an Int64 slice's slab back to the arena.
+func (a *Arena) PutInt64(s []int64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	a.put(unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(s))), cap(s)))
+}
+
+// Int32 returns an uninitialized slice of n int32s backed by a slab.
+func (a *Arena) Int32(n int) []int32 {
+	if n <= 0 {
+		return nil
+	}
+	w := a.slab(wordsFor(n, 4))
+	return unsafe.Slice((*int32)(unsafe.Pointer(&w[0])), 2*cap(w))[:n]
+}
+
+// PutInt32 releases an Int32 slice's slab back to the arena. Slices whose
+// capacity is not a whole number of slab words (i.e. not arena-issued) are
+// ignored rather than corrupting the free lists.
+func (a *Arena) PutInt32(s []int32) {
+	if cap(s) == 0 || cap(s)%2 != 0 {
+		return
+	}
+	s = s[:cap(s)]
+	a.put(unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(s))), cap(s)/2))
+}
+
+// GrowInt32 returns a slice of length n, reusing s's storage when it is
+// large enough (contents preserved up to the old length) and otherwise
+// releasing s and issuing a fresh slab (contents NOT preserved, NOT zeroed).
+// It is the arena analogue of the kernels' "if cap < n { make }" pattern.
+func (a *Arena) GrowInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	a.PutInt32(s)
+	return a.Int32(n)
+}
+
+// GrowInt64 is GrowInt32 for int64 slices.
+func (a *Arena) GrowInt64(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	a.PutInt64(s)
+	return a.Int64(n)
+}
+
+// GrowUint64 is GrowInt32 for uint64 slices.
+func (a *Arena) GrowUint64(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	a.PutUint64(s)
+	return a.Uint64(n)
+}
+
+// Stats reports the arena's parked inventory.
+type Stats struct {
+	// Slabs is the number of slabs on the free lists.
+	Slabs int
+	// Bytes is their total footprint.
+	Bytes int64
+}
+
+// Stats snapshots the free-list inventory. Outstanding (handed-out) slabs
+// are not tracked — the arena deliberately has no alloc-site bookkeeping.
+func (a *Arena) Stats() Stats {
+	st := Stats{Bytes: a.held * 8}
+	for _, list := range a.classes {
+		st.Slabs += len(list)
+	}
+	return st
+}
+
+// Reset drops every parked slab, handing the memory back to the garbage
+// collector. Outstanding slices remain valid; only the recycling inventory
+// is released.
+func (a *Arena) Reset() {
+	for i := range a.classes {
+		a.classes[i] = nil
+	}
+	a.held = 0
+}

@@ -52,6 +52,14 @@ type Profile struct {
 	// so RunMany stops recomputing their trees. Output is byte-identical
 	// with the cache on or off; the standard profiles enable it.
 	SPTCache bool
+	// LargeGraph runs every topology in the compressed CSR layout
+	// (graph.Compress): varint delta-encoded adjacency at roughly half the
+	// edge bytes, the memory model that makes 10M+ node graphs a
+	// first-class regime. Trees, curves and histograms are byte-identical
+	// to the flat layout — compression changes the storage, never the
+	// graph — so this is purely a memory/bandwidth knob (exposed as
+	// -compress on the CLIs).
+	LargeGraph bool
 }
 
 // Validate checks profile sanity. Failures wrap valid.ErrParam so callers at
@@ -285,7 +293,7 @@ func RunCtx(ctx context.Context, id string, p Profile) (*Result, error) {
 func buildTopologies(names []string, p Profile) ([]*graph.Graph, error) {
 	out := make([]*graph.Graph, 0, len(names))
 	for _, name := range names {
-		g, err := topology.GenerateCached(name, 0, p.Scale)
+		g, err := topology.GenerateCachedOpt(name, 0, p.Scale, p.LargeGraph)
 		if err != nil {
 			return nil, err
 		}

@@ -48,9 +48,11 @@ func (g *Graph) BFS(source int) (*SPT, error) {
 // goroutines while being reused.
 //
 // Above directionOptThreshold nodes it routes to the direction-optimizing
-// kernel (hybrid.go); below it, to the reference queue BFS. Both produce
-// identical Dist arrays and identical canonical (lowest-index) Parent
-// arrays; only the within-level Order may differ between kernels.
+// kernel (hybrid.go); below it, to the reference queue BFS. Compressed
+// graphs route to the compressed kernel (cbfs.go) with the same threshold
+// picking its stepping mode. All kernels produce identical Dist arrays and
+// identical canonical (lowest-index) Parent arrays; only the within-level
+// Order may differ between kernels.
 func (g *Graph) BFSInto(source int, t *SPT) error {
 	n := g.N()
 	if source < 0 || source >= n {
@@ -69,7 +71,9 @@ func (g *Graph) BFSInto(source int, t *SPT) error {
 		t.Parent[i] = Unreachable
 		t.Dist[i] = Unreachable
 	}
-	if n >= directionOptThreshold {
+	if g.cadj != nil {
+		g.compressedBFSInto(source, t, n >= directionOptThreshold)
+	} else if n >= directionOptThreshold {
 		g.hybridBFSInto(source, t)
 	} else {
 		g.serialBFSInto(source, t)

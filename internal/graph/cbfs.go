@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"math/bits"
+	"sync"
+
+	"mtreescale/internal/arena"
+)
+
+// This file implements single-source BFS over the compressed layout
+// (compress.go): a level-synchronous kernel with serial and
+// direction-optimizing (Beamer α/β) stepping, mirroring bfs.go/hybrid.go.
+//
+// Traversal state — seen / current-frontier / next-frontier bitsets — lives
+// in storage-id space, which is the whole point of degree relabeling: the
+// hubs almost every level touches occupy the first cache lines of each
+// bitset. Dist/Parent/Order are written directly in original ids through the
+// inverse permutation, so consumers never see storage ids.
+//
+// Canonical parents: the uncompressed kernels get "lowest-index
+// previous-level neighbor" for free from ascending scan order. Under
+// relabeling, ascending storage order is NOT ascending original order, so
+// this kernel makes the rule explicit: top-down steps keep the minimum
+// original-id discoverer among same-level rediscoveries, and bottom-up steps
+// scan the full adjacency for the minimum original-id frontier neighbor
+// (early-exiting on the first hit only when the layout is unrelabeled, where
+// storage order is original order). The result is byte-identical Dist and
+// Parent to every other kernel in this package.
+
+// cbfsScratch holds one compressed traversal's reusable state. The arena
+// recycles the bitsets and decode buffer across graph sizes, so switching
+// between a 1M- and a 10M-node graph re-slabs instead of re-allocating.
+type cbfsScratch struct {
+	ar              *arena.Arena
+	seen, cur, next []uint64
+	dec             []int32
+}
+
+var cbfsScratchPool = sync.Pool{New: func() any { return &cbfsScratch{ar: arena.New()} }}
+
+// grow sizes the scratch for a words-word bitset and maxDeg-wide decode
+// buffer, zeroing the bitsets (arena memory is dirty).
+func (sc *cbfsScratch) grow(words, maxDeg int) {
+	sc.seen = sc.ar.GrowUint64(sc.seen, words)
+	sc.cur = sc.ar.GrowUint64(sc.cur, words)
+	sc.next = sc.ar.GrowUint64(sc.next, words)
+	sc.dec = sc.ar.GrowInt32(sc.dec, maxDeg)
+	clear(sc.seen)
+	clear(sc.cur)
+	clear(sc.next)
+}
+
+// compressedBFSInto runs BFS over the compressed layout. The caller
+// (BFSInto) has already validated the source, sized and filled
+// Parent/Dist with Unreachable, truncated Order, and set t.Source.
+// useHybrid enables the direction-optimizing stepping; plain level-
+// synchronous top-down otherwise (small graphs, forced-serial tests).
+func (g *Graph) compressedBFSInto(source int, t *SPT, useHybrid bool) {
+	n := g.N()
+	words := (n + 63) / 64
+	sc := cbfsScratchPool.Get().(*cbfsScratch)
+	defer cbfsScratchPool.Put(sc)
+	sc.grow(words, int(g.maxDeg))
+	seen, cur, next, dec := sc.seen, sc.cur, sc.next, sc.dec
+
+	rsrc := g.ridOf(source)
+	t.Dist[source] = 0
+	t.Parent[source] = int32(source)
+	t.Order = append(t.Order, int32(source))
+	seen[rsrc>>6] |= 1 << (uint(rsrc) & 63)
+	cur[rsrc>>6] |= 1 << (uint(rsrc) & 63)
+
+	relabeled := g.inv != nil
+	frontier := 1
+	frontierEdges := int64(g.degRID(rsrc))
+	unexploredEdges := int64(g.offsets[n]) - frontierEdges
+	bottomUp := false
+	for dist := int32(1); frontier > 0; dist++ {
+		if useHybrid {
+			if !bottomUp {
+				if frontierEdges > unexploredEdges/bfsAlpha {
+					bottomUp = true
+				}
+			} else if int64(frontier) < int64(n)/bfsBeta {
+				bottomUp = false
+			}
+		}
+		var nextEdges int64
+		nf := 0
+		if bottomUp {
+			// Bottom-up step: every unvisited storage id decodes its
+			// adjacency and looks for a previous-level neighbor. Same-step
+			// discoveries land only in seen/next, never in cur, so the step
+			// stays level-synchronous regardless of scan order.
+			for wi := 0; wi < words; wi++ {
+				unv := ^seen[wi]
+				if wi == words-1 && n&63 != 0 {
+					unv &= (1 << (uint(n) & 63)) - 1
+				}
+				for unv != 0 {
+					v := int32(wi<<6 + bits.TrailingZeros64(unv))
+					unv &= unv - 1
+					neigh := g.decodeRID(v, dec)
+					best := Unreachable
+					if !relabeled {
+						// Storage order == original order: the first hit in
+						// the ascending list is the canonical parent.
+						for _, u := range neigh {
+							if cur[u>>6]&(1<<(uint(u)&63)) != 0 {
+								best = u
+								break
+							}
+						}
+					} else {
+						for _, u := range neigh {
+							if cur[u>>6]&(1<<(uint(u)&63)) != 0 {
+								if o := g.inv[u]; best == Unreachable || o < best {
+									best = o
+								}
+							}
+						}
+					}
+					if best == Unreachable {
+						continue
+					}
+					ov := g.origOf(v)
+					t.Dist[ov] = dist
+					t.Parent[ov] = best
+					t.Order = append(t.Order, ov)
+					seen[wi] |= 1 << (uint(v) & 63)
+					next[v>>6] |= 1 << (uint(v) & 63)
+					nextEdges += int64(g.degRID(v))
+					nf++
+				}
+			}
+		} else {
+			// Top-down step: expand the frontier in ascending storage order.
+			// Rediscoveries within the level (seen and next both set) keep
+			// the minimum original-id parent; the unrelabeled layout skips
+			// that branch because ascending scan order already yields it.
+			for wi := 0; wi < words; wi++ {
+				f := cur[wi]
+				for f != 0 {
+					u := int32(wi<<6 + bits.TrailingZeros64(f))
+					f &= f - 1
+					ou := g.origOf(u)
+					neigh := g.decodeRID(u, dec)
+					for _, w := range neigh {
+						bit := uint64(1) << (uint(w) & 63)
+						if seen[w>>6]&bit != 0 {
+							if relabeled && next[w>>6]&bit != 0 {
+								if ow := g.inv[w]; ou < t.Parent[ow] {
+									t.Parent[ow] = ou
+								}
+							}
+							continue
+						}
+						seen[w>>6] |= bit
+						next[w>>6] |= bit
+						ow := g.origOf(w)
+						t.Dist[ow] = dist
+						t.Parent[ow] = ou
+						t.Order = append(t.Order, ow)
+						nextEdges += int64(g.degRID(w))
+						nf++
+					}
+				}
+			}
+		}
+		for wi := range cur {
+			cur[wi] = next[wi]
+			next[wi] = 0
+		}
+		unexploredEdges -= nextEdges
+		frontierEdges = nextEdges
+		frontier = nf
+	}
+}

@@ -1,0 +1,107 @@
+package graph
+
+import "math/bits"
+
+// This file implements MS-BFS over the compressed layout: the same 64-lane
+// traversal as msbfs.go, with per-node lane masks indexed by storage id (so
+// degree relabeling packs the hot hub masks together) and lane-major
+// dist/parent rows indexed by original id — the layout every downstream
+// consumer (tree counters, reachability histograms, the SPT cache's
+// Materialize) already reads.
+//
+// Canonical parents under relabeling need one extra step the uncompressed
+// kernel gets implicitly from ascending scan order: when a frontier node
+// reaches w in lanes where w was already discovered earlier in this same
+// level (mask bits in visitNext), the parent becomes the minimum original id
+// among the discoverers. The unrelabeled compressed layout skips that branch
+// — storage order is original order, so the first discoverer is already
+// canonical.
+
+// cmsbfsGroup runs one ≤64-lane traversal over the compressed layout,
+// writing lane-major dist/parent rows (original-id indexed) for the group's
+// sources. The scratch's lane masks and frontier bitsets are in storage-id
+// space.
+func (g *Graph) cmsbfsGroup(group []int, dist, parent []int32, sc *msbfsScratch) {
+	n := g.N()
+	words := (n + 63) / 64
+	sc.grow(n, words, int(g.maxDeg))
+	seen := sc.seen[:n]
+	visit := sc.visit[:n]
+	visitNext := sc.visitNext[:n]
+	front := sc.front[:words]
+	nextFront := sc.nextFront[:words]
+	dec := sc.dec
+	for i := range seen {
+		seen[i] = 0
+	}
+	for i := range front {
+		front[i] = 0
+		nextFront[i] = 0
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+		parent[i] = Unreachable
+	}
+	relabeled := g.inv != nil
+	for i, s := range group {
+		bit := uint64(1) << uint(i)
+		rs := g.ridOf(s)
+		visit[rs] |= bit
+		seen[rs] |= bit
+		front[rs>>6] |= 1 << (uint(rs) & 63)
+		dist[i*n+s] = 0
+		parent[i*n+s] = int32(s)
+	}
+	for level, more := int32(1), true; more; level++ {
+		more = false
+		for wi, word := range front {
+			for ; word != 0; word &= word - 1 {
+				v := int32(wi<<6 + bits.TrailingZeros64(word))
+				mv := visit[v]
+				visit[v] = 0
+				ov := int64(g.origOf(v))
+				neigh := g.decodeRID(v, dec)
+				for _, w := range neigh {
+					if relabeled {
+						// Same-level rediscovery: keep the minimum original
+						// discoverer per lane.
+						if rd := mv & visitNext[w]; rd != 0 {
+							owr := int(g.inv[w])
+							for ; rd != 0; rd &= rd - 1 {
+								i := bits.TrailingZeros64(rd)
+								if int32(ov) < parent[i*n+owr] {
+									parent[i*n+owr] = int32(ov)
+								}
+							}
+						}
+					}
+					d := mv &^ seen[w]
+					if d == 0 {
+						continue
+					}
+					visitNext[w] |= d
+					seen[w] |= d
+					nextFront[w>>6] |= 1 << (uint(w) & 63)
+					ow := int(g.origOf(w))
+					for ; d != 0; d &= d - 1 {
+						i := bits.TrailingZeros64(d)
+						dist[i*n+ow] = level
+						parent[i*n+ow] = int32(ov)
+					}
+				}
+			}
+		}
+		for wi, word := range nextFront {
+			if word != 0 {
+				more = true
+			}
+			for ; word != 0; word &= word - 1 {
+				w := wi<<6 + bits.TrailingZeros64(word)
+				visit[w] = visitNext[w]
+				visitNext[w] = 0
+			}
+			front[wi] = nextFront[wi]
+			nextFront[wi] = 0
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"mtreescale/internal/rng"
+)
+
+// --- codec ---
+
+func TestAdjCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		v     int32
+		neigh []int32
+	}{
+		{0, nil},
+		{5, []int32{6}},
+		{5, []int32{0}},
+		{0, []int32{1, 2, 3, 4, 5}},
+		{100, []int32{0, 50, 99, 101, 150, 1 << 30}},
+		{1 << 30, []int32{0, 1<<31 - 1}},
+	}
+	for _, c := range cases {
+		enc := appendAdj(nil, c.v, c.neigh)
+		dec := decodeAdjInto(enc, c.v, len(c.neigh), make([]int32, len(c.neigh)))
+		if len(c.neigh) == 0 {
+			if len(enc) != 0 || len(dec) != 0 {
+				t.Fatalf("empty list: enc=%v dec=%v", enc, dec)
+			}
+			continue
+		}
+		if !slices.Equal(dec, c.neigh) {
+			t.Fatalf("v=%d neigh=%v decoded %v", c.v, c.neigh, dec)
+		}
+		for _, target := range c.neigh {
+			if !scanAdjFor(enc, c.v, len(c.neigh), target) {
+				t.Fatalf("scanAdjFor missed %d in %v", target, c.neigh)
+			}
+		}
+		if scanAdjFor(enc, c.v, len(c.neigh), c.v) != slices.Contains(c.neigh, c.v) {
+			t.Fatalf("scanAdjFor(v) wrong for %v", c.neigh)
+		}
+	}
+}
+
+func TestAdjCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64, vRaw uint32, degRaw uint8) bool {
+		r := rng.New(seed)
+		v := int32(vRaw % 1000000)
+		deg := int(degRaw % 64)
+		set := map[int32]bool{}
+		for len(set) < deg {
+			w := int32(r.Intn(1000000))
+			if w != v {
+				set[w] = true
+			}
+		}
+		neigh := make([]int32, 0, deg)
+		for w := range set {
+			neigh = append(neigh, w)
+		}
+		slices.Sort(neigh)
+		enc := appendAdj(nil, v, neigh)
+		dec := decodeAdjInto(enc, v, len(neigh), make([]int32, len(neigh)))
+		return slices.Equal(dec, neigh)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzAdjCodec derives a strictly ascending neighbor list from arbitrary
+// fuzz bytes, round-trips it through the varint delta codec, and checks the
+// streaming membership scan against the decoded list.
+func FuzzAdjCodec(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(2), []byte{1, 2, 3, 250, 0, 0, 9})
+	f.Add(int64(-7), []byte{255, 255, 255, 255, 128, 64, 32, 16, 8})
+	f.Fuzz(func(t *testing.T, vSeed int64, gaps []byte) {
+		v := int32(uint64(vSeed) % (1 << 28))
+		neigh := make([]int32, 0, len(gaps))
+		cur := int64(0)
+		for _, b := range gaps {
+			cur += int64(b)<<3 + 1 // gaps >= 1: strictly ascending
+			if cur >= 1<<31 {
+				break
+			}
+			neigh = append(neigh, int32(cur))
+		}
+		enc := appendAdj(nil, v, neigh)
+		dec := decodeAdjInto(enc, v, len(neigh), make([]int32, len(neigh)))
+		if !slices.Equal(dec, neigh) {
+			t.Fatalf("round trip: %v -> %v", neigh, dec)
+		}
+		for i, w := range neigh {
+			if !scanAdjFor(enc, v, len(neigh), w) {
+				t.Fatalf("scan missed neighbor %d", w)
+			}
+			if i > 0 && neigh[i]-neigh[i-1] > 1 && scanAdjFor(enc, v, len(neigh), w-1) {
+				t.Fatalf("scan found absent %d", w-1)
+			}
+		}
+	})
+}
+
+// --- layout equivalence ---
+
+// compressVariants returns g plus its compressed and compressed+relabeled
+// forms, with subtest labels.
+func compressVariants(t *testing.T, g *Graph) map[string]*Graph {
+	t.Helper()
+	cg, err := g.Compress(false)
+	if err != nil {
+		t.Fatalf("Compress(false): %v", err)
+	}
+	rg, err := g.Compress(true)
+	if err != nil {
+		t.Fatalf("Compress(true): %v", err)
+	}
+	if !cg.Compressed() || cg.Relabeled() {
+		t.Fatalf("Compress(false) flags: compressed=%v relabeled=%v", cg.Compressed(), cg.Relabeled())
+	}
+	if !rg.Compressed() || !rg.Relabeled() {
+		t.Fatalf("Compress(true) flags: compressed=%v relabeled=%v", rg.Compressed(), rg.Relabeled())
+	}
+	return map[string]*Graph{"compressed": cg, "relabeled": rg}
+}
+
+func TestCompressPreservesGraphView(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		g := randomGraph(seed, 300, 900)
+		for label, cg := range compressVariants(t, g) {
+			if cg.N() != g.N() || cg.M() != g.M() {
+				t.Fatalf("%s: N/M = %d/%d, want %d/%d", label, cg.N(), cg.M(), g.N(), g.M())
+			}
+			if err := cg.Validate(); err != nil {
+				t.Fatalf("%s: Validate: %v", label, err)
+			}
+			for v := 0; v < g.N(); v++ {
+				if cg.Degree(v) != g.Degree(v) {
+					t.Fatalf("%s: Degree(%d) = %d, want %d", label, v, cg.Degree(v), g.Degree(v))
+				}
+				if !slices.Equal(cg.Neighbors(v), g.Neighbors(v)) {
+					t.Fatalf("%s: Neighbors(%d) = %v, want %v", label, v, cg.Neighbors(v), g.Neighbors(v))
+				}
+			}
+			// Edge enumeration order is part of the contract (io.Write
+			// byte-identity).
+			var pe, ce [][2]int
+			g.Edges(func(u, v int) { pe = append(pe, [2]int{u, v}) })
+			cg.Edges(func(u, v int) { ce = append(ce, [2]int{u, v}) })
+			if !slices.Equal(pe, ce) {
+				t.Fatalf("%s: edge enumeration differs", label)
+			}
+			for _, e := range pe[:min(len(pe), 50)] {
+				if !cg.HasEdge(e[0], e[1]) || !cg.HasEdge(e[1], e[0]) {
+					t.Fatalf("%s: HasEdge(%v) = false", label, e)
+				}
+			}
+			if cg.HasEdge(-1, 0) || cg.HasEdge(0, g.N()) {
+				t.Fatalf("%s: out-of-range HasEdge true", label)
+			}
+		}
+	}
+}
+
+func TestCompressIdempotent(t *testing.T) {
+	g := randomGraph(3, 50, 80)
+	cg, _ := g.Compress(true)
+	again, err := cg.Compress(false)
+	if err != nil || again != cg {
+		t.Fatalf("re-compress: got (%p, %v), want same graph %p", again, err, cg)
+	}
+}
+
+func TestCompressMemBytesSmaller(t *testing.T) {
+	g := randomGraph(9, 5000, 15000)
+	cg, _ := g.Compress(false)
+	// The compressed form drops the 4 B/entry adjacency for ~1-2 B/entry
+	// plus a 4 B/node offset table it shares with the flat form.
+	flatAdj := int64(4 * 2 * g.M())
+	compAdj := cg.MemBytes() - int64(4*(g.N()+1)) - int64(4*(g.N()+1)) // minus offsets+coff
+	if compAdj <= 0 || compAdj >= flatAdj*3/4 {
+		t.Fatalf("compressed adjacency %d B not < 3/4 of flat %d B", compAdj, flatAdj)
+	}
+	if cg.MemBytes() >= g.MemBytes() {
+		t.Fatalf("MemBytes: compressed %d >= flat %d", cg.MemBytes(), g.MemBytes())
+	}
+}
+
+// checkSPTEqual asserts byte-identical Dist and Parent and a valid Order.
+func checkSPTEqual(t *testing.T, label string, want, got *SPT) {
+	t.Helper()
+	if !slices.Equal(want.Dist, got.Dist) {
+		t.Fatalf("%s: Dist differs", label)
+	}
+	if !slices.Equal(want.Parent, got.Parent) {
+		t.Fatalf("%s: Parent differs", label)
+	}
+	if len(got.Order) != len(want.Order) {
+		t.Fatalf("%s: Order len %d, want %d", label, len(got.Order), len(want.Order))
+	}
+	for i := 1; i < len(got.Order); i++ {
+		if got.Dist[got.Order[i]] < got.Dist[got.Order[i-1]] {
+			t.Fatalf("%s: Order not nondecreasing in distance", label)
+		}
+	}
+	if len(got.Order) > 0 && int(got.Order[0]) != got.Source {
+		t.Fatalf("%s: Order[0] = %d, want source %d", label, got.Order[0], got.Source)
+	}
+}
+
+func testGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	gs := map[string]*Graph{
+		"random":  randomGraph(11, 400, 700),
+		"sparse":  randomGraph(12, 500, 100),
+		"star":    randomGraph(13, 64, 0),
+		"lattice": nil,
+	}
+	// A lattice-ish graph with long diameter exercises many BFS levels.
+	b := NewBuilder(300)
+	for v := 0; v < 299; v++ {
+		_ = b.AddEdge(v, v+1)
+		if v+10 < 300 {
+			_ = b.AddEdge(v, v+10)
+		}
+	}
+	gs["lattice"] = b.Build()
+	return gs
+}
+
+func TestCompressedBFSMatchesFlat(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		variants := compressVariants(t, g)
+		for _, forceSerial := range []bool{false, true} {
+			thr := directionOptThreshold
+			if forceSerial {
+				thr = SetDirectionOptThreshold(1 << 30)
+			} else {
+				thr = SetDirectionOptThreshold(2)
+			}
+			for src := 0; src < g.N(); src += 17 {
+				want, err := g.BFS(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for label, cg := range variants {
+					got, err := cg.BFS(src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkSPTEqual(t, name+"/"+label, want, got)
+				}
+			}
+			SetDirectionOptThreshold(thr)
+		}
+	}
+}
+
+func TestCompressedBatchMatchesFlat(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		// >64 sources exercises multiple lane groups, with duplicates.
+		sources := make([]int, 0, 100)
+		for i := 0; i < 100; i++ {
+			sources = append(sources, (i*37)%g.N())
+		}
+		want, err := g.BatchSPTs(sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for label, cg := range compressVariants(t, g) {
+			got, err := cg.BatchSPTs(sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range sources {
+				if !slices.Equal(want.DistRow(i), got.DistRow(i)) {
+					t.Fatalf("%s/%s: lane %d Dist differs", name, label, i)
+				}
+				if !slices.Equal(want.ParentRow(i), got.ParentRow(i)) {
+					t.Fatalf("%s/%s: lane %d Parent differs", name, label, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCompressedBatchMatchesSingleSource(t *testing.T) {
+	g := randomGraph(21, 600, 1200)
+	cg, _ := g.Compress(true)
+	sources := []int{0, 5, 5, 599, 301}
+	batch, err := cg.BatchSPTs(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sources {
+		want, err := cg.BFS(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(want.Dist, batch.DistRow(i)) {
+			t.Fatalf("lane %d: Dist differs from single-source", i)
+		}
+		if !slices.Equal(want.Parent, batch.ParentRow(i)) {
+			t.Fatalf("lane %d: Parent differs from single-source", i)
+		}
+		mat := batch.Materialize(i)
+		checkSPTEqual(t, "materialize", want, mat)
+	}
+}
+
+func TestDegreeOrderStable(t *testing.T) {
+	g := randomGraph(31, 200, 400)
+	perm, inv := degreeOrder(g)
+	for r := 1; r < len(inv); r++ {
+		du, dv := g.Degree(int(inv[r-1])), g.Degree(int(inv[r]))
+		if du < dv {
+			t.Fatalf("degree order not descending at rank %d", r)
+		}
+		if du == dv && inv[r-1] >= inv[r] {
+			t.Fatalf("degree ties not ascending-original at rank %d", r)
+		}
+	}
+	for v, r := range perm {
+		if int(inv[r]) != v {
+			t.Fatalf("perm/inv mismatch at %d", v)
+		}
+	}
+}

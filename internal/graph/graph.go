@@ -16,11 +16,28 @@ import (
 )
 
 // Graph is an immutable undirected graph in compressed-sparse-row form.
-// Build one with a Builder. The zero value is an empty graph.
+// Build one with a Builder (or BuildStreamed for large graphs). The zero
+// value is an empty graph.
+//
+// A Graph has one of two adjacency layouts. The flat layout stores sorted
+// int32 neighbor slices in adj. The compressed layout (see Compress) drops
+// adj and stores varint delta-encoded neighbor bytes in cadj, optionally
+// under a degree-descending vertex relabeling recorded by perm/inv; all
+// public methods still speak original vertex ids.
 type Graph struct {
-	offsets []int32 // len N+1; neighbors of v are adj[offsets[v]:offsets[v+1]]
-	adj     []int32
+	offsets []int32 // len N+1; degree of storage id v is offsets[v+1]-offsets[v]
+	adj     []int32 // flat layout: neighbors of v are adj[offsets[v]:offsets[v+1]]
 	name    string
+
+	// Compressed layout (nil in the flat layout). Storage id r's neighbors
+	// are varint-decoded from cadj[coff[r]:coff[r+1]] (adjcodec.go).
+	cadj []byte
+	coff []uint32
+	// perm maps original id -> storage id, inv the reverse. Both are nil
+	// when the compressed layout keeps original order.
+	perm, inv []int32
+	// maxDeg sizes per-worker decode scratch.
+	maxDeg int32
 }
 
 // Builder accumulates edges for a Graph. Duplicate edges and self-loops are
@@ -112,15 +129,24 @@ func (b *Builder) Build() *Graph {
 func (g *Graph) N() int { return len(g.offsets) - 1 }
 
 // M returns the number of (undirected) edges.
-func (g *Graph) M() int { return len(g.adj) / 2 }
+func (g *Graph) M() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return int(g.offsets[len(g.offsets)-1]) / 2
+}
 
 // Name returns the topology name, if any.
 func (g *Graph) Name() string { return g.name }
 
-// MemBytes estimates the heap footprint of the CSR arrays — the accounting
-// unit of the byte-budgeted caches.
+// MemBytes estimates the heap footprint of the adjacency arrays — the
+// accounting unit of the byte-budgeted caches. It covers both layouts:
+// offsets and the flat adjacency for uncompressed graphs, plus the encoded
+// bytes, byte offsets and relabeling permutations for compressed ones.
 func (g *Graph) MemBytes() int64 {
-	return int64(cap(g.offsets)+cap(g.adj)) * 4
+	b := int64(cap(g.offsets)+cap(g.adj)+cap(g.perm)+cap(g.inv)) * 4
+	b += int64(cap(g.cadj)) + int64(cap(g.coff))*4
+	return b
 }
 
 // WithName returns a shallow copy of g carrying the given name.
@@ -130,32 +156,57 @@ func (g *Graph) WithName(name string) *Graph {
 	return &cp
 }
 
-// Degree returns the degree of node v.
+// Degree returns the degree of node v (an original id in both layouts).
 func (g *Graph) Degree(v int) int {
+	if g.perm != nil {
+		r := g.perm[v]
+		return int(g.offsets[r+1] - g.offsets[r])
+	}
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
-// Neighbors returns the adjacency slice of v. The slice aliases internal
-// storage and must not be modified.
+// Neighbors returns the sorted adjacency of v in original ids. For flat
+// graphs the slice aliases internal storage and must not be modified; for
+// compressed graphs it is freshly decoded (and owned by the caller). Hot
+// paths on compressed graphs use the block-wise decoder in the kernels
+// instead of this method.
 func (g *Graph) Neighbors(v int) []int32 {
+	if g.cadj != nil {
+		return g.neighborsOrigInto(v, nil)
+	}
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
-// HasEdge reports whether the edge (u,v) exists. O(deg) scan; adjacency
-// slices are sorted by construction so binary search keeps it O(log deg).
+// HasEdge reports whether the edge (u,v) exists. Flat layout: binary search
+// of the sorted adjacency. Compressed layout: an allocation-free streaming
+// scan of u's encoded neighbor list.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= g.N() || v >= g.N() {
 		return false
+	}
+	if g.cadj != nil {
+		r := g.ridOf(u)
+		return scanAdjFor(g.cadj[g.coff[r]:g.coff[r+1]], r, int(g.degRID(r)), g.ridOf(v))
 	}
 	ns := g.Neighbors(u)
 	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= int32(v) })
 	return i < len(ns) && ns[i] == int32(v)
 }
 
-// Edges calls fn once per undirected edge with u < v.
+// Edges calls fn once per undirected edge with u < v, ascending u then v —
+// the same original-id order in both layouts, so edge-list output is
+// byte-identical regardless of compression or relabeling.
 func (g *Graph) Edges(fn func(u, v int)) {
+	var buf []int32
 	for u := 0; u < g.N(); u++ {
-		for _, w := range g.Neighbors(u) {
+		var ns []int32
+		if g.cadj != nil {
+			buf = g.neighborsOrigInto(u, buf)
+			ns = buf
+		} else {
+			ns = g.adj[g.offsets[u]:g.offsets[u+1]]
+		}
+		for _, w := range ns {
 			if int32(u) < w {
 				fn(u, int(w))
 			}
@@ -173,12 +224,21 @@ func (g *Graph) AvgDegree() float64 {
 
 // Validate checks internal invariants (sorted adjacency, symmetric edges, no
 // self-loops). It is used by tests and by topology generators in debug mode.
+// Compressed graphs are validated through the decoded original-id view, so
+// the same invariants hold in both layouts.
 func (g *Graph) Validate() error {
 	if len(g.offsets) == 0 || g.offsets[0] != 0 {
 		return errors.New("graph: bad offsets header")
 	}
+	var buf []int32
 	for v := 0; v < g.N(); v++ {
-		ns := g.Neighbors(v)
+		var ns []int32
+		if g.cadj != nil {
+			buf = g.neighborsOrigInto(v, buf)
+			ns = buf
+		} else {
+			ns = g.adj[g.offsets[v]:g.offsets[v+1]]
+		}
 		for i, w := range ns {
 			if w < 0 || int(w) >= g.N() {
 				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", v, w)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+
+	"mtreescale/internal/arena"
 )
 
 // This file implements the multi-source BFS kernel (MS-BFS, in the style of
@@ -45,10 +47,47 @@ type SPTBatch struct {
 }
 
 // msbfsScratch is the kernel's reusable per-traversal state: per-node lane
-// masks plus two frontier-membership bitsets (one bit per node).
+// masks plus two frontier-membership bitsets (one bit per node), and — for
+// compressed graphs — the adjacency decode buffer. All of it, plus the
+// owning batch's dist/parent slabs, comes from one slab arena, so sweeping
+// graphs of different sizes recycles buffers instead of churning the GC.
 type msbfsScratch struct {
+	ar                     *arena.Arena
 	seen, visit, visitNext []uint64
 	front, nextFront       []uint64
+	dec                    []int32
+}
+
+// grow sizes the scratch for an n-node traversal with maxDeg-wide decode
+// scratch (0 for the flat layout, which decodes nothing). visit/visitNext
+// must be all-zero between traversals — the kernels clear them incrementally
+// — so freshly slabbed (dirty) arena memory is zeroed here; seen and the
+// frontier bitsets are zeroed by the kernels at the start of every group.
+func (sc *msbfsScratch) grow(n, words, maxDeg int) {
+	if sc.ar == nil {
+		sc.ar = arena.New()
+	}
+	if cap(sc.seen) < n {
+		sc.seen = sc.ar.GrowUint64(sc.seen, n)
+		sc.visit = sc.ar.GrowUint64(sc.visit, n)
+		sc.visitNext = sc.ar.GrowUint64(sc.visitNext, n)
+		// Zero the full capacity, not just [:n]: a later traversal may
+		// reslice the same slab longer without passing through this branch.
+		clear(sc.visit[:cap(sc.visit)])
+		clear(sc.visitNext[:cap(sc.visitNext)])
+	} else {
+		sc.seen = sc.seen[:n]
+		sc.visit = sc.visit[:n]
+		sc.visitNext = sc.visitNext[:n]
+	}
+	if cap(sc.front) < words {
+		sc.front = sc.ar.GrowUint64(sc.front, words)
+		sc.nextFront = sc.ar.GrowUint64(sc.nextFront, words)
+	} else {
+		sc.front = sc.front[:words]
+		sc.nextFront = sc.nextFront[:words]
+	}
+	sc.dec = sc.ar.GrowInt32(sc.dec, maxDeg)
 }
 
 // sptBatchPool recycles batch slabs so the measurement engines' hot loops
@@ -97,18 +136,24 @@ func (g *Graph) BatchSPTsInto(sources []int, b *SPTBatch) error {
 	b.Sources = append(b.Sources[:0], sources...)
 	b.n = n
 	total := len(sources) * n
-	if cap(b.dist) < total {
-		b.dist = make([]int32, total)
-		b.parent = make([]int32, total)
+	if b.sc.ar == nil {
+		b.sc.ar = arena.New()
 	}
-	b.dist = b.dist[:total]
-	b.parent = b.parent[:total]
+	// The dist/parent slabs come from the batch's arena: resizing across
+	// graph scales recycles slabs instead of allocating afresh. Kernels
+	// overwrite every element, so dirty recycled memory is fine.
+	b.dist = b.sc.ar.GrowInt32(b.dist, total)
+	b.parent = b.sc.ar.GrowInt32(b.parent, total)
 	for base := 0; base < len(sources); base += msbfsLanes {
 		end := base + msbfsLanes
 		if end > len(sources) {
 			end = len(sources)
 		}
-		g.msbfsGroup(sources[base:end], b.dist[base*n:end*n], b.parent[base*n:end*n], &b.sc)
+		if g.cadj != nil {
+			g.cmsbfsGroup(sources[base:end], b.dist[base*n:end*n], b.parent[base*n:end*n], &b.sc)
+		} else {
+			g.msbfsGroup(sources[base:end], b.dist[base*n:end*n], b.parent[base*n:end*n], &b.sc)
+		}
 	}
 	return nil
 }
@@ -181,15 +226,7 @@ func (b *SPTBatch) Materialize(i int) *SPT {
 func (g *Graph) msbfsGroup(group []int, dist, parent []int32, sc *msbfsScratch) {
 	n := g.N()
 	words := (n + 63) / 64
-	if cap(sc.seen) < n {
-		sc.seen = make([]uint64, n)
-		sc.visit = make([]uint64, n)
-		sc.visitNext = make([]uint64, n)
-	}
-	if cap(sc.front) < words {
-		sc.front = make([]uint64, words)
-		sc.nextFront = make([]uint64, words)
-	}
+	sc.grow(n, words, 0)
 	seen := sc.seen[:n]
 	visit := sc.visit[:n]
 	visitNext := sc.visitNext[:n]

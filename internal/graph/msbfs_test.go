@@ -245,3 +245,37 @@ func BenchmarkBatchSPTs64Serial(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBatchSPTs64Compressed is the storage ablation of
+// BenchmarkBatchSPTs64: the identical 64-source batch over the varint
+// compressed CSR (results byte-identical, adjacency decoded block-wise into
+// per-worker scratch); the Relabeled variant adds the degree-descending
+// cache-blocked vertex order on top.
+func BenchmarkBatchSPTs64Compressed(b *testing.B) {
+	benchBatch64Layout(b, false)
+}
+
+func BenchmarkBatchSPTs64Relabeled(b *testing.B) {
+	benchBatch64Layout(b, true)
+}
+
+func benchBatch64Layout(b *testing.B, relabel bool) {
+	b.Helper()
+	g, err := randomGraph(1, 50000, 100000).Compress(relabel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	sources := make([]int, msbfsLanes)
+	for i := range sources {
+		sources[i] = r.Intn(g.N())
+	}
+	batch := AcquireSPTBatch()
+	defer ReleaseSPTBatch(batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.BatchSPTsInto(sources, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"mtreescale/internal/rng"
+)
+
+// randomEdges draws a reproducible edge multiset with duplicates and
+// self-loops mixed in.
+func randomEdges(seed int64, n, m int) [][2]int32 {
+	r := rng.New(seed)
+	edges := make([][2]int32, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		edges = append(edges, [2]int32{u, v})
+		if i%7 == 0 {
+			edges = append(edges, [2]int32{u, v}) // duplicate
+		}
+		if i%11 == 0 {
+			edges = append(edges, [2]int32{u, u}) // self-loop
+		}
+	}
+	return edges
+}
+
+func TestBuildStreamedMatchesBuilder(t *testing.T) {
+	for _, seed := range []int64{1, 2, 77} {
+		n := 200
+		edges := randomEdges(seed, n, 600)
+		b := NewBuilder(n)
+		for _, e := range edges {
+			_ = b.AddEdge(int(e[0]), int(e[1]))
+		}
+		want := b.Build()
+		got, err := BuildStreamed(n, "streamed", func(emit func(u, v int32)) error {
+			for _, e := range edges {
+				emit(e[0], e[1])
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("BuildStreamed: %v", err)
+		}
+		if got.N() != want.N() || got.M() != want.M() {
+			t.Fatalf("N/M = %d/%d, want %d/%d", got.N(), got.M(), want.N(), want.M())
+		}
+		for v := 0; v < n; v++ {
+			if !slices.Equal(got.Neighbors(v), want.Neighbors(v)) {
+				t.Fatalf("Neighbors(%d) differ: %v vs %v", v, got.Neighbors(v), want.Neighbors(v))
+			}
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+	}
+}
+
+func TestBuildStreamedEmpty(t *testing.T) {
+	g, err := BuildStreamed(5, "empty", func(emit func(u, v int32)) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("N/M = %d/%d, want 5/0", g.N(), g.M())
+	}
+}
+
+func TestBuildStreamedErrors(t *testing.T) {
+	if _, err := BuildStreamed(3, "", nil); err == nil {
+		t.Fatal("nil stream accepted")
+	}
+	// Out-of-range endpoint.
+	_, err := BuildStreamed(3, "", func(emit func(u, v int32)) error {
+		emit(0, 3)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	// Stream error propagates.
+	boom := errors.New("boom")
+	if _, err := BuildStreamed(3, "", func(emit func(u, v int32)) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("stream error lost: %v", err)
+	}
+	// Nondeterministic stream: different edges per pass.
+	pass := 0
+	_, err = BuildStreamed(4, "", func(emit func(u, v int32)) error {
+		pass++
+		if pass == 1 {
+			emit(0, 1)
+			emit(2, 3)
+		} else {
+			emit(0, 1)
+			emit(0, 1) // same count per endpoint 0/1, missing 2/3
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("nondeterministic stream accepted")
+	}
+}
+
+func TestBuildStreamedDeterministic(t *testing.T) {
+	stream := func(emit func(u, v int32)) error {
+		r := rng.New(99)
+		for i := 0; i < 500; i++ {
+			emit(int32(r.Intn(150)), int32(r.Intn(150)))
+		}
+		return nil
+	}
+	a, err := BuildStreamed(150, "a", stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildStreamed(150, "b", stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 150; v++ {
+		if !slices.Equal(a.Neighbors(v), b.Neighbors(v)) {
+			t.Fatalf("rebuild differs at %d", v)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"mtreescale/internal/arena"
 	"mtreescale/internal/graph"
 	"mtreescale/internal/panicsafe"
 	"mtreescale/internal/rng"
@@ -351,9 +352,18 @@ type sourceScratch struct {
 	counter *TreeCounter
 	smp     Sampler
 	recv    []int32
+	// ar backs pd/pd2 and the sampler scratch with recycled slabs, so
+	// sweeping graphs of different scales (the large-graph regime's 1M/10M
+	// interleavings) re-slabs instead of re-allocating. The counter keeps
+	// plain make: its epoch array must be zeroed on growth either way.
+	ar *arena.Arena
 }
 
-var scratchPool = sync.Pool{New: func() any { return &sourceScratch{} }}
+var scratchPool = sync.Pool{New: func() any {
+	sc := &sourceScratch{ar: arena.New()}
+	sc.smp.ar = sc.ar
+	return sc
+}}
 
 func getScratch(n int) *sourceScratch {
 	sc := scratchPool.Get().(*sourceScratch)
@@ -361,6 +371,11 @@ func getScratch(n int) *sourceScratch {
 		sc.counter = NewTreeCounter(n)
 	}
 	return sc
+}
+
+// growPacked sizes a packed-word buffer for packTree through the arena.
+func (sc *sourceScratch) growPacked(pd []int64, n int) []int64 {
+	return sc.ar.GrowInt64(pd, n)
 }
 
 // prepare resolves the source's shortest-path tree — from the pre-resolved
@@ -407,7 +422,7 @@ func measureSourceIndependent(ctx context.Context, g *graph.Graph, src, si int, 
 	if err != nil {
 		return err
 	}
-	sc.pd = packTree(spt, sc.pd)
+	sc.pd = packTree(spt, sc.growPacked(sc.pd, len(spt.Parent)))
 	for k, size := range sizes {
 		if err := ctx.Err(); err != nil {
 			return err

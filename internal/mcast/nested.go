@@ -94,7 +94,7 @@ func measureSourceNested(ctx context.Context, g *graph.Graph, src, si int, cuts 
 	if err != nil {
 		return err
 	}
-	sc.pd = packTree(spt, sc.pd)
+	sc.pd = packTree(spt, sc.growPacked(sc.pd, len(spt.Parent)))
 	pd := sc.pd
 	source := int32(spt.Source)
 	c := sc.counter

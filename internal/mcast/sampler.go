@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"mtreescale/internal/arena"
 	"mtreescale/internal/rng"
 )
 
@@ -32,6 +33,24 @@ type Sampler struct {
 	// mark[i] == epoch means index i is stamped for the current draw.
 	mark  []int32
 	epoch int32
+	// ar, when set (the pooled worker scratch wires it), backs the scratch
+	// arrays with recycled slabs so resizing across graph scales allocates
+	// nothing; nil falls back to make.
+	ar *arena.Arena
+}
+
+// growScratch returns a length-n scratch slice, recycling buf's storage
+// through the arena when one is attached. Contents are NOT preserved and the
+// new tail is NOT zeroed.
+func (s *Sampler) growScratch(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	if s.ar != nil {
+		s.ar.PutInt32(buf)
+		return s.ar.Int32(n)
+	}
+	return make([]int32, n)
 }
 
 // NewSampler builds a sampler over the population {0..n-1} \ {exclude}.
@@ -56,7 +75,7 @@ func (s *Sampler) Reset(n int, exclude int, r rng.Source) error {
 	}
 	s.r = r
 	s.rr, _ = r.(*rng.Rand)
-	s.sites = s.sites[:0]
+	s.sites = s.growScratch(s.sites, n)[:0]
 	for v := 0; v < n; v++ {
 		if v != exclude {
 			s.sites = append(s.sites, int32(v))
@@ -87,7 +106,10 @@ func (s *Sampler) Population() int { return len(s.sites) }
 func (s *Sampler) stamp() {
 	M := len(s.sites)
 	if len(s.mark) < M {
-		s.mark = make([]int32, M)
+		// Arena-recycled memory is dirty; the epoch scheme needs a known
+		// baseline, so clear on (re)growth and restart the epochs.
+		s.mark = s.growScratch(s.mark, M)
+		clear(s.mark)
 		s.epoch = 0
 	}
 	if s.epoch == math.MaxInt32 {
@@ -108,10 +130,8 @@ func (s *Sampler) WithReplacement(n int, dst []int32) ([]int32, error) {
 	dst = dst[:0]
 	if rr, sites := s.rr, s.sites; rr != nil {
 		// Bulk-draw the site indices (identical to n Intn draws), then gather.
-		if cap(s.draws) < n {
-			s.draws = make([]int32, n)
-		}
-		draws := s.draws[:n]
+		s.draws = s.growScratch(s.draws, n)
+		draws := s.draws
 		rr.FillIntn(len(sites), draws)
 		for _, t := range draws {
 			dst = append(dst, sites[t])
@@ -141,10 +161,7 @@ func (s *Sampler) Distinct(m int, dst []int32) ([]int32, error) {
 	}
 	if m*4 >= M {
 		// Partial Fisher-Yates over a scratch copy.
-		if cap(s.buf) < M {
-			s.buf = make([]int32, M)
-		}
-		s.buf = s.buf[:M]
+		s.buf = s.growScratch(s.buf, M)
 		copy(s.buf, s.sites)
 		buf := s.buf
 		if rr := s.rr; rr != nil {
@@ -165,10 +182,8 @@ func (s *Sampler) Distinct(m int, dst []int32) ([]int32, error) {
 	if rr := s.rr; rr != nil {
 		// Bulk-draw Floyd's index sequence (identical to the Intn(j+1) loop),
 		// then run the membership logic over the drawn indices.
-		if cap(s.draws) < m {
-			s.draws = make([]int32, m)
-		}
-		draws := s.draws[:m]
+		s.draws = s.growScratch(s.draws, m)
+		draws := s.draws
 		rr.FillBounded(M-m, draws)
 		mark, epoch, sites := s.mark, s.epoch, s.sites
 		for k, pick := range draws {

@@ -251,8 +251,8 @@ func measureSourceShared(ctx context.Context, g *graph.Graph, source, core, si i
 			return err
 		}
 	}
-	sc.pd = packTree(srcSPT, sc.pd)
-	sc.pd2 = packTree(coreSPT, sc.pd2)
+	sc.pd = packTree(srcSPT, sc.growPacked(sc.pd, len(srcSPT.Parent)))
+	sc.pd2 = packTree(coreSPT, sc.growPacked(sc.pd2, len(coreSPT.Parent)))
 	// Receivers always exclude the source here (the shared-tree comparison
 	// keeps the paper's receiver model regardless of IncludeSource).
 	if err := sc.smp.Reset(g.N(), source, rng.NewChild(p.Seed, int64(si))); err != nil {

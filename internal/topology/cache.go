@@ -21,9 +21,10 @@ import (
 // caller still holding them; only the memoization is dropped.
 
 type cacheKey struct {
-	name  string
-	seed  int64
-	scale float64
+	name     string
+	seed     int64
+	scale    float64
+	compress bool
 }
 
 type cacheEntry struct {
@@ -69,6 +70,18 @@ type CacheStats struct {
 // deterministic, so errors are cached alongside graphs (error entries cost
 // no budget and are evicted like any other).
 func GenerateCached(name string, seed int64, scale float64) (*graph.Graph, error) {
+	return GenerateCachedOpt(name, seed, scale, false)
+}
+
+// GenerateCachedOpt is GenerateCached with a layout choice: compress=true
+// memoizes the topology in the compressed CSR layout (graph.Compress without
+// relabeling — the degree relabeling is a traversal-locality lever that costs
+// 12 B/node and never shrinks the graph, so the memory mode skips it), keyed
+// separately from the flat layout so the two never alias. Compression happens
+// inside the build singleflight, and the cache budget accounts the compressed
+// footprint — well under the flat graph's — so large-graph sweeps fit more
+// topologies in the same budget.
+func GenerateCachedOpt(name string, seed int64, scale float64, compress bool) (*graph.Graph, error) {
 	s, err := Lookup(name)
 	if err != nil {
 		return nil, err
@@ -79,7 +92,7 @@ func GenerateCached(name string, seed int64, scale float64) (*graph.Graph, error
 	if scale <= 0 || scale > 1 {
 		scale = 1 // normalize exactly like the builders do, so keys can't alias
 	}
-	key := cacheKey{name: name, seed: seed, scale: scale}
+	key := cacheKey{name: name, seed: seed, scale: scale, compress: compress}
 	cacheMu.Lock()
 	e, ok := cache[key]
 	if ok {
@@ -96,6 +109,9 @@ func GenerateCached(name string, seed int64, scale float64) (*graph.Graph, error
 	cacheMu.Unlock()
 	e.once.Do(func() {
 		e.g, e.err = s.Build(seed, scale)
+		if e.err == nil && compress {
+			e.g, e.err = e.g.Compress(false)
+		}
 		if e.err != nil {
 			e.err = fmt.Errorf("topology: generating %q: %w", name, e.err)
 			return

@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"slices"
 
 	"mtreescale/internal/graph"
 	"mtreescale/internal/rng"
@@ -45,6 +46,7 @@ func PreferentialAttachment(n, edgesPerNode, extraShortcuts int, seed int64) (*g
 		}
 	}
 	chosen := make(map[int32]bool, edgesPerNode)
+	picks := make([]int32, 0, edgesPerNode)
 	for v := seedSize; v < n; v++ {
 		clear(chosen)
 		attempts := 0
@@ -56,7 +58,15 @@ func PreferentialAttachment(n, edgesPerNode, extraShortcuts int, seed int64) (*g
 			}
 			chosen[t] = true
 		}
+		// Drain the set in sorted order, not map order: the targets array's
+		// element order feeds later degree-proportional draws, so map
+		// iteration would make the graph nondeterministic for a fixed seed.
+		picks = picks[:0]
 		for t := range chosen {
+			picks = append(picks, t)
+		}
+		slices.Sort(picks)
+		for _, t := range picks {
 			_ = b.AddEdge(v, int(t))
 			targets = append(targets, int32(v), t)
 		}

@@ -52,16 +52,23 @@ func GNP(n int, p float64, seed int64) (*graph.Graph, error) {
 }
 
 // pairFromIndex maps a linear index in [0, n(n-1)/2) to the pair (u,v), u<v,
-// enumerated row by row: (0,1),(0,2),...,(0,n-1),(1,2),...
+// enumerated row by row: (0,1),(0,2),...,(0,n-1),(1,2),... The closed-form
+// row solve is O(1) — the geometric-skip generators call it once per present
+// edge — and the correction loops make the float guess exact.
 func pairFromIndex(idx int64, n int) (int, int) {
-	u := 0
-	rowLen := int64(n - 1)
-	for idx >= rowLen {
-		idx -= rowLen
-		u++
-		rowLen--
+	rowStart := func(u int64) int64 { return u*int64(n) - u*(u+1)/2 }
+	fn := float64(n)
+	u := int64((2*fn - 1 - math.Sqrt((2*fn-1)*(2*fn-1)-8*float64(idx))) / 2)
+	if u < 0 {
+		u = 0
 	}
-	return u, u + 1 + int(idx)
+	for u+1 < int64(n) && rowStart(u+1) <= idx {
+		u++
+	}
+	for u > 0 && rowStart(u) > idx {
+		u--
+	}
+	return int(u), int(u + 1 + (idx - rowStart(u)))
 }
 
 // ConnectedRandom generates a connected random graph with exactly n nodes and
