@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare bench-large large-smoke fuzz fuzz-smoke results results-paper report clean
+.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare bench-cluster bench-large large-smoke cluster-smoke fuzz fuzz-smoke results results-paper report clean
 
 all: build vet test
 
@@ -28,7 +28,8 @@ test:
 race:
 	$(GO) test -race ./internal/graph/... ./internal/topology/... \
 		./internal/mcast/... ./internal/experiments/... ./internal/serve/... \
-		./cmd/mtsim/... ./cmd/mtsimd/...
+		./internal/cluster/... ./internal/atomicio/... \
+		./cmd/mtsim/... ./cmd/mtsimd/... ./cmd/mtctl/...
 
 # The robustness surface under contention: cancellation, panic isolation,
 # checkpoint/resume, heap-guard, admission/shedding, drain, and quarantine
@@ -36,10 +37,11 @@ race:
 # hangs CI instead of passing silently.
 race-robust:
 	$(GO) test -race -timeout 5m \
-		-run 'Cancel|Panic|Recover|Resume|Checkpoint|HeapGuard|MaxHeap|Timeout|Register|Commit|WriteFile|Quarantine|Shed|Drain|Saturat|Degraded|SlowLoris|Restart|Eviction|Churn' \
+		-run 'Cancel|Panic|Recover|Resume|Checkpoint|HeapGuard|MaxHeap|Timeout|Register|Commit|WriteFile|Quarantine|Shed|Drain|Saturat|Degraded|SlowLoris|Restart|Eviction|Churn|Backs|Survives|RetryBudget' \
 		./internal/mcast/... ./internal/experiments/... ./internal/panicsafe/... \
 		./internal/atomicio/... ./internal/serve/... ./internal/graph/... \
-		./cmd/mtsim/... ./cmd/mtsimd/...
+		./internal/cluster/... \
+		./cmd/mtsim/... ./cmd/mtsimd/... ./cmd/mtctl/...
 
 race-all:
 	$(GO) test -race ./...
@@ -68,6 +70,19 @@ bench:
 bench-large:
 	MTREESCALE_LARGE=1 $(MAKE) bench
 
+# Record the committed cluster benchmark: the same small ensemble grid
+# dispatched through the coordinator to one vs two calibrated-latency stub
+# workers (see EXPERIMENTS.md for why the workers are latency stubs). The
+# merged bytes of every benchmarked run are verified against the unsharded
+# single-process engines before a number is written.
+BENCH_CLUSTER_JSON ?= BENCH_7.json
+
+bench-cluster:
+	$(GO) run ./cmd/mtctl -bench $(BENCH_CLUSTER_JSON) \
+		-bench-latency 250ms -bench-shards 8 \
+		-kind ensemble -topo r100 -nets 8 -nsource 4 -nrcvr 2 -sizes 1,3,10 -seed 5
+	@cat $(BENCH_CLUSTER_JSON)
+
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -89,6 +104,17 @@ bench-compare:
 # `make check` and CI.
 large-smoke:
 	MTREESCALE_LARGE_SMOKE=1 $(GO) test -run 'TestLargeGraphSmoke$$' -timeout 10m .
+
+# The cluster smoke: the coordinator's worker-kill resilience under the race
+# detector (in-process daemons), then the same scenario end-to-end across
+# real mtsimd processes and sockets — two workers, one killed after its
+# first completed shard, merged output byte-compared against the
+# single-process golden.
+cluster-smoke:
+	$(GO) test -race -timeout 5m \
+		-run 'TestClusterSurvivesDaemonKillMidRun|TestCoordinator|TestShardEndpoint' \
+		./internal/cluster/... ./cmd/mtsimd/... ./cmd/mtctl/...
+	./scripts/cluster_smoke.sh
 
 # Short fuzzing passes over the parsers.
 fuzz:

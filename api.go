@@ -9,6 +9,8 @@ import (
 	"mtreescale/internal/affinity"
 	"mtreescale/internal/analytic"
 	"mtreescale/internal/atomicio"
+	"mtreescale/internal/buildinfo"
+	"mtreescale/internal/cluster"
 	"mtreescale/internal/core"
 	"mtreescale/internal/experiments"
 	"mtreescale/internal/graph"
@@ -609,6 +611,106 @@ var ErrQuarantined = serve.ErrQuarantined
 // — never a torn write.
 func WriteFileAtomic(path string, data []byte, perm fs.FileMode) error {
 	return atomicio.WriteFile(path, data, perm)
+}
+
+// VersionString reports the binary's embedded build information (module
+// version, VCS revision, Go release) — the -version flag of every CLI.
+func VersionString() string { return buildinfo.String() }
+
+// CallSafe runs fn, converting a panic into a returned *PanicError (value +
+// goroutine stack) instead of unwinding the process — the isolation wrapper
+// the serving layers put around untrusted computations.
+func CallSafe(fn func() error) error { return panicsafe.Do(fn) }
+
+// ClusterGrid describes one shardable experiment sweep: a standard
+// topology, a size grid, and the measurement protocol. Grids shard along
+// the axes the engines reduce deterministically — source blocks for curve
+// and shared sweeps, network blocks for ensembles — so a clustered run
+// merges byte-identically to a single-process run.
+type ClusterGrid = cluster.Grid
+
+// ClusterKind selects a grid's measurement engine.
+type ClusterKind = cluster.Kind
+
+// Grid kinds: the §2 curve protocol, the shared-tree comparison, and
+// footnote 4's topology ensemble.
+const (
+	ClusterCurve    = cluster.KindCurve
+	ClusterShared   = cluster.KindShared
+	ClusterEnsemble = cluster.KindEnsemble
+)
+
+// ClusterShardSpec is one contiguous block of a grid's sharding axis — the
+// unit of work a coordinator posts to a worker's /shard endpoint.
+type ClusterShardSpec = cluster.ShardSpec
+
+// ClusterPartial is one shard's engine-specific partial sums, bound to its
+// grid by key.
+type ClusterPartial = cluster.Partial
+
+// ClusterMerged is a grid's final merged result.
+type ClusterMerged = cluster.Merged
+
+// ClusterShardPath is the worker endpoint shard specs are posted to.
+const ClusterShardPath = cluster.ShardPath
+
+// PlanCluster cuts a grid's sharding axis into at most nShards balanced
+// contiguous blocks.
+func PlanCluster(g ClusterGrid, nShards int) ([]ClusterShardSpec, error) {
+	return cluster.Plan(g, nShards)
+}
+
+// ExecuteClusterShard measures one shard in-process: the worker-side engine
+// behind mtsimd's POST /shard.
+func ExecuteClusterShard(ctx context.Context, spec ClusterShardSpec) (*ClusterPartial, error) {
+	return cluster.ExecuteShard(ctx, spec)
+}
+
+// MergeClusterPartials folds shard partials into the grid's final result by
+// replaying the unsharded engine's reduction order; the partials must tile
+// the sharding axis exactly.
+func MergeClusterPartials(g ClusterGrid, parts []*ClusterPartial) (*ClusterMerged, error) {
+	return cluster.Merge(g, parts)
+}
+
+// RunClusterLocal measures a whole grid in-process through the unsharded
+// engines — the byte-identity reference for clustered runs.
+func RunClusterLocal(ctx context.Context, g ClusterGrid) (*ClusterMerged, error) {
+	return cluster.RunLocal(ctx, g)
+}
+
+// ClusterCoordinator fans a grid out over mtsimd workers with bounded
+// per-worker in-flight, Retry-After-aware 429 backoff, worker quarantine
+// with shard re-queue, and an fsynced resume journal.
+type ClusterCoordinator = cluster.Coordinator
+
+// ClusterOptions tunes a ClusterCoordinator; the zero value is usable.
+type ClusterOptions = cluster.Options
+
+// ClusterEvent is one coordinator progress notification.
+type ClusterEvent = cluster.Event
+
+// ClusterStats summarizes one coordinator run.
+type ClusterStats = cluster.Stats
+
+// NewClusterCoordinator builds a coordinator over worker base URLs.
+func NewClusterCoordinator(workers []string, opt ClusterOptions) (*ClusterCoordinator, error) {
+	return cluster.New(workers, opt)
+}
+
+// ClusterStubWorker is a minimal in-process shard worker speaking the
+// /shard protocol: the coordinator's test double and the calibrated-latency
+// replay worker behind mtctl's committed cluster benchmark.
+type ClusterStubWorker = cluster.StubWorker
+
+// ClusterShardHandler computes one shard on behalf of a stub worker.
+type ClusterShardHandler = cluster.ShardHandler
+
+// StartClusterStubWorker serves POST /shard on a loopback listener,
+// sleeping latency before each shard; a nil handler computes shards
+// in-process.
+func StartClusterStubWorker(id string, latency time.Duration, handler ClusterShardHandler) (*ClusterStubWorker, error) {
+	return cluster.StartStubWorker(id, latency, handler)
 }
 
 // ExperimentInfo returns the title and description of an experiment.

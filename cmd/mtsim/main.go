@@ -84,9 +84,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		timeout    = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
 		maxHeap    = fs.String("maxheap", "", "soft per-experiment heap limit, e.g. 512m or 4g (empty = no limit); an experiment exceeding it is aborted, its siblings continue")
 		resume     = fs.Bool("resume", false, "with -out: skip experiments already journaled in <out>/checkpoint.jsonl for this profile")
+		version    = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, "mtsim", mtreescale.VersionString())
+		return nil
 	}
 	if *list {
 		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)

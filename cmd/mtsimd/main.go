@@ -24,10 +24,15 @@
 //
 // Endpoints:
 //
-//	GET /healthz              liveness + load counters (never blocks)
-//	GET /readyz               503 while draining, 200 otherwise
-//	GET /experiments          registry listing, profiles, quarantine state
-//	GET /curve?experiment=fig3a&profile=quick[&deadline=10s]
+//	GET  /healthz             liveness + load counters (never blocks)
+//	GET  /readyz              503 while draining, 200 otherwise
+//	GET  /experiments         registry listing, profiles, quarantine state
+//	GET  /curve?experiment=fig3a&profile=quick[&deadline=10s]
+//	POST /shard               execute one cluster shard spec (see mtctl),
+//	                          returning the block's partial statistics
+//
+// Every response carries an X-Mtsimd-Worker header naming the worker
+// (-worker-id, default hostname), so mtctl runs can be attributed.
 package main
 
 import (
@@ -63,6 +68,8 @@ func runDaemon(ctx context.Context, args []string, logw io.Writer) error {
 	fs := flag.NewFlagSet("mtsimd", flag.ContinueOnError)
 	fs.SetOutput(logw)
 	fs.StringVar(&cfg.addr, "addr", cfg.addr, "listen address")
+	fs.StringVar(&cfg.workerID, "worker-id", "", "worker name stamped in the X-Mtsimd-Worker response header (default: hostname)")
+	version := fs.Bool("version", false, "print build information and exit")
 	fs.StringVar(&cfg.dataDir, "data", "", "checkpoint directory: fresh results are journaled here and reloaded on restart (accepts an mtsim -out directory)")
 	fs.IntVar(&cfg.maxActive, "max-active", cfg.maxActive, "concurrent experiment computations")
 	fs.IntVar(&cfg.maxWait, "max-wait", cfg.maxWait, "requests allowed to queue for a compute slot before shedding with 429")
@@ -79,6 +86,10 @@ func runDaemon(ctx context.Context, args []string, logw io.Writer) error {
 	maxHeap := fs.String("maxheap", "", "per-experiment soft heap cap, e.g. 512m (empty = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(logw, "mtsimd", mtreescale.VersionString())
+		return nil
 	}
 	hb, err := mtreescale.ParseByteSize(*maxHeap)
 	if err != nil {

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -19,6 +21,11 @@ import (
 type config struct {
 	addr    string
 	dataDir string
+
+	// workerID names this worker in the X-Mtsimd-Worker response header, so
+	// a cluster operator can tell which worker answered what. Empty means
+	// the hostname (falling back to the listen address).
+	workerID string
 
 	maxActive int
 	maxWait   int
@@ -104,6 +111,13 @@ func newServer(cfg config, logf func(format string, args ...any)) (*server, erro
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	if cfg.workerID == "" {
+		if host, err := os.Hostname(); err == nil && host != "" {
+			cfg.workerID = host
+		} else {
+			cfg.workerID = cfg.addr
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &server{
 		cfg:        cfg,
@@ -164,15 +178,26 @@ func (s *server) close() error {
 }
 
 // handler assembles the route table. Every route sits under the panic
-// Recoverer; only /curve pays the admission and deadline machinery, so the
-// health endpoints stay responsive however saturated the pool is.
+// Recoverer and the worker-identity header; only /curve and /shard pay the
+// admission and deadline machinery, so the health endpoints stay responsive
+// however saturated the pool is.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
 	mux.Handle("GET /curve", serve.WithRequestDeadline(s.cfg.deadline, s.cfg.deadlineCeiling, http.HandlerFunc(s.handleCurve)))
-	return serve.Recoverer(s.onIncident, mux)
+	mux.Handle("POST "+mtreescale.ClusterShardPath, serve.WithRequestDeadline(s.cfg.deadline, s.cfg.deadlineCeiling, http.HandlerFunc(s.handleShard)))
+	return serve.Recoverer(s.onIncident, s.identify(mux))
+}
+
+// identify stamps every response with this worker's id, so cluster
+// coordinators and operators can attribute answers to workers.
+func (s *server) identify(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Mtsimd-Worker", s.cfg.workerID)
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *server) onIncident(id string, pe *mtreescale.PanicError) {
@@ -301,6 +326,75 @@ func (s *server) handleCurve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.store(key, body, st.Result)
 	s.serveResult(w, resultEntry{body, "fresh"}, "")
+}
+
+// handleShard executes one cluster shard:
+//
+//	decode + validate → quarantine gate → drain gate → admission queue →
+//	compute under the request deadline → partial JSON.
+//
+// The endpoint shares /curve's whole robustness substrate — the same
+// admission queue (so a coordinator's fan-out and interactive /curve load
+// are bounded together), the same drain and deadline machinery, and the
+// same quarantine registry, keyed per shard block so a poison shard is
+// refused with backoff while its siblings keep computing.
+func (s *server) handleShard(w http.ResponseWriter, r *http.Request) {
+	var spec mtreescale.ClusterShardSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		serve.WriteJSONError(w, http.StatusBadRequest, "malformed shard spec: "+err.Error(), 0)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		serve.WriteJSONError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	qkey := fmt.Sprintf("shard:%.12s:%d-%d", spec.Grid.Key(), spec.Lo, spec.Hi)
+
+	if ok, retry := s.quar.Allowed(qkey); !ok {
+		serve.WriteJSONError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("shard [%d, %d) is quarantined", spec.Lo, spec.Hi), retry)
+		return
+	}
+
+	exit, err := s.drain.Enter()
+	if err != nil {
+		w.Header().Set("Connection", "close")
+		serve.WriteJSONError(w, http.StatusServiceUnavailable, "draining", 0)
+		return
+	}
+	defer exit()
+
+	release, err := s.queue.Acquire(r.Context())
+	if errors.Is(err, serve.ErrSaturated) {
+		serve.WriteJSONError(w, http.StatusTooManyRequests, "compute pool saturated", s.cfg.shedRetryAfter)
+		return
+	}
+	if err != nil {
+		serve.WriteJSONError(w, http.StatusServiceUnavailable, "request abandoned while queued", 0)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopAfter := context.AfterFunc(s.baseCtx, cancel)
+	defer stopAfter()
+
+	var p *mtreescale.ClusterPartial
+	err = mtreescale.CallSafe(func() error {
+		var cerr error
+		p, cerr = mtreescale.ExecuteClusterShard(ctx, spec)
+		return cerr
+	})
+	if err != nil {
+		var pe *mtreescale.PanicError
+		if errors.As(err, &pe) {
+			s.quar.Report(qkey, err)
+		}
+		s.writeComputeError(w, r, qkey, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
 }
 
 // writeComputeError maps a scheduler failure onto the HTTP boundary. The

@@ -1,0 +1,111 @@
+package atomicio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only JSON-lines file fsynced after every record: the
+// durability substrate behind experiment checkpoints and cluster shard
+// journals. Appends are safe for concurrent use, and write failures are
+// deferred — remembered and reported by Err/Close rather than returned —
+// because journal callers sit in completion hooks with no error channel, and
+// a broken journal must not fail the work it records.
+type Journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error // first failure; reported by Err and Close
+}
+
+// OpenJournal opens path for appending, truncating any previous journal
+// unless resume is set. The parent directory must exist.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append marshals one record as a JSON line, writes it, and fsyncs. The
+// write+sync holds the journal lock, so concurrent appends never interleave
+// and a reader sees only whole lines plus at most one torn tail after a
+// crash. label names the record in the deferred error.
+func (j *Journal) Append(label string, v any) {
+	rec, err := json.Marshal(v)
+	if err == nil {
+		rec = append(rec, '\n')
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if j.f == nil {
+		j.err = fmt.Errorf("journal: %s: append after close", label)
+		return
+	}
+	if err == nil {
+		_, err = j.f.Write(rec)
+	}
+	if err == nil {
+		err = j.f.Sync()
+	}
+	if err != nil {
+		j.err = fmt.Errorf("journal: %s: %w", label, err)
+	}
+}
+
+// Err reports the first deferred append failure without closing the journal.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close releases the journal and reports the first deferred failure. Close
+// is idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		if cerr := j.f.Close(); j.err == nil && cerr != nil {
+			j.err = cerr
+		}
+		j.f = nil
+	}
+	return j.err
+}
+
+// ReadJournal streams a journal's lines to fn. A missing file is an empty
+// journal — the first run of a resumable job. Lines fn rejects with an error
+// are counted, not fatal: a torn trailing write is exactly the case journals
+// exist to survive. Returns the number of lines fn rejected.
+func ReadJournal(path string, fn func(line []byte) error) (skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		if err := fn(sc.Bytes()); err != nil {
+			skipped++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return skipped, fmt.Errorf("journal: %s: %w", path, err)
+	}
+	return skipped, nil
+}

@@ -1,0 +1,54 @@
+// Package buildinfo derives a human-readable version string from the data
+// the Go toolchain embeds in every binary (runtime/debug.ReadBuildInfo):
+// module version, VCS revision and dirty flag, and the Go release. All
+// three CLIs (mtsim, mtsimd, mtctl) print it under -version, so a cluster
+// operator can confirm that coordinator and workers run the same build
+// without any release machinery.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String formats the embedded build information as
+// "<module> <version> (<rev>[,dirty]) <go version>". Fields the toolchain
+// did not stamp (e.g. a non-VCS build) are omitted.
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown (stripped build)"
+	}
+	return format(bi)
+}
+
+// format is String on an explicit BuildInfo, split out for tests.
+func format(bi *debug.BuildInfo) string {
+	version := bi.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = ",dirty"
+			}
+		}
+	}
+	parts := []string{bi.Main.Path, version}
+	if rev != "" {
+		parts = append(parts, fmt.Sprintf("(%s%s)", rev, dirty))
+	}
+	if bi.GoVersion != "" {
+		parts = append(parts, bi.GoVersion)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,32 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStringNeverEmpty(t *testing.T) {
+	if String() == "" {
+		t.Fatal("empty version string")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	bi := &debug.BuildInfo{GoVersion: "go1.24.0"}
+	bi.Main.Path = "mtreescale"
+	bi.Main.Version = "(devel)"
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	got := format(bi)
+	for _, want := range []string{"mtreescale", "devel", "0123456789ab", ",dirty", "go1.24.0"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("format = %q, missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "0123456789abc") {
+		t.Fatalf("revision not truncated to 12 chars: %q", got)
+	}
+}

@@ -1,0 +1,464 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mtreescale/internal/atomicio"
+	"mtreescale/internal/serve"
+	"mtreescale/internal/valid"
+)
+
+// ShardPath is the worker endpoint a coordinator posts ShardSpecs to.
+const ShardPath = "/shard"
+
+// Event is one coordinator progress notification. Kind is one of
+// "resume" (shard satisfied from the journal), "complete" (worker returned
+// a partial), "backoff" (worker answered 429; the slot pauses RetryIn),
+// "requeue" (worker failed; the shard goes back to the pool) and
+// "quarantine" (a worker slot is skipping a quarantined worker).
+type Event struct {
+	Kind    string
+	Worker  string
+	Lo, Hi  int
+	RetryIn time.Duration
+	Err     error
+}
+
+// Stats summarizes one coordinator run for mtctl's timing report.
+type Stats struct {
+	// Planned is the number of shards the grid was cut into; Resumed of
+	// those were satisfied from the journal without any dispatch.
+	Planned int `json:"planned"`
+	Resumed int `json:"resumed"`
+	// Attempts counts shard POSTs, Backoffs429 those answered 429, and
+	// Requeues those lost to worker failure and re-queued elsewhere.
+	Attempts    int `json:"attempts"`
+	Backoffs429 int `json:"backoffs_429"`
+	Requeues    int `json:"requeues"`
+	// PerWorker counts completed shards by worker URL.
+	PerWorker map[string]int `json:"per_worker"`
+}
+
+// Options tunes a Coordinator. The zero value is usable: one in-flight
+// shard per worker, three worker-failure retries per shard, no journal.
+type Options struct {
+	// Client posts shard requests; nil means a default client with no
+	// overall timeout (shards are long; cancellation comes from ctx).
+	Client *http.Client
+	// Inflight is the per-worker concurrent shard cap (default 1): the
+	// bounded fan-out that keeps a coordinator from flooding a worker's
+	// admission queue.
+	Inflight int
+	// Retries is the per-shard worker-failure budget (default 3). 429
+	// responses do not consume it — a saturated worker is backpressure,
+	// not failure.
+	Retries int
+	// Backoff is the pause before a failed shard re-dispatches and the
+	// fallback 429 backoff when a worker omits Retry-After (default 200ms).
+	Backoff time.Duration
+	// JournalPath, when set, appends every completed partial to an fsynced
+	// JSONL journal; with Resume, partials already journaled for this grid
+	// and shard plan are not recomputed.
+	JournalPath string
+	Resume      bool
+	// Quarantine tracks failing workers with exponential backoff; nil
+	// means a default (1s base, 30s cap). Worker URLs are the keys.
+	Quarantine *serve.Quarantine
+	// OnEvent observes progress; called from worker goroutines.
+	OnEvent func(Event)
+	// Sleep pauses a worker slot (backoff, quarantine wait); nil means a
+	// ctx-aware timer sleep. Tests inject instant sleeps.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Coordinator fans an experiment grid out over mtsimd workers and merges
+// the partials deterministically: the merged result is byte-identical to a
+// single-process run, whatever the worker count, scheduling, failures or
+// restarts along the way.
+type Coordinator struct {
+	workers []string
+	opt     Options
+}
+
+// New builds a Coordinator over the given worker base URLs
+// (e.g. "http://host:8080").
+func New(workers []string, opt Options) (*Coordinator, error) {
+	if len(workers) == 0 {
+		return nil, valid.Badf("cluster: no workers")
+	}
+	seen := map[string]bool{}
+	for _, w := range workers {
+		if w == "" {
+			return nil, valid.Badf("cluster: empty worker URL")
+		}
+		if seen[w] {
+			return nil, valid.Badf("cluster: duplicate worker %q", w)
+		}
+		seen[w] = true
+	}
+	if opt.Client == nil {
+		opt.Client = &http.Client{}
+	}
+	if opt.Inflight < 1 {
+		opt.Inflight = 1
+	}
+	if opt.Retries < 1 {
+		opt.Retries = 3
+	}
+	if opt.Backoff <= 0 {
+		opt.Backoff = 200 * time.Millisecond
+	}
+	if opt.Quarantine == nil {
+		opt.Quarantine = serve.NewQuarantine(time.Second, 30*time.Second)
+	}
+	if opt.Sleep == nil {
+		opt.Sleep = sleepCtx
+	}
+	return &Coordinator{workers: workers, opt: opt}, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Coordinator) emit(ev Event) {
+	if c.opt.OnEvent != nil {
+		c.opt.OnEvent(ev)
+	}
+}
+
+// runState is the shared bookkeeping of one Run: which shards remain, how
+// often each has failed, and the first fatal error.
+type runState struct {
+	mu        sync.Mutex
+	remaining int
+	failures  []int
+	parts     []*Partial
+	fatal     error
+	stats     Stats
+	done      chan struct{} // closed when remaining hits 0
+	cancel    context.CancelFunc
+}
+
+func (st *runState) complete(idx int, p *Partial, worker string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.parts[idx] != nil {
+		return // duplicate (e.g. a requeued shard that also succeeded)
+	}
+	st.parts[idx] = p
+	if worker != "" {
+		st.stats.PerWorker[worker]++
+	}
+	st.remaining--
+	if st.remaining == 0 {
+		close(st.done)
+	}
+}
+
+func (st *runState) fail(err error) {
+	st.mu.Lock()
+	if st.fatal == nil {
+		st.fatal = err
+	}
+	st.mu.Unlock()
+	st.cancel()
+}
+
+// Run shards the grid into nShards blocks, executes them across the
+// workers, and merges the partials. On return with a nil error the Merged
+// result is byte-identical to RunLocal's for the same grid.
+func (c *Coordinator) Run(ctx context.Context, g Grid, nShards int) (*Merged, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	plan, err := Plan(g, nShards)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &runState{
+		remaining: len(plan),
+		failures:  make([]int, len(plan)),
+		parts:     make([]*Partial, len(plan)),
+		done:      make(chan struct{}),
+		stats:     Stats{Planned: len(plan), PerWorker: map[string]int{}},
+	}
+
+	// Resume: shards whose exact block is already journaled for this grid
+	// need no dispatch. Blocks from a different plan width don't match and
+	// are recomputed — identity is (grid key, lo, hi), nothing looser.
+	if c.opt.JournalPath != "" && c.opt.Resume {
+		byBlock := map[[2]int]*Partial{}
+		if _, err := atomicio.ReadJournal(c.opt.JournalPath, func(line []byte) error {
+			p, err := parseJournalPartial(line, g)
+			if err != nil {
+				return err
+			}
+			byBlock[[2]int{p.Lo, p.Hi}] = p
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+		for i, spec := range plan {
+			if p, ok := byBlock[[2]int{spec.Lo, spec.Hi}]; ok {
+				st.parts[i] = p
+				st.remaining--
+				st.stats.Resumed++
+				c.emit(Event{Kind: "resume", Lo: spec.Lo, Hi: spec.Hi})
+			}
+		}
+	}
+
+	var journal *atomicio.Journal
+	if c.opt.JournalPath != "" {
+		journal, err = atomicio.OpenJournal(c.opt.JournalPath, c.opt.Resume)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer journal.Close()
+	}
+
+	if st.remaining > 0 {
+		runCtx, cancel := context.WithCancel(ctx)
+		st.cancel = cancel
+		defer cancel()
+
+		// The pool holds every undone shard index; capacity len(plan) means
+		// a requeue can never block.
+		pool := make(chan int, len(plan))
+		for i := range plan {
+			if st.parts[i] == nil {
+				pool <- i
+			}
+		}
+
+		var wg sync.WaitGroup
+		for _, w := range c.workers {
+			for s := 0; s < c.opt.Inflight; s++ {
+				wg.Add(1)
+				go func(worker string) {
+					defer wg.Done()
+					c.workerLoop(runCtx, worker, plan, pool, st, journal)
+				}(w)
+			}
+		}
+		wg.Wait()
+	} else {
+		close(st.done)
+	}
+
+	st.mu.Lock()
+	fatal := st.fatal
+	stats := st.stats
+	parts := st.parts
+	remaining := st.remaining
+	st.mu.Unlock()
+	if fatal != nil {
+		return nil, &stats, fatal
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &stats, err
+	}
+	if remaining > 0 {
+		return nil, &stats, fmt.Errorf("cluster: %d shards incomplete", remaining)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			return nil, &stats, err
+		}
+	}
+	merged, err := Merge(g, parts)
+	if err != nil {
+		return nil, &stats, err
+	}
+	return merged, &stats, nil
+}
+
+// workerLoop is one in-flight slot of one worker: pull a shard, post it,
+// and settle the outcome until the run completes or dies.
+func (c *Coordinator) workerLoop(ctx context.Context, worker string, plan []ShardSpec, pool chan int, st *runState, journal *atomicio.Journal) {
+	for {
+		var idx int
+		select {
+		case <-ctx.Done():
+			return
+		case <-st.done:
+			return
+		case idx = <-pool:
+		}
+		spec := plan[idx]
+
+		// A quarantined worker hands the shard back and pauses this slot so
+		// healthy workers drain the pool meanwhile.
+		if ok, retryIn := c.opt.Quarantine.Allowed(worker); !ok {
+			pool <- idx
+			c.emit(Event{Kind: "quarantine", Worker: worker, Lo: spec.Lo, Hi: spec.Hi, RetryIn: retryIn})
+			if c.opt.Sleep(ctx, retryIn) != nil {
+				return
+			}
+			continue
+		}
+
+		st.mu.Lock()
+		st.stats.Attempts++
+		st.mu.Unlock()
+
+		p, retryAfter, err := c.postShard(ctx, worker, spec)
+		switch {
+		case err == nil:
+			c.opt.Quarantine.Clear(worker)
+			if journal != nil {
+				journal.Append(fmt.Sprintf("shard[%d,%d)", spec.Lo, spec.Hi), p)
+			}
+			st.complete(idx, p, worker)
+			c.emit(Event{Kind: "complete", Worker: worker, Lo: spec.Lo, Hi: spec.Hi})
+
+		case errors.Is(err, errSaturated):
+			// Backpressure, not failure: hold the shard, pause this slot for
+			// the worker's advertised Retry-After, then hand the shard back
+			// for whichever slot frees first.
+			st.mu.Lock()
+			st.stats.Backoffs429++
+			st.mu.Unlock()
+			c.emit(Event{Kind: "backoff", Worker: worker, Lo: spec.Lo, Hi: spec.Hi, RetryIn: retryAfter})
+			if c.opt.Sleep(ctx, retryAfter) != nil {
+				return
+			}
+			pool <- idx
+
+		case valid.IsParam(err):
+			// The grid itself is bad; no worker will ever accept it.
+			st.fail(err)
+			return
+
+		default:
+			c.opt.Quarantine.Report(worker, err)
+			st.mu.Lock()
+			st.failures[idx]++
+			tries := st.failures[idx]
+			st.stats.Requeues++
+			st.mu.Unlock()
+			if tries > c.opt.Retries {
+				st.fail(fmt.Errorf("cluster: shard [%d, %d) failed %d times, last on %s: %w", spec.Lo, spec.Hi, tries, worker, err))
+				return
+			}
+			pool <- idx
+			c.emit(Event{Kind: "requeue", Worker: worker, Lo: spec.Lo, Hi: spec.Hi, Err: err})
+			if c.opt.Sleep(ctx, c.opt.Backoff) != nil {
+				return
+			}
+		}
+	}
+}
+
+// errSaturated marks a 429 outcome inside postShard.
+var errSaturated = errors.New("cluster: worker saturated")
+
+// postShard posts one ShardSpec and decodes the worker's Partial. A 429
+// returns errSaturated with the worker's Retry-After; a 4xx other than 429
+// returns a valid.ErrParam-wrapped permanent error; everything else
+// (transport errors, 5xx, undecodable bodies) is a retryable worker
+// failure.
+func (c *Coordinator) postShard(ctx context.Context, worker string, spec ShardSpec) (*Partial, time.Duration, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, 0, valid.Badf("cluster: encoding shard: %v", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+ShardPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, valid.Badf("cluster: building request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opt.Client.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: %s: %w", worker, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var p Partial
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<30)).Decode(&p); err != nil {
+			return nil, 0, fmt.Errorf("cluster: %s: decoding partial: %w", worker, err)
+		}
+		if p.Key != spec.Grid.Key() || p.Lo != spec.Lo || p.Hi != spec.Hi {
+			return nil, 0, fmt.Errorf("cluster: %s: partial for wrong shard (got [%d, %d) key %.12s)", worker, p.Lo, p.Hi, p.Key)
+		}
+		return &p, 0, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		retryIn := c.opt.Backoff
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				retryIn = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, retryIn, errSaturated
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, 0, valid.Badf("cluster: %s rejected shard [%d, %d): %s: %s", worker, spec.Lo, spec.Hi, resp.Status, bytes.TrimSpace(msg))
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, 0, fmt.Errorf("cluster: %s: %s: %s", worker, resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// parseJournalPartial decodes one journal line and binds it to the grid:
+// lines for other grids, torn trailing writes and payload-less records are
+// rejected (the caller counts them as skips).
+func parseJournalPartial(line []byte, g Grid) (*Partial, error) {
+	var p Partial
+	if len(line) == 0 {
+		return nil, valid.Badf("cluster: empty journal line")
+	}
+	if err := json.Unmarshal(line, &p); err != nil {
+		return nil, valid.Badf("cluster: malformed journal line: %v", err)
+	}
+	if p.Key != g.Key() {
+		return nil, valid.Badf("cluster: journal line for another grid")
+	}
+	if err := validateBlockFor(g, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// validateBlockFor checks a partial's block and payload against the grid.
+func validateBlockFor(g Grid, p *Partial) error {
+	if p.Lo < 0 || p.Hi > g.Span() || p.Lo >= p.Hi {
+		return valid.Badf("cluster: partial block [%d, %d) out of [0, %d)", p.Lo, p.Hi, g.Span())
+	}
+	var ok bool
+	switch g.Kind {
+	case KindCurve:
+		ok = p.Curve != nil
+	case KindShared:
+		ok = p.Shared != nil
+	case KindEnsemble:
+		ok = p.Ensemble != nil
+	}
+	if !ok {
+		return valid.Badf("cluster: partial [%d, %d) missing %s payload", p.Lo, p.Hi, g.Kind)
+	}
+	return nil
+}

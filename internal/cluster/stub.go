@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+
+	"mtreescale/internal/serve"
+	"mtreescale/internal/valid"
+)
+
+// ShardHandler computes one shard on behalf of a StubWorker. A
+// valid.ErrParam-wrapped error maps to 400, anything else to 500.
+type ShardHandler func(ctx context.Context, spec ShardSpec) (*Partial, error)
+
+// StubWorker is a minimal in-process shard worker speaking mtsimd's /shard
+// protocol: the coordinator's test double, and — with a calibrated Latency
+// and a replay handler — the load model behind mtctl's committed cluster
+// benchmark, where it stands in for a remote worker's service time without
+// burning CPU.
+type StubWorker struct {
+	srv *http.Server
+	lis net.Listener
+	url string
+}
+
+// StartStubWorker serves POST /shard on a loopback listener. id is echoed
+// in the X-Mtsimd-Worker response header; latency is slept before each
+// shard executes (0 = none); handler nil means ExecuteShard.
+func StartStubWorker(id string, latency time.Duration, handler ShardHandler) (*StubWorker, error) {
+	if handler == nil {
+		handler = ExecuteShard
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+ShardPath, func(w http.ResponseWriter, r *http.Request) {
+		var spec ShardSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			serve.WriteJSONError(w, http.StatusBadRequest, "malformed shard spec: "+err.Error(), 0)
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			serve.WriteJSONError(w, http.StatusBadRequest, err.Error(), 0)
+			return
+		}
+		if latency > 0 {
+			t := time.NewTimer(latency)
+			select {
+			case <-r.Context().Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		p, err := handler(r.Context(), spec)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if valid.IsParam(err) {
+				status = http.StatusBadRequest
+			}
+			serve.WriteJSONError(w, status, err.Error(), 0)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Mtsimd-Worker", id)
+		json.NewEncoder(w).Encode(p)
+	})
+	sw := &StubWorker{
+		srv: &http.Server{Handler: mux},
+		lis: lis,
+		url: "http://" + lis.Addr().String(),
+	}
+	go sw.srv.Serve(lis)
+	return sw, nil
+}
+
+// URL is the worker's base URL, the form New takes.
+func (w *StubWorker) URL() string { return w.url }
+
+// Close stops the worker immediately — in-flight requests are severed, the
+// behavior a coordinator must survive.
+func (w *StubWorker) Close() {
+	w.srv.Close()
+}

@@ -1,15 +1,14 @@
 package experiments
 
 import (
-	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
 
+	"mtreescale/internal/atomicio"
 	"mtreescale/internal/valid"
 )
 
@@ -56,11 +55,11 @@ func ParseCheckpointLine(line []byte) (CheckpointRecord, error) {
 // Checkpointer appends completed experiments to <dir>/checkpoint.jsonl.
 // Append is safe for concurrent use (the scheduler calls OnComplete from
 // worker goroutines; the daemon appends from request handlers) and fsyncs
-// after every record so a crash loses at most the experiment in flight.
+// after every record so a crash loses at most the experiment in flight. It
+// is a thin typed facade over atomicio.Journal — the same substrate the
+// cluster coordinator journals shard partials to.
 type Checkpointer struct {
-	mu  sync.Mutex
-	f   *os.File
-	err error // first write failure; reported once at Close
+	j *atomicio.Journal
 }
 
 // NewCheckpointer opens the journal for appending, truncating any previous
@@ -69,15 +68,11 @@ func NewCheckpointer(dir string, resume bool) (*Checkpointer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
-	if !resume {
-		flags |= os.O_TRUNC
-	}
-	f, err := os.OpenFile(filepath.Join(dir, CheckpointFile), flags, 0o644)
+	j, err := atomicio.OpenJournal(filepath.Join(dir, CheckpointFile), resume)
 	if err != nil {
 		return nil, err
 	}
-	return &Checkpointer{f: f}, nil
+	return &Checkpointer{j: j}, nil
 }
 
 // Append journals one completed experiment under the given profile key.
@@ -85,38 +80,13 @@ func NewCheckpointer(dir string, resume bool) (*Checkpointer, error) {
 // hook has no error channel, and a broken journal must not fail the
 // experiments themselves.
 func (c *Checkpointer) Append(key, id string, res *Result) {
-	rec, err := json.Marshal(CheckpointRecord{Key: key, ID: id, Result: res})
-	if err == nil {
-		rec = append(rec, '\n')
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return
-	}
-	if err == nil {
-		_, err = c.f.Write(rec)
-	}
-	if err == nil {
-		err = c.f.Sync()
-	}
-	if err != nil {
-		c.err = fmt.Errorf("checkpoint: %s: %w", id, err)
-	}
+	c.j.Append(id, CheckpointRecord{Key: key, ID: id, Result: res})
 }
 
 // Close releases the journal and reports the first deferred write failure.
 // Close is idempotent.
 func (c *Checkpointer) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.f != nil {
-		if cerr := c.f.Close(); c.err == nil && cerr != nil {
-			c.err = cerr
-		}
-		c.f = nil
-	}
-	return c.err
+	return c.j.Close()
 }
 
 // LoadCheckpoints reads the journal from dir and returns the completed
@@ -137,30 +107,22 @@ func LoadCheckpoints(dir, key string) (map[string]*Result, error) {
 
 // LoadAllCheckpoints reads the journal from dir and returns every recorded
 // result grouped by profile key — the form the daemon's degraded-mode cache
-// wants, since it serves more than one profile from a single journal.
+// wants, since it serves more than one profile from a single journal. Torn
+// trailing lines (the crash case the journal exists for) are skipped.
 func LoadAllCheckpoints(dir string) (map[string]map[string]*Result, error) {
 	out := map[string]map[string]*Result{}
-	f, err := os.Open(filepath.Join(dir, CheckpointFile))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return out, nil
-		}
-		return nil, err
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
-	for sc.Scan() {
-		rec, err := ParseCheckpointLine(sc.Bytes())
+	_, err := atomicio.ReadJournal(filepath.Join(dir, CheckpointFile), func(line []byte) error {
+		rec, err := ParseCheckpointLine(line)
 		if err != nil {
-			continue // torn trailing write from a crash
+			return err
 		}
 		if out[rec.Key] == nil {
 			out[rec.Key] = map[string]*Result{}
 		}
 		out[rec.Key][rec.ID] = rec.Result
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	})
+	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	return out, nil

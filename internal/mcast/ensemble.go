@@ -44,23 +44,38 @@ func MeasureEnsembleCtx(ctx context.Context, gen func(seed int64) (*graph.Graph,
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	perNet, err := measureEnsembleNets(ctx, gen, 0, nNetworks, sizes, mode, p)
+	if err != nil {
+		return nil, err
+	}
+	return reduceEnsemble(sizes, perNet), nil
+}
+
+// measureEnsembleNets generates and measures the network instances
+// [netLo, netHi) of an ensemble sweep, returning their per-network curves
+// indexed net - netLo. Each network's generation and measurement seeds are
+// derived from its global index, so an instance's curve is identical however
+// the ensemble is split into blocks — the property the cluster layer's
+// topology-ensemble sharding rests on.
+func measureEnsembleNets(ctx context.Context, gen func(seed int64) (*graph.Graph, error), netLo, netHi int, sizes []int, mode Mode, p Protocol) ([][]Point, error) {
+	nNets := netHi - netLo
 	budget := p.Workers
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
 	netWorkers := budget
-	if netWorkers > nNetworks {
-		netWorkers = nNetworks
+	if netWorkers > nNets {
+		netWorkers = nNets
 	}
 	inner := budget / netWorkers
 	if inner < 1 {
 		inner = 1
 	}
-	perNet := make([][]Point, nNetworks)
-	netErrs := make([]error, nNetworks)
-	nets := make(chan int, nNetworks)
-	for net := 0; net < nNetworks; net++ {
-		nets <- net
+	perNet := make([][]Point, nNets)
+	netErrs := make([]error, nNets)
+	nets := make(chan int, nNets)
+	for i := 0; i < nNets; i++ {
+		nets <- i
 	}
 	close(nets)
 	var wg sync.WaitGroup
@@ -68,9 +83,10 @@ func MeasureEnsembleCtx(ctx context.Context, gen func(seed int64) (*graph.Graph,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for net := range nets {
+			for i := range nets {
+				net := netLo + i
 				if err := ctx.Err(); err != nil {
-					netErrs[net] = err
+					netErrs[i] = err
 					return
 				}
 				err := panicsafe.Do(func() error {
@@ -88,11 +104,11 @@ func MeasureEnsembleCtx(ctx context.Context, gen func(seed int64) (*graph.Graph,
 					if err != nil {
 						return fmt.Errorf("mcast: measuring network %d: %w", net, err)
 					}
-					perNet[net] = pts
+					perNet[i] = pts
 					return nil
 				})
 				if err != nil {
-					netErrs[net] = err
+					netErrs[i] = err
 					return
 				}
 			}
@@ -104,12 +120,18 @@ func MeasureEnsembleCtx(ctx context.Context, gen func(seed int64) (*graph.Graph,
 			return nil, err
 		}
 	}
+	return perNet, nil
+}
+
+// reduceEnsemble folds per-network curves into one, weighting each network's
+// point by its sample count, in network order: the deterministic float
+// reduction shared by the full engine and ReduceEnsemblePartials.
+func reduceEnsemble(sizes []int, perNet [][]Point) []Point {
 	acc := make([]Point, len(sizes))
 	for k := range acc {
 		acc[k].Size = sizes[k]
 	}
-	// Weighted reduction in network order: deterministic float result.
-	for net := 0; net < nNetworks; net++ {
+	for net := range perNet {
 		for k, pt := range perNet[net] {
 			w := float64(pt.Samples)
 			acc[k].MeanRatio += pt.MeanRatio * w
@@ -129,7 +151,7 @@ func MeasureEnsembleCtx(ctx context.Context, gen func(seed int64) (*graph.Graph,
 			acc[k].RatioStdErr = sqrtNonNeg(acc[k].RatioStdErr) / n
 		}
 	}
-	return acc, nil
+	return acc
 }
 
 func sqrtNonNeg(x float64) float64 {

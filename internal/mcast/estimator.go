@@ -162,7 +162,7 @@ func MeasureCurveCtx(ctx context.Context, g *graph.Graph, sizes []int, mode Mode
 	defer bt.release()
 	acc := newCurveAccum(p.NSource, len(sizes))
 	err = runSourceWorkers(ctx, p, func(si int) error {
-		return measureSourceIndependent(ctx, g, sources[si], si, sizes, mode, p, bt, acc)
+		return measureSourceIndependent(ctx, g, sources[si], si, si, sizes, mode, p, bt, acc)
 	})
 	if err != nil {
 		return nil, err
@@ -296,9 +296,21 @@ func (a *curveAccum) reduce(sizes []int) []Point {
 // every job runs under panicsafe.Do, so a panicking source job surfaces as
 // an ordinary error from the engine instead of killing the process.
 func runSourceWorkers(ctx context.Context, p Protocol, job func(si int) error) error {
-	workers := p.EffectiveWorkers()
-	jobs := make(chan int, p.NSource)
-	for si := 0; si < p.NSource; si++ {
+	return runWorkersN(ctx, p.EffectiveWorkers(), p.NSource, job)
+}
+
+// runWorkersN is the worker pool behind runSourceWorkers, generalized to an
+// arbitrary job count so the partial (source-block) engines can fan out over
+// just their block. workers is clamped to nJobs.
+func runWorkersN(ctx context.Context, workers, nJobs int, job func(i int) error) error {
+	if workers > nJobs {
+		workers = nJobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int, nJobs)
+	for si := 0; si < nJobs; si++ {
 		jobs <- si
 	}
 	close(jobs)
@@ -386,10 +398,15 @@ func (sc *sourceScratch) growPacked(pd []int64, n int) []int64 {
 // (TreeCounter, Dist reads) only reads. Batch views land in sc.view, which
 // is never handed to BFSInto, so slab aliases cannot leak into later
 // BFS reuse of the pooled scratch.
-func (sc *sourceScratch) prepare(g *graph.Graph, src, si int, p Protocol, bt *batchTrees) (*graph.SPT, error) {
+//
+// si is the source's global protocol index (it keys the per-source RNG
+// stream); lane is its slot in the engine's batch slab. A full sweep has
+// lane == si; a source-block partial sweep resolves only its block, so lane
+// is si - SrcLo.
+func (sc *sourceScratch) prepare(g *graph.Graph, src, si, lane int, p Protocol, bt *batchTrees) (*graph.SPT, error) {
 	spt := &sc.spt
 	if bt != nil {
-		bt.view(si, &sc.view)
+		bt.view(lane, &sc.view)
 		spt = &sc.view
 	} else if p.SPTCache {
 		cached, err := graph.SharedSPTs.Get(g, src)
@@ -415,10 +432,13 @@ func (sc *sourceScratch) prepare(g *graph.Graph, src, si int, p Protocol, bt *ba
 // at every grid point so cancellation interrupts even a single huge source.
 // The tree is packed once per source and every sample measured through the
 // fused packed walk (exact-integer equivalent of counter.Measure).
-func measureSourceIndependent(ctx context.Context, g *graph.Graph, src, si int, sizes []int, mode Mode, p Protocol, bt *batchTrees, acc *curveAccum) error {
+//
+// si is the global source index (RNG identity); lane is the batch-slab and
+// accumulator slot (lane == si for a full sweep, si - SrcLo for a partial).
+func measureSourceIndependent(ctx context.Context, g *graph.Graph, src, si, lane int, sizes []int, mode Mode, p Protocol, bt *batchTrees, acc *curveAccum) error {
 	sc := getScratch(g.N())
 	defer scratchPool.Put(sc)
-	spt, err := sc.prepare(g, src, si, p, bt)
+	spt, err := sc.prepare(g, src, si, lane, p, bt)
 	if err != nil {
 		return err
 	}
@@ -443,7 +463,7 @@ func measureSourceIndependent(ctx context.Context, g *graph.Graph, src, si int, 
 			if meas.Receivers == 0 {
 				continue // source in a tiny component; skip sample
 			}
-			acc.add(si, k, meas.Ratio(), float64(meas.Links), meas.AvgUnicast())
+			acc.add(lane, k, meas.Ratio(), float64(meas.Links), meas.AvgUnicast())
 		}
 	}
 	return nil

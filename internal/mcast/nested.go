@@ -53,7 +53,7 @@ func MeasureCurveNestedCtx(ctx context.Context, g *graph.Graph, sizes []int, mod
 	defer bt.release()
 	acc := newCurveAccum(p.NSource, len(sizes))
 	err = runSourceWorkers(ctx, p, func(si int) error {
-		return measureSourceNested(ctx, g, sources[si], si, cuts, maxSize, mode, p, bt, acc)
+		return measureSourceNested(ctx, g, sources[si], si, si, cuts, maxSize, mode, p, bt, acc)
 	})
 	if err != nil {
 		return nil, err
@@ -87,10 +87,10 @@ func sizeCuts(sizes []int) []sizeCut {
 // counter's own, and nextCut keeps the grid read-off to one scalar compare
 // per receiver. The integers produced are exactly those of the unfused
 // loop, so the engine's results are unchanged.
-func measureSourceNested(ctx context.Context, g *graph.Graph, src, si int, cuts []sizeCut, maxSize int, mode Mode, p Protocol, bt *batchTrees, acc *curveAccum) error {
+func measureSourceNested(ctx context.Context, g *graph.Graph, src, si, lane int, cuts []sizeCut, maxSize int, mode Mode, p Protocol, bt *batchTrees, acc *curveAccum) error {
 	sc := getScratch(g.N())
 	defer scratchPool.Put(sc)
-	spt, err := sc.prepare(g, src, si, p, bt)
+	spt, err := sc.prepare(g, src, si, lane, p, bt)
 	if err != nil {
 		return err
 	}
@@ -173,7 +173,7 @@ func measureSourceNested(ctx context.Context, g *graph.Graph, src, si int, cuts 
 			for ; ci < len(cuts) && cuts[ci].size == cut; ci++ {
 				if reachable > 0 {
 					m := Measurement{Links: links, UnicastHops: hops, Receivers: reachable}
-					acc.add(si, cuts[ci].k, m.Ratio(), float64(m.Links), m.AvgUnicast())
+					acc.add(lane, cuts[ci].k, m.Ratio(), float64(m.Links), m.AvgUnicast())
 				}
 			}
 		}

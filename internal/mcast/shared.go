@@ -110,44 +110,12 @@ func MeasureSharedCurve(g *graph.Graph, sizes []int, strategy CoreStrategy, p Pr
 // error promptly after cancellation. A nil ctx means Background.
 func MeasureSharedCurveCtx(ctx context.Context, g *graph.Graph, sizes []int, strategy CoreStrategy, p Protocol) ([]SharedPoint, error) {
 	ctx = orBackground(ctx)
-	if err := p.Validate(); err != nil {
+	if err := validateSharedArgs(g, sizes, p); err != nil {
 		return nil, err
 	}
-	if g.N() < 2 {
-		return nil, fmt.Errorf("mcast: graph too small (N=%d)", g.N())
-	}
-	maxPop := g.N() - 1
-	for _, s := range sizes {
-		if s <= 0 || s > maxPop {
-			return nil, fmt.Errorf("mcast: group size %d out of [1, %d]", s, maxPop)
-		}
-	}
-	var center int
-	if strategy == CoreCenter {
-		var err error
-		center, err = approxCenter(g, p.Seed, p.BatchBFS)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Pre-draw the per-source (source, core) pairs. The two streams are
-	// independent children of the protocol seed, so draining each in source
-	// order reproduces the sequences the sequential loop consumed.
-	srcRand := rng.NewChild(p.Seed, -1)
-	coreRand := rng.NewChild(p.Seed, -2)
-	sources := make([]int, p.NSource)
-	cores := make([]int, p.NSource)
-	for si := range sources {
-		sources[si] = srcRand.Intn(g.N())
-		switch strategy {
-		case CoreRandom:
-			cores[si] = coreRand.Intn(g.N())
-		case CoreSource:
-			cores[si] = sources[si]
-		default:
-			cores[si] = center
-		}
+	sources, cores, err := drawSharedPairs(g, strategy, p)
+	if err != nil {
+		return nil, err
 	}
 
 	// The batch path resolves source and core trees in one slab: lane si is
@@ -162,12 +130,62 @@ func MeasureSharedCurveCtx(ctx context.Context, g *graph.Graph, sizes []int, str
 	defer bt.release()
 	acc := newSharedAccum(p.NSource, len(sizes))
 	err = runSourceWorkers(ctx, p, func(si int) error {
-		return measureSourceShared(ctx, g, sources[si], cores[si], si, sizes, p, bt, acc)
+		return measureSourceShared(ctx, g, sources[si], cores[si], si, si, p.NSource, sizes, p, bt, acc)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return acc.reduce(sizes), nil
+}
+
+// validateSharedArgs is the argument check shared by the full and partial
+// shared-curve engines.
+func validateSharedArgs(g *graph.Graph, sizes []int, p Protocol) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if g.N() < 2 {
+		return fmt.Errorf("mcast: graph too small (N=%d)", g.N())
+	}
+	maxPop := g.N() - 1
+	for _, s := range sizes {
+		if s <= 0 || s > maxPop {
+			return fmt.Errorf("mcast: group size %d out of [1, %d]", s, maxPop)
+		}
+	}
+	return nil
+}
+
+// drawSharedPairs pre-draws the full per-source (source, core) sequence for
+// the protocol. The two streams are independent children of the protocol
+// seed, so draining each in source order reproduces the sequences the
+// sequential loop consumed; a partial engine draws the full sequence and
+// slices its block, which keeps every source's identity independent of how
+// the sweep is sharded.
+func drawSharedPairs(g *graph.Graph, strategy CoreStrategy, p Protocol) (sources, cores []int, err error) {
+	var center int
+	if strategy == CoreCenter {
+		center, err = approxCenter(g, p.Seed, p.BatchBFS)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	srcRand := rng.NewChild(p.Seed, -1)
+	coreRand := rng.NewChild(p.Seed, -2)
+	sources = make([]int, p.NSource)
+	cores = make([]int, p.NSource)
+	for si := range sources {
+		sources[si] = srcRand.Intn(g.N())
+		switch strategy {
+		case CoreRandom:
+			cores[si] = coreRand.Intn(g.N())
+		case CoreSource:
+			cores[si] = sources[si]
+		default:
+			cores[si] = center
+		}
+	}
+	return sources, cores, nil
 }
 
 // sharedAccum holds per-(source, size) partial sums of the shared-curve
@@ -227,13 +245,18 @@ func (a *sharedAccum) reduce(sizes []int) []SharedPoint {
 // SPT cache when enabled, else per-source BFS), packed, then every
 // (size, rep) sample measured against each through the fused packed walks.
 // ctx is polled at every grid point.
-func measureSourceShared(ctx context.Context, g *graph.Graph, source, core, si int, sizes []int, p Protocol, bt *batchTrees, acc *sharedAccum) error {
+//
+// si is the global source index (RNG identity); lane is the slot in the
+// batch slab and the accumulator (lane == si for a full sweep); laneCount is
+// the number of source lanes in the batch, after which the core lanes start
+// (p.NSource for a full sweep, the block size for a partial one).
+func measureSourceShared(ctx context.Context, g *graph.Graph, source, core, si, lane, laneCount int, sizes []int, p Protocol, bt *batchTrees, acc *sharedAccum) error {
 	sc := getScratch(g.N())
 	defer scratchPool.Put(sc)
 	srcSPT, coreSPT := &sc.spt, &sc.spt2
 	if bt != nil {
-		bt.view(si, &sc.view)
-		bt.view(p.NSource+si, &sc.view2)
+		bt.view(lane, &sc.view)
+		bt.view(laneCount+lane, &sc.view2)
 		srcSPT, coreSPT = &sc.view, &sc.view2
 	} else if p.SPTCache {
 		var err error
@@ -273,7 +296,7 @@ func measureSourceShared(ctx context.Context, g *graph.Graph, source, core, si i
 			if src == 0 {
 				continue
 			}
-			acc.add(si, k, float64(src), float64(shr), float64(shr)/float64(src))
+			acc.add(lane, k, float64(src), float64(shr), float64(shr)/float64(src))
 		}
 	}
 	return nil

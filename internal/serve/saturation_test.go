@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// shedHandler is the canonical serving-boundary composition of Queue and
+// WriteJSONError: acquire or answer 429 with a Retry-After hint. The
+// daemon's /curve and /shard handlers and mtctl's coordinator both build on
+// exactly this contract, so the test pins it at the HTTP layer.
+func shedHandler(q *Queue, retryAfter time.Duration, block <-chan struct{}) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, err := q.Acquire(r.Context())
+		if err != nil {
+			WriteJSONError(w, http.StatusTooManyRequests, "saturated: "+err.Error(), retryAfter)
+			return
+		}
+		defer release()
+		if block != nil {
+			<-block
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+// TestSaturated429BodyAndRetryAfter saturates a 1-slot, no-waiting-room
+// queue and checks every shed response: status 429, Retry-After rounded up
+// to whole seconds, Content-Type application/json, and a decodable
+// {"error": ...} body.
+func TestSaturated429BodyAndRetryAfter(t *testing.T) {
+	q := NewQueue(1, 0)
+	block := make(chan struct{})
+	ts := httptest.NewServer(shedHandler(q, 1500*time.Millisecond, block))
+	defer ts.Close()
+
+	// Occupy the single slot.
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		inflight <- err
+	}()
+	waitFor(t, func() bool { return q.Stats().Active == 1 })
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("shed request %d: status %d, want 429", i, resp.StatusCode)
+		}
+		// 1.5s rounds up to 2 whole seconds — never down, never zero.
+		if ra := resp.Header.Get("Retry-After"); ra != "2" {
+			t.Fatalf("Retry-After = %q, want \"2\"", ra)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type = %q", ct)
+		}
+		var msg map[string]string
+		if err := json.Unmarshal(body, &msg); err != nil {
+			t.Fatalf("429 body %q not JSON: %v", body, err)
+		}
+		if msg["error"] == "" {
+			t.Fatalf("429 body %q missing error field", body)
+		}
+	}
+	if shed := q.Stats().Shed; shed != 3 {
+		t.Fatalf("Shed = %d, want 3", shed)
+	}
+
+	close(block)
+	if err := <-inflight; err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.Get(ts.URL); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-release status %d, want 200", resp.StatusCode)
+		}
+	}
+}
+
+// TestSaturationSubSecondRetryAfterFloor pins the other rounding edge: any
+// positive hint under a second still advertises at least 1.
+func TestSaturationSubSecondRetryAfterFloor(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSONError(rec, http.StatusTooManyRequests, "saturated", 10*time.Millisecond)
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want floor \"1\"", ra)
+	}
+}
+
+// TestWaitingRoomShedsOnlyOverflow fills one active slot and a 2-deep
+// waiting room with concurrent requests, then confirms exactly the overflow
+// beyond active+waiting is shed with 429 and the rest complete with 200.
+func TestWaitingRoomShedsOnlyOverflow(t *testing.T) {
+	q := NewQueue(1, 2)
+	block := make(chan struct{})
+	ts := httptest.NewServer(shedHandler(q, time.Second, block))
+	defer ts.Close()
+
+	const total = 6 // 1 active + 2 waiting + 3 shed
+	var wg sync.WaitGroup
+	codes := make(chan int, total)
+	launch := func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			codes <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes <- resp.StatusCode
+	}
+
+	wg.Add(1)
+	go launch()
+	waitFor(t, func() bool { return q.Stats().Active == 1 })
+	wg.Add(2)
+	go launch()
+	go launch()
+	waitFor(t, func() bool { return q.Stats().Waiting == 2 })
+	wg.Add(3)
+	for i := 0; i < 3; i++ {
+		go launch()
+	}
+	waitFor(t, func() bool { return q.Stats().Shed == 3 })
+
+	close(block)
+	wg.Wait()
+	close(codes)
+	got := map[int]int{}
+	for c := range codes {
+		got[c]++
+	}
+	if got[http.StatusOK] != 3 || got[http.StatusTooManyRequests] != 3 {
+		t.Fatalf("status histogram = %v, want 3x200 + 3x429", got)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes; the admission
+// counters are the only cross-goroutine signal the HTTP tests have.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end cluster determinism against real binaries:
+# build mtsimd and mtctl, start two daemons, record the single-process golden
+# (mtctl -local), then run the same grid through the cluster while killing
+# one worker as soon as it has completed a shard. The merged output must be
+# byte-identical to the golden. The deterministic in-process variant of this
+# scenario lives in cmd/mtsimd's TestClusterSurvivesDaemonKillMidRun; this
+# script proves the same property across real processes and real sockets.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT_A=${PORT_A:-18081}
+PORT_B=${PORT_B:-18082}
+# ti5000 (5000-node transit-stub) at this protocol width keeps each shard
+# around ~100ms of real compute, so the kill below reliably lands while
+# shards are still queued.
+GRID=(-kind ensemble -topo ti5000 -nets 8 -nsource 600 -nrcvr 40 -sizes 1,3,10,30,100 -seed 5)
+
+bin=$(mktemp -d) out=$(mktemp -d)
+cleanup() {
+    [[ -n "${A_PID:-}" ]] && kill "$A_PID" 2>/dev/null || true
+    [[ -n "${B_PID:-}" ]] && kill "$B_PID" 2>/dev/null || true
+    rm -rf "$bin" "$out"
+}
+trap cleanup EXIT
+
+go build -o "$bin/mtsimd" ./cmd/mtsimd
+go build -o "$bin/mtctl" ./cmd/mtctl
+
+"$bin/mtsimd" -addr "127.0.0.1:$PORT_A" -worker-id smoke-a >"$out/a.log" 2>&1 &
+A_PID=$!
+"$bin/mtsimd" -addr "127.0.0.1:$PORT_B" -worker-id smoke-b >"$out/b.log" 2>&1 &
+B_PID=$!
+
+wait_ready() {
+    for _ in $(seq 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then exec 3>&- 3<&-; return 0; fi
+        sleep 0.1
+    done
+    echo "cluster-smoke: worker on port $1 never became reachable" >&2
+    return 1
+}
+wait_ready "$PORT_A"
+wait_ready "$PORT_B"
+
+echo "cluster-smoke: recording single-process golden"
+"$bin/mtctl" -local "${GRID[@]}" -out "$out/local" 2>/dev/null
+
+echo "cluster-smoke: running 8 shards over two workers, killing smoke-b after its first shard"
+"$bin/mtctl" \
+    -workers "http://127.0.0.1:$PORT_A,http://127.0.0.1:$PORT_B" \
+    "${GRID[@]}" -shards 8 -retries 8 -backoff 100ms \
+    -out "$out/cluster" 2>"$out/progress" &
+CTL_PID=$!
+
+# Kill worker B the moment the progress log attributes a completed shard to
+# it — mid-run whenever shards remain. If the run drains before B completes
+# anything, the identity check below still gates the result.
+while kill -0 "$CTL_PID" 2>/dev/null; do
+    if grep -q "complete on http://127.0.0.1:$PORT_B" "$out/progress" 2>/dev/null; then
+        echo "cluster-smoke: killing smoke-b (pid $B_PID)"
+        kill -9 "$B_PID"
+        break
+    fi
+    sleep 0.05
+done
+
+if ! wait "$CTL_PID"; then
+    echo "cluster-smoke: mtctl failed; progress follows" >&2
+    cat "$out/progress" >&2
+    exit 1
+fi
+sed 's/^/cluster-smoke:   /' "$out/progress"
+
+cmp "$out/local/merged.json" "$out/cluster/merged.json"
+echo "cluster-smoke: merged output byte-identical to single-process golden"
