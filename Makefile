@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare bench-cluster bench-large large-smoke cluster-smoke fuzz fuzz-smoke results results-paper report clean
+.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare bench-cluster bench-large large-smoke cluster-smoke chaos-smoke fuzz fuzz-smoke results results-paper report clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ test:
 race:
 	$(GO) test -race ./internal/graph/... ./internal/topology/... \
 		./internal/mcast/... ./internal/experiments/... ./internal/serve/... \
-		./internal/cluster/... ./internal/atomicio/... \
+		./internal/cluster/... ./internal/atomicio/... ./internal/chaos/... \
 		./cmd/mtsim/... ./cmd/mtsimd/... ./cmd/mtctl/...
 
 # The robustness surface under contention: cancellation, panic isolation,
@@ -37,10 +37,10 @@ race:
 # hangs CI instead of passing silently.
 race-robust:
 	$(GO) test -race -timeout 5m \
-		-run 'Cancel|Panic|Recover|Resume|Checkpoint|HeapGuard|MaxHeap|Timeout|Register|Commit|WriteFile|Quarantine|Shed|Drain|Saturat|Degraded|SlowLoris|Restart|Eviction|Churn|Backs|Survives|RetryBudget' \
+		-run 'Cancel|Panic|Recover|Resume|Checkpoint|HeapGuard|MaxHeap|Timeout|Register|Commit|WriteFile|Quarantine|Shed|Drain|Saturat|Degraded|SlowLoris|Restart|Eviction|Churn|Backs|Survives|RetryBudget|Chaos|Heartbeat|Specul|Integrity|Torn|Tail|Auth' \
 		./internal/mcast/... ./internal/experiments/... ./internal/panicsafe/... \
 		./internal/atomicio/... ./internal/serve/... ./internal/graph/... \
-		./internal/cluster/... \
+		./internal/cluster/... ./internal/chaos/... \
 		./cmd/mtsim/... ./cmd/mtsimd/... ./cmd/mtctl/...
 
 race-all:
@@ -115,6 +115,21 @@ cluster-smoke:
 		-run 'TestClusterSurvivesDaemonKillMidRun|TestCoordinator|TestShardEndpoint' \
 		./internal/cluster/... ./cmd/mtsimd/... ./cmd/mtctl/...
 	./scripts/cluster_smoke.sh
+
+# The chaos soak: the fault-injection suite (failpoint schedules, integrity
+# checksums, heartbeat eviction, speculation, journal tail repair, shard
+# auth) under the race detector, the disabled-failpoint overhead benchmark
+# (one atomic load — see internal/chaos/bench_test.go), then the end-to-end
+# script: real daemons under chaos schedules with a worker kill, a torn
+# journal resume, and a seed-determinism replay, every phase byte-compared
+# against the single-process golden.
+chaos-smoke:
+	$(GO) test -race -timeout 5m \
+		-run 'Chaos|Heartbeat|Specul|Integrity|Torn|Tail|Auth|SealVerify|JournalResume' \
+		./internal/chaos/... ./internal/cluster/... ./internal/atomicio/... \
+		./internal/serve/... ./cmd/mtsimd/...
+	$(GO) test -run '^$$' -bench 'BenchmarkChaosDisabled$$' -benchmem -count 1 ./internal/chaos/
+	./scripts/chaos_smoke.sh
 
 # Short fuzzing passes over the parsers.
 fuzz:

@@ -10,6 +10,7 @@ import (
 	"mtreescale/internal/analytic"
 	"mtreescale/internal/atomicio"
 	"mtreescale/internal/buildinfo"
+	"mtreescale/internal/chaos"
 	"mtreescale/internal/cluster"
 	"mtreescale/internal/core"
 	"mtreescale/internal/experiments"
@@ -712,6 +713,29 @@ type ClusterShardHandler = cluster.ShardHandler
 func StartClusterStubWorker(id string, latency time.Duration, handler ClusterShardHandler) (*ClusterStubWorker, error) {
 	return cluster.StartStubWorker(id, latency, handler)
 }
+
+// ChaosPlan is a parsed deterministic fault-injection schedule: named
+// failpoint sites, each with rules (error, panic, latency, short write, bit
+// flip, injected status, response truncation) driven by per-site RNG streams
+// derived from one seed — the same seed replays the identical fault
+// sequence. See internal/chaos for the spec grammar.
+type ChaosPlan = chaos.Plan
+
+// ErrChaosInjected is the sentinel wrapped by every chaos-injected error.
+var ErrChaosInjected = chaos.ErrInjected
+
+// ParseChaosPlan parses a failpoint spec like
+// "journal.write=short@0.2;serve.handler=panic#1" with the given seed.
+func ParseChaosPlan(spec string, seed int64) (*ChaosPlan, error) {
+	return chaos.Parse(spec, seed)
+}
+
+// EnableChaos installs the plan process-wide; nil or a plan with no rules
+// leaves every failpoint on its single-atomic-load fast path.
+func EnableChaos(p *ChaosPlan) { chaos.Enable(p) }
+
+// DisableChaos removes any installed chaos plan.
+func DisableChaos() { chaos.Disable() }
 
 // ExperimentInfo returns the title and description of an experiment.
 func ExperimentInfo(id string) (title, description string, err error) {

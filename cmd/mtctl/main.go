@@ -25,6 +25,20 @@
 //     <out>/checkpoint.jsonl; -resume replays journal entries whose grid
 //     key and shard block match the current plan, so a restarted run (or
 //     one that lost a worker mid-flight) recomputes only what is missing.
+//     Journal lines that carry this grid's key but fail validation (stale
+//     shard bounds from an older plan, a damaged payload, a checksum
+//     mismatch) are rejected, reported, and recomputed.
+//   - Every partial carries an FNV-1a checksum sealed by the worker and
+//     verified on receipt, again on journal replay, and once more at merge:
+//     a corrupted payload is a retryable worker failure, never a merged lie.
+//   - -heartbeat probes each worker's GET /healthz; after -heartbeat-fails
+//     consecutive failures the worker is evicted (no new shards) until a
+//     probe succeeds again.
+//   - -speculate N dispatches a backup copy of any shard in flight longer
+//     than N times the rolling mean shard latency (floor -spec-min); the
+//     first valid result wins, the loser is discarded.
+//   - -token authenticates POST /shard and heartbeat probes against workers
+//     started with mtsimd -shard-token.
 //
 // -bench measures the coordinator's fan-out overlap against calibrated-
 // latency in-process stub workers (1 worker vs 2 over the same grid) and
@@ -89,6 +103,14 @@ func runCtl(ctx context.Context, args []string, outw, errw io.Writer) error {
 		inflight = fs.Int("inflight", 1, "concurrent shards per worker (bounded fan-out)")
 		retries  = fs.Int("retries", 3, "worker-failure budget per shard (429s are backpressure and cost nothing)")
 		backoff  = fs.Duration("backoff", 200*time.Millisecond, "requeue pause after a worker failure; also the 429 fallback when Retry-After is absent")
+		token    = fs.String("token", "", "bearer token sent with every POST /shard and heartbeat probe (matches mtsimd -shard-token)")
+
+		heartbeat = fs.Duration("heartbeat", 5*time.Second, "worker liveness probe interval; evicted workers stop receiving shards until a probe succeeds (0 disables)")
+		hbFails   = fs.Int("heartbeat-fails", 3, "consecutive heartbeat failures before a worker is evicted")
+		speculate = fs.Float64("speculate", 0, "straggler threshold as a multiple of the rolling mean shard latency; past it a backup copy is dispatched (0 disables)")
+		specMin   = fs.Duration("spec-min", time.Second, "floor on the speculation deadline, so short shards are never speculated on noise")
+		chaosSpec = fs.String("chaos", "", "coordinator-side fault-injection schedule, e.g. 'journal.write=short@0.2;cluster.post=error#1' (testing only; see internal/chaos)")
+		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the -chaos schedule; the same seed reproduces the identical fault sequence")
 
 		outDir = fs.String("out", "", "write merged.json and the checkpoint.jsonl shard journal into this directory")
 		resume = fs.Bool("resume", false, "replay <out>/checkpoint.jsonl and recompute only missing shards")
@@ -116,6 +138,17 @@ func runCtl(ctx context.Context, args []string, outw, errw io.Writer) error {
 		return err
 	}
 
+	if *chaosSpec != "" {
+		plan, err := mtreescale.ParseChaosPlan(*chaosSpec, *chaosSeed)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		plan.SetLogf(func(format string, args ...any) { fmt.Fprintf(errw, format+"\n", args...) })
+		mtreescale.EnableChaos(plan)
+		defer mtreescale.DisableChaos()
+		fmt.Fprintf(errw, "mtctl: CHAOS ENABLED seed=%d spec=%q\n", *chaosSeed, *chaosSpec)
+	}
+
 	if *bench != "" {
 		return runBench(ctx, grid, *bench, *benchLatency, *benchShards, *inflight, outw, errw)
 	}
@@ -137,10 +170,15 @@ func runCtl(ctx context.Context, args []string, outw, errw io.Writer) error {
 		label = "ClusterRun/" + string(grid.Kind)
 		urls := splitList(*workers)
 		opt := mtreescale.ClusterOptions{
-			Inflight: *inflight,
-			Retries:  *retries,
-			Backoff:  *backoff,
-			OnEvent:  eventPrinter(errw),
+			Inflight:       *inflight,
+			Retries:        *retries,
+			Backoff:        *backoff,
+			Token:          *token,
+			Heartbeat:      *heartbeat,
+			HeartbeatFails: *hbFails,
+			SpecFactor:     *speculate,
+			SpecMin:        *specMin,
+			OnEvent:        eventPrinter(errw),
 		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -170,6 +208,10 @@ func runCtl(ctx context.Context, args []string, outw, errw io.Writer) error {
 		fmt.Fprintf(errw, "mtctl: %d shards (%d resumed) in %s; %d attempts, %d backoffs, %d requeues\n",
 			stats.Planned, stats.Resumed, elapsed.Round(time.Millisecond),
 			stats.Attempts, stats.Backoffs429, stats.Requeues)
+		if stats.Evictions+stats.Readmissions+stats.Speculations+stats.JournalSkipped > 0 {
+			fmt.Fprintf(errw, "mtctl: %d evictions, %d readmissions, %d speculations, %d journal lines skipped\n",
+				stats.Evictions, stats.Readmissions, stats.Speculations, stats.JournalSkipped)
+		}
 		for _, w := range sortedKeys(stats.PerWorker) {
 			fmt.Fprintf(errw, "mtctl:   %s: %d shards\n", w, stats.PerWorker[w])
 		}
@@ -287,6 +329,15 @@ func eventPrinter(errw io.Writer) func(mtreescale.ClusterEvent) {
 				ev.Lo, ev.Hi, ev.Worker, ev.Err)
 		case "quarantine":
 			fmt.Fprintf(errw, "mtctl: %s quarantined for %s\n", ev.Worker, ev.RetryIn)
+		case "evict":
+			fmt.Fprintf(errw, "mtctl: %s evicted: %v\n", ev.Worker, ev.Err)
+		case "readmit":
+			fmt.Fprintf(errw, "mtctl: %s readmitted after a successful probe\n", ev.Worker)
+		case "speculate":
+			fmt.Fprintf(errw, "mtctl: shard [%d,%d) straggling on %s; dispatching a backup copy\n",
+				ev.Lo, ev.Hi, ev.Worker)
+		case "journal-skip":
+			fmt.Fprintf(errw, "mtctl: journal line rejected (shard will be recomputed): %v\n", ev.Err)
 		}
 	}
 }

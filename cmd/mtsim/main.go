@@ -84,6 +84,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		timeout    = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
 		maxHeap    = fs.String("maxheap", "", "soft per-experiment heap limit, e.g. 512m or 4g (empty = no limit); an experiment exceeding it is aborted, its siblings continue")
 		resume     = fs.Bool("resume", false, "with -out: skip experiments already journaled in <out>/checkpoint.jsonl for this profile")
+		chaosSpec  = fs.String("chaos", "", "fault-injection schedule, e.g. 'journal.write=short@0.2;atomicio.commit=error#1' (testing only; see internal/chaos)")
+		chaosSeed  = fs.Int64("chaos-seed", 1, "seed for the -chaos schedule; the same seed reproduces the identical fault sequence")
 		version    = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +94,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *version {
 		fmt.Fprintln(out, "mtsim", mtreescale.VersionString())
 		return nil
+	}
+	if *chaosSpec != "" {
+		plan, err := mtreescale.ParseChaosPlan(*chaosSpec, *chaosSeed)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		plan.SetLogf(func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) })
+		mtreescale.EnableChaos(plan)
+		defer mtreescale.DisableChaos()
+		fmt.Fprintf(os.Stderr, "mtsim: CHAOS ENABLED seed=%d spec=%q\n", *chaosSeed, *chaosSpec)
 	}
 	if *list {
 		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)

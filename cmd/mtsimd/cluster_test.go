@@ -208,3 +208,54 @@ func TestClusterSurvivesDaemonKillMidRun(t *testing.T) {
 		t.Fatalf("merged result after worker kill differs:\n%s\n----\n%s", gotJSON, wantJSON)
 	}
 }
+
+// TestShardAuthToken pins the worker-side auth contract: with -shard-token
+// set, POST /shard answers 401 (with a WWW-Authenticate challenge) to
+// missing or wrong credentials, 200 to the right ones — and /healthz stays
+// open so an auth-fronted worker is never misread as dead by heartbeats.
+func TestShardAuthToken(t *testing.T) {
+	cfg := testConfig()
+	cfg.shardToken = "s3cret"
+	_, ts := newTestServer(t, cfg)
+
+	g := clusterGrid()
+	body, err := json.Marshal(mtreescale.ClusterShardSpec{Grid: g, Lo: 0, Hi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(auth string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+mtreescale.ClusterShardPath, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	for _, auth := range []string{"", "Bearer wrong", "Basic s3cret"} {
+		resp := post(auth)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("auth %q: status %d, want 401", auth, resp.StatusCode)
+		}
+		if resp.Header.Get("WWW-Authenticate") == "" {
+			t.Fatalf("auth %q: missing WWW-Authenticate challenge", auth)
+		}
+	}
+	if resp := post("Bearer s3cret"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("correct token: status %d, want 200", resp.StatusCode)
+	}
+
+	hr, _ := get(t, ts.URL+"/healthz")
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz behind shard auth: status %d, want 200 (open)", hr.StatusCode)
+	}
+}

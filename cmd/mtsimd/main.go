@@ -84,6 +84,9 @@ func runDaemon(ctx context.Context, args []string, logw io.Writer) error {
 	fs.BoolVar(&cfg.compress, "compress", cfg.compress, "hold topologies in the compressed CSR layout (byte-identical results; ~half the adjacency bytes)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on a separate listener at this address (e.g. localhost:6060); empty disables")
 	maxHeap := fs.String("maxheap", "", "per-experiment soft heap cap, e.g. 512m (empty = unlimited)")
+	fs.StringVar(&cfg.shardToken, "shard-token", "", "require this bearer token on POST /shard (empty = open); coordinators pass it via mtctl -token")
+	chaosSpec := fs.String("chaos", "", "fault-injection schedule, e.g. 'serve.handler=error@0.1;shard.payload=bitflip#1' (testing only; see internal/chaos)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the -chaos schedule; the same seed reproduces the identical fault sequence")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +101,16 @@ func runDaemon(ctx context.Context, args []string, logw io.Writer) error {
 	cfg.maxHeap = hb
 
 	logf := func(format string, args ...any) { fmt.Fprintf(logw, format+"\n", args...) }
+	if *chaosSpec != "" {
+		plan, err := mtreescale.ParseChaosPlan(*chaosSpec, *chaosSeed)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		plan.SetLogf(logf)
+		mtreescale.EnableChaos(plan)
+		defer mtreescale.DisableChaos()
+		logf("mtsimd: CHAOS ENABLED seed=%d spec=%q", *chaosSeed, *chaosSpec)
+	}
 	s, err := newServer(cfg, logf)
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	mtreescale "mtreescale"
+	"mtreescale/internal/chaos"
 	"mtreescale/internal/serve"
 )
 
@@ -50,6 +52,12 @@ type config struct {
 	quarMax  time.Duration
 
 	readHeaderTimeout time.Duration
+
+	// shardToken, when set, gates POST /shard behind "Authorization:
+	// Bearer <token>" (constant-time compare). Health and curve endpoints
+	// stay open: liveness must be probeable, and /curve is the interactive
+	// read path. Coordinators pass the token via mtctl -token.
+	shardToken string
 }
 
 func defaultConfig() config {
@@ -179,15 +187,19 @@ func (s *server) close() error {
 
 // handler assembles the route table. Every route sits under the panic
 // Recoverer and the worker-identity header; only /curve and /shard pay the
-// admission and deadline machinery, so the health endpoints stay responsive
-// however saturated the pool is.
+// admission and deadline machinery — and the chaos failpoint middleware, so
+// an injected fault schedule never takes down the health endpoints a
+// coordinator's eviction logic depends on.
 func (s *server) handler() http.Handler {
+	faulty := func(h http.HandlerFunc) http.Handler {
+		return serve.WithRequestDeadline(s.cfg.deadline, s.cfg.deadlineCeiling, serve.ChaosFaults(h))
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
-	mux.Handle("GET /curve", serve.WithRequestDeadline(s.cfg.deadline, s.cfg.deadlineCeiling, http.HandlerFunc(s.handleCurve)))
-	mux.Handle("POST "+mtreescale.ClusterShardPath, serve.WithRequestDeadline(s.cfg.deadline, s.cfg.deadlineCeiling, http.HandlerFunc(s.handleShard)))
+	mux.Handle("GET /curve", faulty(s.handleCurve))
+	mux.Handle("POST "+mtreescale.ClusterShardPath, faulty(s.handleShard))
 	return serve.Recoverer(s.onIncident, s.identify(mux))
 }
 
@@ -339,6 +351,19 @@ func (s *server) handleCurve(w http.ResponseWriter, r *http.Request) {
 // same quarantine registry, keyed per shard block so a poison shard is
 // refused with backoff while its siblings keep computing.
 func (s *server) handleShard(w http.ResponseWriter, r *http.Request) {
+	// The auth gate comes first: an unauthenticated coordinator learns
+	// nothing about the worker's load or quarantine state, and a 401 is a
+	// permanent (4xx) verdict on its side — misconfiguration must fail fast,
+	// not burn the shard's retry budget.
+	if s.cfg.shardToken != "" {
+		want := "Bearer " + s.cfg.shardToken
+		got := r.Header.Get("Authorization")
+		if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="mtsimd"`)
+			serve.WriteJSONError(w, http.StatusUnauthorized, "missing or invalid bearer token", 0)
+			return
+		}
+	}
 	var spec mtreescale.ClusterShardSpec
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
 		serve.WriteJSONError(w, http.StatusBadRequest, "malformed shard spec: "+err.Error(), 0)
@@ -394,7 +419,22 @@ func (s *server) handleShard(w http.ResponseWriter, r *http.Request) {
 		s.writeComputeError(w, r, qkey, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, p)
+	body, err := json.Marshal(p)
+	if err != nil {
+		serve.WriteJSONError(w, http.StatusInternalServerError, "encoding partial failed", 0)
+		return
+	}
+	body = append(body, '\n')
+	// Failpoint "shard.payload": corrupt or tear the partial on the wire.
+	// The coordinator's seal verification must catch it and requeue.
+	body, err = chaos.Write("shard.payload", body)
+	if err != nil {
+		serve.WriteJSONError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 // writeComputeError maps a scheduler failure onto the HTTP boundary. The

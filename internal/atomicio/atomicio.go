@@ -12,6 +12,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"mtreescale/internal/chaos"
 )
 
 // WriteFile atomically replaces path with data: temp file in the same
@@ -63,12 +65,21 @@ func (a *File) Write(p []byte) (int, error) {
 
 // Commit fsyncs the temporary file, renames it over the destination, and
 // fsyncs the directory. After Commit, Close is a no-op.
+//
+// Failpoint "atomicio.commit" fails the publish before the rename: the
+// destination keeps its previous contents, exactly the contract a real
+// fsync failure honors.
 func (a *File) Commit() error {
 	if a.closed {
 		return fmt.Errorf("atomicio: commit of closed file %s", a.path)
 	}
 	a.closed = true
 	tmpName := a.f.Name()
+	if err := chaos.Maybe("atomicio.commit"); err != nil {
+		a.f.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: commit %s: %w", a.path, err)
+	}
 	if err := a.f.Sync(); err != nil {
 		a.f.Close()
 		os.Remove(tmpName)

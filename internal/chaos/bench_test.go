@@ -1,0 +1,36 @@
+package chaos
+
+import "testing"
+
+// BenchmarkChaosDisabled pins the disabled failpoint cost: one atomic load
+// and a nil check, single-digit nanoseconds. This is the budget every wired
+// site (journal writes, serve handlers, cluster posts, mcast source jobs)
+// pays in production; none sit inside the BFS/tree kernels, so kernel
+// benchmarks like BenchmarkBatchSPTs64 see no chaos overhead at all.
+func BenchmarkChaosDisabled(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Maybe("bench.site"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChaosEnabledMiss measures an installed plan whose rules target
+// other sites: the map lookup miss every unrelated failpoint pays while a
+// chaos run is active.
+func BenchmarkChaosEnabledMiss(b *testing.B) {
+	p, err := Parse("some.other.site=error@0.5", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	Enable(p)
+	defer Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Maybe("bench.site"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

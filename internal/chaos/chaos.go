@@ -1,0 +1,436 @@
+// Package chaos is a deterministic fault-injection framework: named
+// failpoints threaded through the I/O, serving and cluster layers, driven by
+// a seeded schedule so every chaos run is reproducible from its seed.
+//
+// A failpoint is a call site named like "journal.write" or "serve.handler".
+// A Plan binds rules to sites — inject an error, a panic, a latency stall, a
+// short (torn) write, a flipped bit, an HTTP status, a truncated response —
+// each firing with a configured probability against a per-site RNG stream
+// derived from (seed, site). Because every site draws from its own stream
+// and consumes exactly one draw per hit, the fire/skip decision sequence of
+// a site depends only on the seed and the site's own hit count, never on
+// goroutine interleaving across sites: re-running with the same seed
+// reproduces the same fault schedule at every site.
+//
+// When no plan is enabled every helper returns after a single atomic load,
+// so production binaries pay one predictable branch per failpoint —
+// BenchmarkChaosDisabled pins the cost at nanoseconds, and no failpoint
+// sits inside the BFS/tree kernels themselves (sites live at job and I/O
+// granularity).
+//
+// Spec grammar (flag -chaos on mtsim, mtsimd and mtctl):
+//
+//	spec    := entry (';' entry)*
+//	entry   := site '=' kind [':' arg] ['@' prob] ['#' limit] ['+' after]
+//	kind    := error | panic | latency | short | bitflip | status | trunc
+//
+// arg is a duration for latency ("latency:300ms") and a status code or byte
+// limit for status/trunc ("status:503", "trunc:64"); prob is the per-hit
+// fire probability (default 1); limit caps total fires ("#1" = exactly
+// once); after skips the first N hits. Example:
+//
+//	-chaos 'serve.handler=latency:200ms@0.2;shard.payload=bitflip#1' -chaos-seed 7
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the fault a rule injects when it fires.
+type Kind string
+
+const (
+	// KindError makes the site return ErrInjected.
+	KindError Kind = "error"
+	// KindPanic makes the site panic (panicsafe/Recoverer territory).
+	KindPanic Kind = "panic"
+	// KindLatency stalls the site for the rule's duration, then proceeds.
+	KindLatency Kind = "latency"
+	// KindShort truncates a write payload at a seeded offset — a torn write.
+	KindShort Kind = "short"
+	// KindBitFlip flips one seeded bit of a payload — silent corruption.
+	KindBitFlip Kind = "bitflip"
+	// KindStatus answers an HTTP request with the rule's status code.
+	KindStatus Kind = "status"
+	// KindTrunc truncates an HTTP response body after the rule's byte limit.
+	KindTrunc Kind = "trunc"
+)
+
+// ErrInjected marks every error the framework injects, so tests and logs can
+// tell synthetic faults from real ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Rule binds one fault kind to one site.
+type Rule struct {
+	Site  string
+	Kind  Kind
+	P     float64       // per-hit fire probability in (0, 1]; 0 means 1
+	Dur   time.Duration // KindLatency stall
+	Code  int           // KindStatus code; KindTrunc byte limit
+	Limit int           // max fires; 0 = unlimited
+	After int           // skip the first After hits of the site
+}
+
+// Event records one fired fault, for logs and reproducibility reports.
+type Event struct {
+	Site string
+	Kind Kind
+	Hit  int // the site's hit counter when the rule fired (1-based)
+	Fire int // the rule's fire counter (1-based)
+}
+
+// kindMask restricts which rule kinds a helper can express, so a rule bound
+// to the wrong helper is skipped instead of silently misfiring.
+type kindMask uint8
+
+const (
+	maskError kindMask = 1 << iota
+	maskPanic
+	maskLatency
+	maskShort
+	maskBitFlip
+	maskStatus
+	maskTrunc
+)
+
+func (k Kind) mask() kindMask {
+	switch k {
+	case KindError:
+		return maskError
+	case KindPanic:
+		return maskPanic
+	case KindLatency:
+		return maskLatency
+	case KindShort:
+		return maskShort
+	case KindBitFlip:
+		return maskBitFlip
+	case KindStatus:
+		return maskStatus
+	case KindTrunc:
+		return maskTrunc
+	}
+	return 0
+}
+
+// ruleState is a rule plus its deterministic decision stream.
+type ruleState struct {
+	Rule
+	rng   *rand.Rand
+	fired int
+}
+
+// siteState serializes one site's hits so its decision sequence is a pure
+// function of (seed, hit count).
+type siteState struct {
+	mu    sync.Mutex
+	hits  int
+	rules []*ruleState
+}
+
+// Plan is a compiled fault schedule. Build one with Parse, install it with
+// Enable; a nil plan (the default) disables every failpoint.
+type Plan struct {
+	seed  int64
+	spec  string
+	sites map[string]*siteState
+
+	mu     sync.Mutex
+	events []Event
+	logf   func(format string, args ...any)
+}
+
+// maxEvents bounds the fired-event log so soaks cannot grow it unboundedly.
+const maxEvents = 16384
+
+// Parse compiles a spec (see the package comment for the grammar) into a
+// Plan seeded with seed.
+func Parse(spec string, seed int64) (*Plan, error) {
+	p := &Plan{seed: seed, spec: spec, sites: map[string]*siteState{}}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		r, err := parseEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		st := p.sites[r.Site]
+		if st == nil {
+			st = &siteState{}
+			p.sites[r.Site] = st
+		}
+		st.rules = append(st.rules, &ruleState{
+			Rule: r,
+			rng:  rand.New(rand.NewSource(streamSeed(seed, r.Site, len(st.rules)))),
+		})
+	}
+	if len(p.sites) == 0 {
+		return nil, fmt.Errorf("chaos: empty spec")
+	}
+	return p, nil
+}
+
+// streamSeed derives a site rule's RNG seed from the plan seed: a splitmix64
+// scramble of the seed with the site's FNV-1a hash and the rule index, so
+// sites (and sibling rules) get independent streams.
+func streamSeed(seed int64, site string, rule int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	z := uint64(seed) ^ h.Sum64() ^ (uint64(rule+1) * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// parseEntry compiles one "site=kind[:arg][@p][#limit][+after]" entry.
+func parseEntry(s string) (Rule, error) {
+	var r Rule
+	eq := strings.IndexByte(s, '=')
+	if eq <= 0 {
+		return r, fmt.Errorf("chaos: entry %q: want site=kind", s)
+	}
+	r.Site, r.P = s[:eq], 1
+	tail := s[eq+1:]
+	// Peel the @prob, #limit and +after modifiers (any order) off the tail.
+	for {
+		i := strings.LastIndexAny(tail, "@#+")
+		if i < 0 {
+			break
+		}
+		mod, val := tail[i], tail[i+1:]
+		tail = tail[:i]
+		var err error
+		switch mod {
+		case '@':
+			r.P, err = strconv.ParseFloat(val, 64)
+			if err == nil && (r.P <= 0 || r.P > 1) {
+				err = fmt.Errorf("probability out of (0, 1]")
+			}
+		case '#':
+			r.Limit, err = strconv.Atoi(val)
+			if err == nil && r.Limit < 1 {
+				err = fmt.Errorf("limit must be >= 1")
+			}
+		case '+':
+			r.After, err = strconv.Atoi(val)
+			if err == nil && r.After < 0 {
+				err = fmt.Errorf("after must be >= 0")
+			}
+		}
+		if err != nil {
+			return r, fmt.Errorf("chaos: entry %q: bad %c%s: %v", s, mod, val, err)
+		}
+	}
+	kind, arg, hasArg := strings.Cut(tail, ":")
+	r.Kind = Kind(kind)
+	switch r.Kind {
+	case KindError, KindPanic, KindShort, KindBitFlip:
+		if hasArg {
+			return r, fmt.Errorf("chaos: entry %q: %s takes no argument", s, kind)
+		}
+	case KindLatency:
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			return r, fmt.Errorf("chaos: entry %q: latency needs a positive duration argument", s)
+		}
+		r.Dur = d
+	case KindStatus:
+		c, err := strconv.Atoi(arg)
+		if err != nil || c < 400 || c > 599 {
+			return r, fmt.Errorf("chaos: entry %q: status needs a 4xx/5xx code argument", s)
+		}
+		r.Code = c
+	case KindTrunc:
+		r.Code = 64
+		if hasArg {
+			c, err := strconv.Atoi(arg)
+			if err != nil || c < 0 {
+				return r, fmt.Errorf("chaos: entry %q: trunc limit must be >= 0", s)
+			}
+			r.Code = c
+		}
+	default:
+		return r, fmt.Errorf("chaos: entry %q: unknown kind %q", s, kind)
+	}
+	return r, nil
+}
+
+// Seed returns the seed the plan's schedule derives from.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// Spec returns the spec string the plan was parsed from.
+func (p *Plan) Spec() string { return p.spec }
+
+// SetLogf routes a one-line notice for every fired fault to logf (a daemon's
+// logger), so a failed soak can be replayed from its logged spec and seed.
+func (p *Plan) SetLogf(logf func(format string, args ...any)) {
+	p.mu.Lock()
+	p.logf = logf
+	p.mu.Unlock()
+}
+
+// Events snapshots the faults fired so far, in fire order.
+func (p *Plan) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// fire advances site's hit counter and returns the first eligible rule that
+// fires, with one extra uniform draw (aux) for the fault's payload position
+// (torn-write offset, flipped bit). Every rule consumes exactly one decision
+// draw per hit whether or not it is eligible, so a site's schedule is a pure
+// function of (seed, hit count).
+func (p *Plan) fire(site string, allowed kindMask) (r *ruleState, aux float64, hit int) {
+	st := p.sites[site]
+	if st == nil {
+		return nil, 0, 0
+	}
+	st.mu.Lock()
+	st.hits++
+	hit = st.hits
+	for _, rule := range st.rules {
+		u := rule.rng.Float64()
+		if r != nil {
+			continue // keep draining sibling draws deterministically
+		}
+		if rule.Kind.mask()&allowed == 0 || hit <= rule.After {
+			continue
+		}
+		if rule.Limit > 0 && rule.fired >= rule.Limit {
+			continue
+		}
+		if u < rule.P {
+			rule.fired++
+			r = rule
+			aux = rule.rng.Float64()
+		}
+	}
+	var fired int
+	if r != nil {
+		fired = r.fired
+	}
+	st.mu.Unlock()
+	if r == nil {
+		return nil, 0, hit
+	}
+	p.mu.Lock()
+	if len(p.events) < maxEvents {
+		p.events = append(p.events, Event{Site: site, Kind: r.Kind, Hit: hit, Fire: fired})
+	}
+	logf := p.logf
+	p.mu.Unlock()
+	if logf != nil {
+		logf("chaos: %s fired at %s (hit %d, fire %d)", r.Kind, site, hit, fired)
+	}
+	return r, aux, hit
+}
+
+// active is the installed plan; nil disables every failpoint after a single
+// atomic load.
+var active atomic.Pointer[Plan]
+
+// Enable installs p as the process-wide plan (nil is equivalent to Disable).
+func Enable(p *Plan) { active.Store(p) }
+
+// Disable removes the installed plan; every failpoint reverts to zero-cost.
+func Disable() { active.Store(nil) }
+
+// Active returns the installed plan, nil when chaos is disabled.
+func Active() *Plan { return active.Load() }
+
+// Enabled reports whether a plan is installed — one atomic load.
+func Enabled() bool { return active.Load() != nil }
+
+func injected(site string, kind Kind, hit int) error {
+	return fmt.Errorf("%w: %s at %s (hit %d)", ErrInjected, kind, site, hit)
+}
+
+// Maybe is the general-purpose failpoint: error rules return ErrInjected,
+// panic rules panic, latency rules sleep then return nil. Disabled cost is a
+// single atomic load.
+func Maybe(site string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	r, _, hit := p.fire(site, maskError|maskPanic|maskLatency)
+	if r == nil {
+		return nil
+	}
+	switch r.Kind {
+	case KindPanic:
+		panic(fmt.Sprintf("chaos: injected panic at %s (hit %d)", site, hit))
+	case KindLatency:
+		time.Sleep(r.Dur)
+		return nil
+	default:
+		return injected(site, r.Kind, hit)
+	}
+}
+
+// Write is the failpoint for write payloads: short rules tear the record at
+// a seeded offset, bitflip rules flip one seeded bit (on a copy), error
+// rules fail the write. The unmodified b comes back when nothing fires.
+func Write(site string, b []byte) ([]byte, error) {
+	p := active.Load()
+	if p == nil {
+		return b, nil
+	}
+	r, aux, hit := p.fire(site, maskError|maskShort|maskBitFlip)
+	if r == nil || len(b) == 0 {
+		return b, nil
+	}
+	switch r.Kind {
+	case KindShort:
+		return b[:int(aux*float64(len(b)))], nil
+	case KindBitFlip:
+		c := make([]byte, len(b))
+		copy(c, b)
+		bit := int(aux * float64(len(b)*8))
+		c[bit/8] ^= 1 << (bit % 8)
+		return c, nil
+	default:
+		return b, injected(site, r.Kind, hit)
+	}
+}
+
+// Status is the failpoint for HTTP status injection: a fired status rule
+// returns its code and true.
+func Status(site string) (code int, ok bool) {
+	p := active.Load()
+	if p == nil {
+		return 0, false
+	}
+	r, _, _ := p.fire(site, maskStatus)
+	if r == nil {
+		return 0, false
+	}
+	return r.Code, true
+}
+
+// Trunc is the failpoint for HTTP response truncation: a fired trunc rule
+// returns its byte limit and true.
+func Trunc(site string) (limit int, ok bool) {
+	p := active.Load()
+	if p == nil {
+		return 0, false
+	}
+	r, _, _ := p.fire(site, maskTrunc)
+	if r == nil {
+		return 0, false
+	}
+	return r.Code, true
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mtreescale/internal/atomicio"
+	"mtreescale/internal/chaos"
 	"mtreescale/internal/serve"
 	"mtreescale/internal/valid"
 )
@@ -23,8 +24,12 @@ const ShardPath = "/shard"
 // Event is one coordinator progress notification. Kind is one of
 // "resume" (shard satisfied from the journal), "complete" (worker returned
 // a partial), "backoff" (worker answered 429; the slot pauses RetryIn),
-// "requeue" (worker failed; the shard goes back to the pool) and
-// "quarantine" (a worker slot is skipping a quarantined worker).
+// "requeue" (worker failed; the shard goes back to the pool),
+// "quarantine" (a worker slot is skipping a quarantined worker),
+// "evict" / "readmit" (heartbeat verdicts on a worker),
+// "speculate" (a straggling shard was re-queued to race its original
+// dispatch) and "journal-skip" (a resume journal line carried this grid's
+// key but failed validation and was discarded).
 type Event struct {
 	Kind    string
 	Worker  string
@@ -44,6 +49,18 @@ type Stats struct {
 	Attempts    int `json:"attempts"`
 	Backoffs429 int `json:"backoffs_429"`
 	Requeues    int `json:"requeues"`
+	// Evictions and Readmissions count heartbeat verdicts; Speculations
+	// counts straggling shards raced on a second worker; StaleDropped counts
+	// results that arrived after their shard was already complete (the
+	// losing side of a speculation or requeue race).
+	Evictions    int `json:"evictions,omitempty"`
+	Readmissions int `json:"readmissions,omitempty"`
+	Speculations int `json:"speculations,omitempty"`
+	StaleDropped int `json:"stale_dropped,omitempty"`
+	// JournalSkipped counts resume journal lines that carried this grid's
+	// key but failed validation (stale block bounds, payload mismatch, bad
+	// checksum) and were recomputed instead of trusted.
+	JournalSkipped int `json:"journal_skipped,omitempty"`
 	// PerWorker counts completed shards by worker URL.
 	PerWorker map[string]int `json:"per_worker"`
 }
@@ -73,6 +90,25 @@ type Options struct {
 	// Quarantine tracks failing workers with exponential backoff; nil
 	// means a default (1s base, 30s cap). Worker URLs are the keys.
 	Quarantine *serve.Quarantine
+	// Token, when set, is sent as "Authorization: Bearer <token>" on every
+	// shard post and heartbeat probe (mtsimd -shard-token).
+	Token string
+	// Heartbeat, when positive, probes every worker's GET /healthz at this
+	// interval (plus one synchronous round before dispatch). A worker that
+	// fails HeartbeatFails consecutive probes (default 3) is evicted — its
+	// slots park and requeue instead of dispatching — and re-admitted by the
+	// next successful probe. Zero disables heartbeating.
+	Heartbeat      time.Duration
+	HeartbeatFails int
+	// SpecFactor, when positive, enables speculative re-execution: a shard
+	// in flight longer than max(SpecMin, SpecFactor × rolling mean shard
+	// latency) is queued a second time so another worker races the
+	// straggler; the first structurally valid result wins and the loser is
+	// dropped as stale. At most one speculative copy runs per shard.
+	// SpecMin (default 1s) floors the deadline before any latency samples
+	// exist.
+	SpecFactor float64
+	SpecMin    time.Duration
 	// OnEvent observes progress; called from worker goroutines.
 	OnEvent func(Event)
 	// Sleep pauses a worker slot (backoff, quarantine wait); nil means a
@@ -123,6 +159,12 @@ func New(workers []string, opt Options) (*Coordinator, error) {
 	if opt.Sleep == nil {
 		opt.Sleep = sleepCtx
 	}
+	if opt.HeartbeatFails < 1 {
+		opt.HeartbeatFails = 3
+	}
+	if opt.SpecMin <= 0 {
+		opt.SpecMin = time.Second
+	}
 	return &Coordinator{workers: workers, opt: opt}, nil
 }
 
@@ -147,25 +189,36 @@ func (c *Coordinator) emit(ev Event) {
 }
 
 // runState is the shared bookkeeping of one Run: which shards remain, how
-// often each has failed, and the first fatal error.
+// often each has failed, which are in flight (and since when, for the
+// speculation deadline), and the first fatal error.
 type runState struct {
-	mu        sync.Mutex
-	remaining int
-	failures  []int
-	parts     []*Partial
-	fatal     error
-	stats     Stats
-	done      chan struct{} // closed when remaining hits 0
-	cancel    context.CancelFunc
+	mu         sync.Mutex
+	remaining  int
+	failures   []int
+	parts      []*Partial
+	speculated []bool
+	inflight   map[int]flight // shard idx -> earliest dispatch
+	latSum     time.Duration     // completed-shard latency, for the
+	latN       int               // speculation deadline's rolling mean
+	fatal      error
+	stats      Stats
+	health     *healthTracker // nil when heartbeating is off
+	done       chan struct{}  // closed when remaining hits 0
+	cancel     context.CancelFunc
 }
 
-func (st *runState) complete(idx int, p *Partial, worker string) {
+// complete settles one shard result and reports whether it was accepted.
+// Losers of a speculation or requeue race land here after the winner and are
+// dropped as stale; only the accepted result may be journaled or counted.
+func (st *runState) complete(idx int, p *Partial, worker string) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.parts[idx] != nil {
-		return // duplicate (e.g. a requeued shard that also succeeded)
+		st.stats.StaleDropped++
+		return false
 	}
 	st.parts[idx] = p
+	delete(st.inflight, idx)
 	if worker != "" {
 		st.stats.PerWorker[worker]++
 	}
@@ -173,6 +226,39 @@ func (st *runState) complete(idx int, p *Partial, worker string) {
 	if st.remaining == 0 {
 		close(st.done)
 	}
+	return true
+}
+
+// isComplete reports whether shard idx already has an accepted result.
+func (st *runState) isComplete(idx int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.parts[idx] != nil
+}
+
+// flight is one in-flight shard dispatch: when it launched and to whom.
+type flight struct {
+	t0     time.Time
+	worker string
+}
+
+// markDispatch records a shard entering flight. The earliest dispatch is
+// kept when a speculative copy joins, so the straggler's age and worker —
+// not the fresh copy's — drive any further deadline math and reporting.
+func (st *runState) markDispatch(idx int, worker string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.inflight[idx]; !ok {
+		st.inflight[idx] = flight{t0: time.Now(), worker: worker}
+	}
+}
+
+// recordLatency feeds one successful shard round trip into the rolling mean.
+func (st *runState) recordLatency(d time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.latSum += d
+	st.latN++
 }
 
 func (st *runState) fail(err error) {
@@ -196,21 +282,32 @@ func (c *Coordinator) Run(ctx context.Context, g Grid, nShards int) (*Merged, *S
 		return nil, nil, err
 	}
 	st := &runState{
-		remaining: len(plan),
-		failures:  make([]int, len(plan)),
-		parts:     make([]*Partial, len(plan)),
-		done:      make(chan struct{}),
-		stats:     Stats{Planned: len(plan), PerWorker: map[string]int{}},
+		remaining:  len(plan),
+		failures:   make([]int, len(plan)),
+		parts:      make([]*Partial, len(plan)),
+		speculated: make([]bool, len(plan)),
+		inflight:   map[int]flight{},
+		done:       make(chan struct{}),
+		stats:      Stats{Planned: len(plan), PerWorker: map[string]int{}},
 	}
 
 	// Resume: shards whose exact block is already journaled for this grid
 	// need no dispatch. Blocks from a different plan width don't match and
 	// are recomputed — identity is (grid key, lo, hi), nothing looser.
+	// Lines for OTHER grids are expected (shared journal files) and skipped
+	// silently; lines carrying THIS grid's key that fail validation — stale
+	// bounds from an old plan, payload/block mismatch, a checksum that no
+	// longer matches — are evidence of damage and are logged and counted
+	// before being recomputed.
 	if c.opt.JournalPath != "" && c.opt.Resume {
 		byBlock := map[[2]int]*Partial{}
 		if _, err := atomicio.ReadJournal(c.opt.JournalPath, func(line []byte) error {
 			p, err := parseJournalPartial(line, g)
 			if err != nil {
+				if !errors.Is(err, errForeignJournalLine) {
+					st.stats.JournalSkipped++
+					c.emit(Event{Kind: "journal-skip", Err: err})
+				}
 				return err
 			}
 			byBlock[[2]int{p.Lo, p.Hi}] = p
@@ -242,13 +339,39 @@ func (c *Coordinator) Run(ctx context.Context, g Grid, nShards int) (*Merged, *S
 		st.cancel = cancel
 		defer cancel()
 
-		// The pool holds every undone shard index; capacity len(plan) means
-		// a requeue can never block.
-		pool := make(chan int, len(plan))
+		// When the last shard settles, cancel runCtx so straggling
+		// speculation losers abort their posts instead of holding wg.Wait
+		// (and the run's wall clock) hostage.
+		go func() {
+			select {
+			case <-st.done:
+				cancel()
+			case <-runCtx.Done():
+			}
+		}()
+
+		if c.opt.Heartbeat > 0 {
+			st.health = newHealthTracker(c.workers)
+			// One synchronous round first, so a worker that is already dead
+			// never receives the opening dispatch wave.
+			for i := 0; i < c.opt.HeartbeatFails; i++ {
+				c.probeRound(runCtx, st)
+			}
+			go c.heartbeatLoop(runCtx, st)
+		}
+
+		// The pool holds every undone shard index; capacity 2×len(plan)
+		// means a requeue can never block even with a speculative copy of
+		// every shard outstanding.
+		pool := make(chan int, 2*len(plan))
 		for i := range plan {
 			if st.parts[i] == nil {
 				pool <- i
 			}
+		}
+
+		if c.opt.SpecFactor > 0 {
+			go c.speculator(runCtx, plan, pool, st)
 		}
 
 		var wg sync.WaitGroup
@@ -307,6 +430,22 @@ func (c *Coordinator) workerLoop(ctx context.Context, worker string, plan []Shar
 		}
 		spec := plan[idx]
 
+		// A speculation or requeue duplicate whose shard already settled
+		// needs no dispatch.
+		if st.isComplete(idx) {
+			continue
+		}
+
+		// An evicted worker's slots park: hand the shard back and wait out a
+		// heartbeat interval, since only a successful probe can re-admit.
+		if st.health != nil && !st.health.allowed(worker) {
+			pool <- idx
+			if c.opt.Sleep(ctx, c.opt.Heartbeat) != nil {
+				return
+			}
+			continue
+		}
+
 		// A quarantined worker hands the shard back and pauses this slot so
 		// healthy workers drain the pool meanwhile.
 		if ok, retryIn := c.opt.Quarantine.Allowed(worker); !ok {
@@ -321,16 +460,22 @@ func (c *Coordinator) workerLoop(ctx context.Context, worker string, plan []Shar
 		st.mu.Lock()
 		st.stats.Attempts++
 		st.mu.Unlock()
+		st.markDispatch(idx, worker)
 
+		start := time.Now()
 		p, retryAfter, err := c.postShard(ctx, worker, spec)
 		switch {
 		case err == nil:
 			c.opt.Quarantine.Clear(worker)
-			if journal != nil {
-				journal.Append(fmt.Sprintf("shard[%d,%d)", spec.Lo, spec.Hi), p)
+			st.recordLatency(time.Since(start))
+			if st.complete(idx, p, worker) {
+				// Journal only the accepted result: the race loser's partial
+				// is equal in value but must not produce a duplicate line.
+				if journal != nil {
+					journal.Append(fmt.Sprintf("shard[%d,%d)", spec.Lo, spec.Hi), p)
+				}
+				c.emit(Event{Kind: "complete", Worker: worker, Lo: spec.Lo, Hi: spec.Hi})
 			}
-			st.complete(idx, p, worker)
-			c.emit(Event{Kind: "complete", Worker: worker, Lo: spec.Lo, Hi: spec.Hi})
 
 		case errors.Is(err, errSaturated):
 			// Backpressure, not failure: hold the shard, pause this slot for
@@ -351,6 +496,12 @@ func (c *Coordinator) workerLoop(ctx context.Context, worker string, plan []Shar
 			return
 
 		default:
+			// A speculation loser failing after the winner landed — its post
+			// aborted by the done-watcher's cancel, typically — is not a
+			// shard failure: no strike, no retry budget, no requeue.
+			if st.isComplete(idx) {
+				continue
+			}
 			c.opt.Quarantine.Report(worker, err)
 			st.mu.Lock()
 			st.failures[idx]++
@@ -364,6 +515,59 @@ func (c *Coordinator) workerLoop(ctx context.Context, worker string, plan []Shar
 			pool <- idx
 			c.emit(Event{Kind: "requeue", Worker: worker, Lo: spec.Lo, Hi: spec.Hi, Err: err})
 			if c.opt.Sleep(ctx, c.opt.Backoff) != nil {
+				return
+			}
+		}
+	}
+}
+
+// speculator watches in-flight shards and re-queues any that has been flying
+// longer than max(SpecMin, SpecFactor × rolling mean shard latency), so a
+// healthy worker races the straggler. Each shard is speculated at most once;
+// the duplicate-completion guards in workerLoop make the race safe whichever
+// copy lands first.
+func (c *Coordinator) speculator(ctx context.Context, plan []ShardSpec, pool chan int, st *runState) {
+	tick := c.opt.SpecMin / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	for {
+		if sleepCtx(ctx, tick) != nil {
+			return
+		}
+		select {
+		case <-st.done:
+			return
+		default:
+		}
+		now := time.Now()
+		st.mu.Lock()
+		deadline := c.opt.SpecMin
+		if st.latN > 0 {
+			if est := time.Duration(float64(st.latSum/time.Duration(st.latN)) * c.opt.SpecFactor); est > deadline {
+				deadline = est
+			}
+		}
+		var fire []flight
+		var fireIdx []int
+		for idx, f := range st.inflight {
+			if st.parts[idx] == nil && !st.speculated[idx] && now.Sub(f.t0) > deadline {
+				st.speculated[idx] = true
+				st.stats.Speculations++
+				fireIdx = append(fireIdx, idx)
+				fire = append(fire, f)
+			}
+		}
+		st.mu.Unlock()
+		for i, idx := range fireIdx {
+			spec := plan[idx]
+			c.emit(Event{Kind: "speculate", Worker: fire[i].worker, Lo: spec.Lo, Hi: spec.Hi})
+			select {
+			case pool <- idx:
+			case <-ctx.Done():
 				return
 			}
 		}
@@ -388,6 +592,14 @@ func (c *Coordinator) postShard(ctx context.Context, worker string, spec ShardSp
 		return nil, 0, valid.Badf("cluster: building request: %v", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.opt.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.opt.Token)
+	}
+	// Failpoint "cluster.post": a transport fault on the coordinator side —
+	// connection reset, mid-body drop — taking the retryable-failure path.
+	if err := chaos.Maybe("cluster.post"); err != nil {
+		return nil, 0, fmt.Errorf("cluster: %s: %w", worker, err)
+	}
 	resp, err := c.opt.Client.Do(req)
 	if err != nil {
 		return nil, 0, fmt.Errorf("cluster: %s: %w", worker, err)
@@ -404,6 +616,13 @@ func (c *Coordinator) postShard(ctx context.Context, worker string, spec ShardSp
 		}
 		if p.Key != spec.Grid.Key() || p.Lo != spec.Lo || p.Hi != spec.Hi {
 			return nil, 0, fmt.Errorf("cluster: %s: partial for wrong shard (got [%d, %d) key %.12s)", worker, p.Lo, p.Hi, p.Key)
+		}
+		// End-to-end integrity: the payload must still hash to the seal the
+		// worker stamped. A mismatch — a flipped bit in transit, a truncated
+		// body that happened to stay parseable — is a retryable worker
+		// failure: strike, requeue, recompute elsewhere.
+		if err := p.VerifySum(); err != nil {
+			return nil, 0, fmt.Errorf("cluster: %s: %w", worker, err)
 		}
 		return &p, 0, nil
 	case resp.StatusCode == http.StatusTooManyRequests:
@@ -423,9 +642,17 @@ func (c *Coordinator) postShard(ctx context.Context, worker string, spec ShardSp
 	}
 }
 
-// parseJournalPartial decodes one journal line and binds it to the grid:
-// lines for other grids, torn trailing writes and payload-less records are
-// rejected (the caller counts them as skips).
+// errForeignJournalLine marks a journal line that belongs to a different
+// grid — expected when several runs share one journal file, and skipped
+// without fanfare, unlike damage to a line that claims to be ours.
+var errForeignJournalLine = errors.New("cluster: journal line for another grid")
+
+// parseJournalPartial decodes one journal line and binds it to the grid.
+// Lines for other grids return errForeignJournalLine; torn trailing writes,
+// payload-less records, blocks outside the grid's axis, payloads whose inner
+// bounds disagree with the record's, and checksum failures are all rejected
+// (the caller logs and counts them — a rejected line is recomputed, never
+// trusted).
 func parseJournalPartial(line []byte, g Grid) (*Partial, error) {
 	var p Partial
 	if len(line) == 0 {
@@ -435,30 +662,61 @@ func parseJournalPartial(line []byte, g Grid) (*Partial, error) {
 		return nil, valid.Badf("cluster: malformed journal line: %v", err)
 	}
 	if p.Key != g.Key() {
-		return nil, valid.Badf("cluster: journal line for another grid")
+		return nil, errForeignJournalLine
 	}
 	if err := validateBlockFor(g, &p); err != nil {
+		return nil, err
+	}
+	if err := p.VerifySum(); err != nil {
 		return nil, err
 	}
 	return &p, nil
 }
 
-// validateBlockFor checks a partial's block and payload against the grid.
+// validateBlockFor checks a partial's block and payload against the grid:
+// the outer bounds must land inside the grid's sharding axis, the payload
+// kind must match, and the payload's own block and protocol shape must agree
+// with the record that carries it. A key match alone is not enough — a
+// journal written under an older plan, or a record whose inner payload was
+// spliced, must be recomputed, not merged.
 func validateBlockFor(g Grid, p *Partial) error {
 	if p.Lo < 0 || p.Hi > g.Span() || p.Lo >= p.Hi {
 		return valid.Badf("cluster: partial block [%d, %d) out of [0, %d)", p.Lo, p.Hi, g.Span())
 	}
-	var ok bool
 	switch g.Kind {
 	case KindCurve:
-		ok = p.Curve != nil
+		if p.Curve == nil {
+			return valid.Badf("cluster: partial [%d, %d) missing curve payload", p.Lo, p.Hi)
+		}
+		if p.Curve.SrcLo != p.Lo || p.Curve.SrcHi != p.Hi {
+			return valid.Badf("cluster: partial [%d, %d) wraps curve block [%d, %d)", p.Lo, p.Hi, p.Curve.SrcLo, p.Curve.SrcHi)
+		}
+		if p.Curve.NSource != g.Protocol.NSource || p.Curve.K != len(g.Sizes) {
+			return valid.Badf("cluster: partial [%d, %d) measured under NSource=%d K=%d, grid wants %d/%d",
+				p.Lo, p.Hi, p.Curve.NSource, p.Curve.K, g.Protocol.NSource, len(g.Sizes))
+		}
 	case KindShared:
-		ok = p.Shared != nil
+		if p.Shared == nil {
+			return valid.Badf("cluster: partial [%d, %d) missing shared payload", p.Lo, p.Hi)
+		}
+		if p.Shared.SrcLo != p.Lo || p.Shared.SrcHi != p.Hi {
+			return valid.Badf("cluster: partial [%d, %d) wraps shared block [%d, %d)", p.Lo, p.Hi, p.Shared.SrcLo, p.Shared.SrcHi)
+		}
+		if p.Shared.NSource != g.Protocol.NSource || p.Shared.K != len(g.Sizes) {
+			return valid.Badf("cluster: partial [%d, %d) measured under NSource=%d K=%d, grid wants %d/%d",
+				p.Lo, p.Hi, p.Shared.NSource, p.Shared.K, g.Protocol.NSource, len(g.Sizes))
+		}
 	case KindEnsemble:
-		ok = p.Ensemble != nil
-	}
-	if !ok {
-		return valid.Badf("cluster: partial [%d, %d) missing %s payload", p.Lo, p.Hi, g.Kind)
+		if p.Ensemble == nil {
+			return valid.Badf("cluster: partial [%d, %d) missing ensemble payload", p.Lo, p.Hi)
+		}
+		if p.Ensemble.NetLo != p.Lo || p.Ensemble.NetHi != p.Hi {
+			return valid.Badf("cluster: partial [%d, %d) wraps ensemble block [%d, %d)", p.Lo, p.Hi, p.Ensemble.NetLo, p.Ensemble.NetHi)
+		}
+		if p.Ensemble.NNetworks != g.NNetworks || len(p.Ensemble.PerNet) != p.Hi-p.Lo {
+			return valid.Badf("cluster: partial [%d, %d) measured under NNetworks=%d with %d networks, grid wants %d/%d",
+				p.Lo, p.Hi, p.Ensemble.NNetworks, len(p.Ensemble.PerNet), g.NNetworks, p.Hi-p.Lo)
+		}
 	}
 	return nil
 }

@@ -176,6 +176,10 @@ type Partial struct {
 	Curve    *mcast.CurvePartial    `json:"curve,omitempty"`
 	Shared   *mcast.SharedPartial   `json:"shared,omitempty"`
 	Ensemble *mcast.EnsemblePartial `json:"ensemble,omitempty"`
+
+	// Sum is the payload checksum Seal stamps and VerifySum checks at every
+	// trust boundary (wire decode, journal resume, merge); see integrity.go.
+	Sum string `json:"sum,omitempty"`
 }
 
 // Merged is a grid's final result: Points for curve and ensemble grids,
@@ -242,6 +246,9 @@ func ExecuteShard(ctx context.Context, spec ShardSpec) (*Partial, error) {
 			return nil, err
 		}
 	}
+	if err := out.Seal(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -260,6 +267,15 @@ func Merge(g Grid, parts []*Partial) (*Merged, error) {
 		}
 		if p.Key != key {
 			return nil, valid.Badf("cluster: partial for grid %.12s, want %.12s", p.Key, key)
+		}
+		// Sealed partials re-verify at the merge — the last line of defense
+		// against corruption between decode/resume and here. Unsealed ones
+		// (hand-built in-process, e.g. by tests of the reduce layer) pass;
+		// the wire and journal boundaries already insist on seals.
+		if p.Sum != "" {
+			if err := p.VerifySum(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	switch g.Kind {

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HealthzPath is the worker liveness endpoint a coordinator heartbeats.
+const HealthzPath = "/healthz"
+
+// healthTracker is the per-run record of which workers are currently
+// evicted. Eviction is a coordinator-side verdict (HeartbeatFails
+// consecutive probe failures), distinct from quarantine: quarantine backs a
+// worker off after it damaged a shard, eviction parks it after it stopped
+// answering at all — and unlike quarantine's timed backoff, eviction only
+// lifts when a probe succeeds again.
+type healthTracker struct {
+	mu      sync.Mutex
+	fails   map[string]int
+	evicted map[string]bool
+}
+
+func newHealthTracker(workers []string) *healthTracker {
+	return &healthTracker{
+		fails:   make(map[string]int, len(workers)),
+		evicted: make(map[string]bool, len(workers)),
+	}
+}
+
+// allowed reports whether worker slots may dispatch to worker.
+func (h *healthTracker) allowed(worker string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.evicted[worker]
+}
+
+// observe folds one probe outcome in and reports the transition it caused:
+// "evict" when the consecutive-failure budget just ran out, "readmit" when a
+// success ended an eviction, "" otherwise.
+func (h *healthTracker) observe(worker string, ok bool, failBudget int) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ok {
+		h.fails[worker] = 0
+		if h.evicted[worker] {
+			h.evicted[worker] = false
+			return "readmit"
+		}
+		return ""
+	}
+	h.fails[worker]++
+	if !h.evicted[worker] && h.fails[worker] >= failBudget {
+		h.evicted[worker] = true
+		return "evict"
+	}
+	return ""
+}
+
+// probe answers whether worker's GET /healthz succeeded. Any 2xx is healthy;
+// refused connections, timeouts and non-2xx statuses are not. The probe
+// carries the run's bearer token when one is configured, so an auth-fronted
+// worker is not misread as dead.
+func (c *Coordinator) probe(ctx context.Context, worker string) bool {
+	// The answer deadline is fixed, not tied to the probe interval: a short
+	// interval means frequent probes, not impatient ones.
+	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, worker+HealthzPath, nil)
+	if err != nil {
+		return false
+	}
+	if c.opt.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.opt.Token)
+	}
+	resp, err := c.opt.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// probeRound probes every worker once and applies the transitions.
+func (c *Coordinator) probeRound(ctx context.Context, st *runState) {
+	for _, w := range c.workers {
+		if ctx.Err() != nil {
+			return
+		}
+		ok := c.probe(ctx, w)
+		switch st.health.observe(w, ok, c.opt.HeartbeatFails) {
+		case "evict":
+			st.mu.Lock()
+			st.stats.Evictions++
+			st.mu.Unlock()
+			c.emit(Event{Kind: "evict", Worker: w, Err: fmt.Errorf("cluster: %d consecutive heartbeat failures", c.opt.HeartbeatFails)})
+		case "readmit":
+			st.mu.Lock()
+			st.stats.Readmissions++
+			st.mu.Unlock()
+			c.emit(Event{Kind: "readmit", Worker: w})
+		}
+	}
+}
+
+// heartbeatLoop re-probes the fleet every Heartbeat until the run ends. It
+// sleeps on a real timer, never Options.Sleep: tests inject instant sleeps
+// to skip shard backoffs, and an instant heartbeat interval would turn this
+// loop into a hot spin against /healthz.
+func (c *Coordinator) heartbeatLoop(ctx context.Context, st *runState) {
+	for {
+		if sleepCtx(ctx, c.opt.Heartbeat) != nil {
+			return
+		}
+		select {
+		case <-st.done:
+			return
+		default:
+		}
+		c.probeRound(ctx, st)
+	}
+}

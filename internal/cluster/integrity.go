@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+)
+
+// End-to-end result integrity. A shard's partial sums cross two lossy
+// boundaries on their way into a merge — the HTTP response body and the
+// journal file — and a single flipped bit in either silently skews every
+// downstream figure, because partial sums are just numbers that still parse.
+// Seal stamps each Partial with a checksum over its canonical JSON encoding;
+// VerifySum recomputes it at every trust boundary (coordinator decode,
+// journal resume, merge). encoding/json emits shortest-round-trip float64
+// text, so the canonical encoding — and therefore the checksum — is stable
+// across marshal/unmarshal cycles and across machines.
+
+// payloadSum hashes the partial's canonical JSON form with the Sum field
+// blanked, FNV-1a 64 in hex. FNV is not cryptographic and does not need to
+// be: the adversary is a flipped bit or a torn write, not a forger (the
+// bearer token handles actors).
+func (p *Partial) payloadSum() (string, error) {
+	clone := *p
+	clone.Sum = ""
+	b, err := json.Marshal(&clone)
+	if err != nil {
+		return "", fmt.Errorf("cluster: hashing partial [%d, %d): %w", p.Lo, p.Hi, err)
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return strconv.FormatUint(h.Sum64(), 16), nil
+}
+
+// Seal stamps the partial with its payload checksum. Workers seal every
+// partial they emit (ExecuteShard), so anything arriving unsealed at a trust
+// boundary is itself suspect.
+func (p *Partial) Seal() error {
+	sum, err := p.payloadSum()
+	if err != nil {
+		return err
+	}
+	p.Sum = sum
+	return nil
+}
+
+// VerifySum recomputes the checksum and compares. An unsealed partial fails
+// too — at the boundaries that call VerifySum, a missing seal means the
+// payload was produced by something other than ExecuteShard or was damaged
+// enough to lose the field. The error is deliberately NOT valid.ErrParam:
+// corruption in transit is a retryable worker failure (strike + requeue),
+// not a bad request.
+func (p *Partial) VerifySum() error {
+	if p.Sum == "" {
+		return fmt.Errorf("cluster: partial [%d, %d) is unsealed", p.Lo, p.Hi)
+	}
+	sum, err := p.payloadSum()
+	if err != nil {
+		return err
+	}
+	if sum != p.Sum {
+		return fmt.Errorf("cluster: partial [%d, %d) checksum mismatch: payload hashes to %s, sealed as %s", p.Lo, p.Hi, sum, p.Sum)
+	}
+	return nil
+}

@@ -2,11 +2,14 @@ package cluster
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
+	"mtreescale/internal/chaos"
 	"mtreescale/internal/serve"
 	"mtreescale/internal/valid"
 )
@@ -15,21 +18,47 @@ import (
 // valid.ErrParam-wrapped error maps to 400, anything else to 500.
 type ShardHandler func(ctx context.Context, spec ShardSpec) (*Partial, error)
 
-// StubWorker is a minimal in-process shard worker speaking mtsimd's /shard
-// protocol: the coordinator's test double, and — with a calibrated Latency
-// and a replay handler — the load model behind mtctl's committed cluster
-// benchmark, where it stands in for a remote worker's service time without
-// burning CPU.
-type StubWorker struct {
-	srv *http.Server
-	lis net.Listener
-	url string
+// StubOptions configures a StubWorker beyond the classic (id, latency,
+// handler) triple.
+type StubOptions struct {
+	// ID is echoed in the X-Mtsimd-Worker response header.
+	ID string
+	// Latency is slept before each shard executes (0 = none).
+	Latency time.Duration
+	// Handler computes shards; nil means ExecuteShard.
+	Handler ShardHandler
+	// Token, when set, makes POST /shard demand "Authorization: Bearer
+	// <Token>" (constant-time compare), mirroring mtsimd -shard-token.
+	// GET /healthz stays open — liveness must be probeable by design.
+	Token string
 }
 
-// StartStubWorker serves POST /shard on a loopback listener. id is echoed
-// in the X-Mtsimd-Worker response header; latency is slept before each
-// shard executes (0 = none); handler nil means ExecuteShard.
+// StubWorker is a minimal in-process shard worker speaking mtsimd's /shard
+// and /healthz protocol: the coordinator's test double, and — with a
+// calibrated Latency and a replay handler — the load model behind mtctl's
+// committed cluster benchmark, where it stands in for a remote worker's
+// service time without burning CPU.
+type StubWorker struct {
+	srv     *http.Server
+	lis     net.Listener
+	url     string
+	healthy atomic.Bool
+}
+
+// StartStubWorker serves POST /shard on a loopback listener; see
+// StartStubWorkerOpts for the full option set.
 func StartStubWorker(id string, latency time.Duration, handler ShardHandler) (*StubWorker, error) {
+	return StartStubWorkerOpts(StubOptions{ID: id, Latency: latency, Handler: handler})
+}
+
+// StartStubWorkerOpts serves POST /shard and GET /healthz on a loopback
+// listener. The shard route runs under the same chaos failpoints as mtsimd
+// ("serve.handler", "serve.handler.status", "serve.response.trunc" via
+// serve.ChaosFaults, plus "shard.payload" corrupting the response body), so
+// coordinator chaos tests exercise the exact fault surface production
+// workers have.
+func StartStubWorkerOpts(opt StubOptions) (*StubWorker, error) {
+	handler := opt.Handler
 	if handler == nil {
 		handler = ExecuteShard
 	}
@@ -37,8 +66,31 @@ func StartStubWorker(id string, latency time.Duration, handler ShardHandler) (*S
 	if err != nil {
 		return nil, err
 	}
+	sw := &StubWorker{
+		lis: lis,
+		url: "http://" + lis.Addr().String(),
+	}
+	sw.healthy.Store(true)
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST "+ShardPath, func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+HealthzPath, func(w http.ResponseWriter, r *http.Request) {
+		if !sw.healthy.Load() {
+			serve.WriteJSONError(w, http.StatusServiceUnavailable, "stub worker marked unhealthy", 0)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}` + "\n"))
+	})
+	shard := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if opt.Token != "" {
+			want := "Bearer " + opt.Token
+			got := r.Header.Get("Authorization")
+			if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="mtsimd"`)
+				serve.WriteJSONError(w, http.StatusUnauthorized, "missing or invalid bearer token", 0)
+				return
+			}
+		}
 		var spec ShardSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 			serve.WriteJSONError(w, http.StatusBadRequest, "malformed shard spec: "+err.Error(), 0)
@@ -48,8 +100,8 @@ func StartStubWorker(id string, latency time.Duration, handler ShardHandler) (*S
 			serve.WriteJSONError(w, http.StatusBadRequest, err.Error(), 0)
 			return
 		}
-		if latency > 0 {
-			t := time.NewTimer(latency)
+		if opt.Latency > 0 {
+			t := time.NewTimer(opt.Latency)
 			select {
 			case <-r.Context().Done():
 				t.Stop()
@@ -66,21 +118,36 @@ func StartStubWorker(id string, latency time.Duration, handler ShardHandler) (*S
 			serve.WriteJSONError(w, status, err.Error(), 0)
 			return
 		}
+		body, err := json.Marshal(p)
+		if err != nil {
+			serve.WriteJSONError(w, http.StatusInternalServerError, err.Error(), 0)
+			return
+		}
+		body = append(body, '\n')
+		// Failpoint "shard.payload": corrupt the result on the wire (bitflip)
+		// or tear it (short) — the coordinator's checksum/decode layer must
+		// catch either and requeue.
+		body, err = chaos.Write("shard.payload", body)
+		if err != nil {
+			serve.WriteJSONError(w, http.StatusInternalServerError, err.Error(), 0)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Mtsimd-Worker", id)
-		json.NewEncoder(w).Encode(p)
+		w.Header().Set("X-Mtsimd-Worker", opt.ID)
+		w.Write(body)
 	})
-	sw := &StubWorker{
-		srv: &http.Server{Handler: mux},
-		lis: lis,
-		url: "http://" + lis.Addr().String(),
-	}
+	mux.Handle("POST "+ShardPath, serve.ChaosFaults(shard))
+	sw.srv = &http.Server{Handler: mux}
 	go sw.srv.Serve(lis)
 	return sw, nil
 }
 
 // URL is the worker's base URL, the form New takes.
 func (w *StubWorker) URL() string { return w.url }
+
+// SetHealthy flips the /healthz verdict, letting tests script eviction and
+// re-admission without killing the listener.
+func (w *StubWorker) SetHealthy(ok bool) { w.healthy.Store(ok) }
 
 // Close stops the worker immediately — in-flight requests are severed, the
 // behavior a coordinator must survive.

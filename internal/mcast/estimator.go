@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"mtreescale/internal/arena"
+	"mtreescale/internal/chaos"
 	"mtreescale/internal/graph"
 	"mtreescale/internal/panicsafe"
 	"mtreescale/internal/rng"
@@ -322,6 +323,13 @@ func runWorkersN(ctx context.Context, workers, nJobs int, job func(i int) error)
 			defer wg.Done()
 			for si := range jobs {
 				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				// Failpoint "mcast.worker": latency rules stall a source job
+				// (a straggling worker), error rules abort the engine like a
+				// failing measurement, panic rules exercise panicsafe below.
+				if err := chaos.Maybe("mcast.worker"); err != nil {
 					errs[w] = err
 					return
 				}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"mtreescale/internal/chaos"
+)
+
+// ChaosFaults is the serving tier's failpoint surface, installed under the
+// Recoverer so injected panics exercise the real incident path. Sites:
+//
+//	serve.handler         latency stalls, injected errors (as 500s), panics
+//	serve.handler.status  injected status codes (429 carries a Retry-After,
+//	                      so coordinator backpressure handling is exercised)
+//	serve.response.trunc  response bodies cut off after N bytes, the torn
+//	                      payload a dying peer or broken proxy produces
+//
+// With chaos disabled the middleware forwards after a single atomic load.
+func ChaosFaults(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !chaos.Enabled() {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if code, ok := chaos.Status("serve.handler.status"); ok {
+			retry := time.Duration(0)
+			if code == http.StatusTooManyRequests {
+				retry = time.Second
+			}
+			WriteJSONError(w, code, "chaos: injected status", retry)
+			return
+		}
+		// Latency rules stall here; panic rules unwind to the Recoverer;
+		// error rules answer 500 like any handler failure.
+		if err := chaos.Maybe("serve.handler"); err != nil {
+			WriteJSONError(w, http.StatusInternalServerError, err.Error(), 0)
+			return
+		}
+		if limit, ok := chaos.Trunc("serve.response.trunc"); ok {
+			tw := &truncWriter{ResponseWriter: w, remain: limit}
+			next.ServeHTTP(tw, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// truncWriter forwards at most remain body bytes and drops the rest, so the
+// client sees a syntactically torn payload (the JSON decoder fails mid-
+// document) rather than a clean short read.
+type truncWriter struct {
+	http.ResponseWriter
+	remain int
+}
+
+func (t *truncWriter) Write(p []byte) (int, error) {
+	if t.remain <= 0 {
+		return len(p), nil // swallow; report success like a buffering proxy
+	}
+	n := len(p)
+	if n > t.remain {
+		n = t.remain
+	}
+	if _, err := t.ResponseWriter.Write(p[:n]); err != nil {
+		return 0, err
+	}
+	t.remain -= n
+	return len(p), nil
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mtreescale/internal/chaos"
+	"mtreescale/internal/panicsafe"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true,"payload":"0123456789abcdef0123456789abcdef"}`)
+	})
+}
+
+func doReq(t *testing.T, h http.Handler) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+	return rr
+}
+
+func TestChaosFaultsDisabledPassthrough(t *testing.T) {
+	chaos.Disable()
+	rr := doReq(t, ChaosFaults(okHandler()))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), `"ok":true`) {
+		t.Fatalf("disabled chaos altered response: %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestChaosFaultsInjectedStatus(t *testing.T) {
+	plan, err := chaos.Parse("serve.handler.status=status:429#1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Enable(plan)
+	defer chaos.Disable()
+
+	h := ChaosFaults(okHandler())
+	rr := doReq(t, h)
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("injected 429 missing Retry-After")
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil || body.Error == "" {
+		t.Fatalf("injected status body not a JSON error doc: %q", rr.Body.String())
+	}
+	// Limit 1: the next request passes clean.
+	if rr2 := doReq(t, h); rr2.Code != 200 {
+		t.Fatalf("second request = %d, want 200 after limit exhausted", rr2.Code)
+	}
+}
+
+func TestChaosFaultsInjectedError(t *testing.T) {
+	plan, err := chaos.Parse("serve.handler=error#1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Enable(plan)
+	defer chaos.Disable()
+
+	rr := doReq(t, ChaosFaults(okHandler()))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rr.Code)
+	}
+}
+
+func TestChaosFaultsPanicUnwindsToRecoverer(t *testing.T) {
+	plan, err := chaos.Parse("serve.handler=panic#1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Enable(plan)
+	defer chaos.Disable()
+
+	var incidentID string
+	h := Recoverer(func(id string, pe *panicsafe.PanicError) { incidentID = id }, ChaosFaults(okHandler()))
+	rr := doReq(t, h)
+	if incidentID == "" {
+		t.Fatal("Recoverer incident hook never fired")
+	}
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 from Recoverer", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "incident") {
+		t.Fatalf("panic did not reach Recoverer: %q", rr.Body.String())
+	}
+}
+
+func TestChaosFaultsTruncatesResponse(t *testing.T) {
+	plan, err := chaos.Parse("serve.response.trunc=trunc:10#1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Enable(plan)
+	defer chaos.Disable()
+
+	h := ChaosFaults(okHandler())
+	rr := doReq(t, h)
+	if got := rr.Body.Len(); got != 10 {
+		t.Fatalf("truncated body = %d bytes, want 10", got)
+	}
+	var v any
+	if err := json.Unmarshal(rr.Body.Bytes(), &v); err == nil {
+		t.Fatal("truncated body still parsed as JSON — truncation exercised nothing")
+	}
+	// After the limit, responses flow whole again.
+	if rr2 := doReq(t, h); rr2.Body.Len() == 10 {
+		t.Fatal("truncation persisted past its limit")
+	}
+}
+
+// TestQuarantineLifecycleViaSetClock walks the full strike → quarantined →
+// elapsed → re-strike → capped → Clear cycle against the exported SetClock
+// hook, with no real sleeping anywhere. This is the cross-package pattern:
+// external tests get deterministic backoff timing without reaching into
+// unexported fields.
+func TestQuarantineLifecycleViaSetClock(t *testing.T) {
+	q := NewQuarantine(time.Second, 4*time.Second)
+	now := time.Unix(2_000_000, 0)
+	q.SetClock(func() time.Time { return now })
+
+	// Strike 1: quarantined for exactly base.
+	if b := q.Report("shard:abc", ErrQuarantined); b != time.Second {
+		t.Fatalf("strike 1 backoff = %v, want 1s", b)
+	}
+	if ok, retry := q.Allowed("shard:abc"); ok || retry != time.Second {
+		t.Fatalf("after strike 1: ok=%v retry=%v", ok, retry)
+	}
+	// Halfway through: still quarantined, Retry-After shrinks with the clock.
+	now = now.Add(400 * time.Millisecond)
+	if ok, retry := q.Allowed("shard:abc"); ok || retry != 600*time.Millisecond {
+		t.Fatalf("mid-backoff: ok=%v retry=%v, want 600ms left", ok, retry)
+	}
+	// Elapsed: admitted for the retry, but strikes are retained.
+	now = now.Add(600 * time.Millisecond)
+	if ok, _ := q.Allowed("shard:abc"); !ok {
+		t.Fatal("not admitted after backoff elapsed")
+	}
+	// Strikes 2..5 double then pin at the cap: 2s, 4s, 4s, 4s.
+	want := []time.Duration{2 * time.Second, 4 * time.Second, 4 * time.Second, 4 * time.Second}
+	for i, w := range want {
+		if b := q.Report("shard:abc", ErrQuarantined); b != w {
+			t.Fatalf("strike %d backoff = %v, want %v", i+2, b, w)
+		}
+		now = now.Add(w)
+	}
+	// Successful retry clears everything; the next failure starts at base.
+	q.Clear("shard:abc")
+	if b := q.Report("shard:abc", ErrQuarantined); b != time.Second {
+		t.Fatalf("post-Clear backoff = %v, want base", b)
+	}
+	// SetClock(nil) restores the real clock: a 1s quarantine started "now"
+	// must still be active when checked immediately.
+	q.SetClock(nil)
+	q.Report("shard:real", ErrQuarantined)
+	if ok, _ := q.Allowed("shard:real"); ok {
+		t.Fatal("real-clock quarantine already elapsed")
+	}
+}

@@ -61,6 +61,18 @@ func NewQuarantine(base, max time.Duration) *Quarantine {
 	}
 }
 
+// SetClock replaces the registry's time source. Tests (including other
+// packages') use it to drive strike/elapse/clear transitions without
+// sleeping; pass nil to restore the real clock.
+func (q *Quarantine) SetClock(now func() time.Time) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	q.now = now
+}
+
 // Report strikes id with the given cause and returns the backoff applied.
 func (q *Quarantine) Report(id string, cause error) time.Duration {
 	q.mu.Lock()

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — end-to-end fault-injection soak against real binaries.
+#
+# Three phases, one invariant: whatever the injected faults do, the cluster's
+# merged.json must stay byte-identical to the single-process golden.
+#
+#   1. Two token-guarded mtsimd workers run with chaos schedules (handler
+#      stalls, injected 429s, one bit-flipped shard payload, one truncated
+#      response); the coordinator runs with journal short-writes injected,
+#      heartbeats and speculation on, and worker B is SIGKILLed as soon as
+#      it completes a shard.
+#   2. The surviving journal's tail is corrupted with a torn record, then
+#      the run is resumed against the surviving worker alone: valid entries
+#      replay, the torn tail is repaired, missing shards recompute.
+#   3. The same -chaos spec and -chaos-seed are run twice; the fired-fault
+#      logs must be line-identical — the schedule is a pure function of the
+#      seed.
+#
+# The deterministic in-process variants of these scenarios live in
+# internal/cluster's chaos tests; this script proves the same properties
+# across real processes, real sockets and a real on-disk journal.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT_A=${PORT_A:-18091}
+PORT_B=${PORT_B:-18092}
+TOKEN=chaos-smoke-token
+# ti5000 at this width keeps each shard around ~100ms of real compute, so
+# the kill and the injected stalls land while shards are still queued.
+GRID=(-kind ensemble -topo ti5000 -nets 8 -nsource 600 -nrcvr 40 -sizes 1,3,10,30,100 -seed 5)
+HARDEN=(-token "$TOKEN" -retries 12 -backoff 100ms
+    -heartbeat 300ms -heartbeat-fails 2 -speculate 3 -spec-min 500ms)
+
+bin=$(mktemp -d) out=$(mktemp -d)
+cleanup() {
+    [[ -n "${A_PID:-}" ]] && kill "$A_PID" 2>/dev/null || true
+    [[ -n "${B_PID:-}" ]] && kill "$B_PID" 2>/dev/null || true
+    rm -rf "$bin" "$out"
+}
+trap cleanup EXIT
+
+go build -o "$bin/mtsimd" ./cmd/mtsimd
+go build -o "$bin/mtctl" ./cmd/mtctl
+
+# Worker A: handler stalls and injected 429s. Worker B: one bit-flipped
+# shard payload (a checksum-verification target) and one truncated response
+# (a decode-failure target).
+"$bin/mtsimd" -addr "127.0.0.1:$PORT_A" -worker-id chaos-a -shard-token "$TOKEN" \
+    -chaos 'serve.handler=latency:400ms@0.25#3;serve.handler.status=status:429#2' \
+    -chaos-seed 7 >"$out/a.log" 2>&1 &
+A_PID=$!
+"$bin/mtsimd" -addr "127.0.0.1:$PORT_B" -worker-id chaos-b -shard-token "$TOKEN" \
+    -chaos 'shard.payload=bitflip#1;serve.response.trunc=trunc:40#1' \
+    -chaos-seed 7 >"$out/b.log" 2>&1 &
+B_PID=$!
+
+wait_ready() {
+    for _ in $(seq 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then exec 3>&- 3<&-; return 0; fi
+        sleep 0.1
+    done
+    echo "chaos-smoke: worker on port $1 never became reachable" >&2
+    return 1
+}
+wait_ready "$PORT_A"
+wait_ready "$PORT_B"
+
+echo "chaos-smoke: recording single-process golden"
+"$bin/mtctl" -local "${GRID[@]}" -out "$out/local" 2>/dev/null
+
+echo "chaos-smoke: phase 1 — 8 shards over two faulty workers, killing chaos-b after its first shard"
+"$bin/mtctl" \
+    -workers "http://127.0.0.1:$PORT_A,http://127.0.0.1:$PORT_B" \
+    "${GRID[@]}" "${HARDEN[@]}" -shards 8 \
+    -chaos 'journal.write=short@0.3#2' -chaos-seed 7 \
+    -out "$out/chaos" 2>"$out/progress" &
+CTL_PID=$!
+
+while kill -0 "$CTL_PID" 2>/dev/null; do
+    if grep -q "complete on http://127.0.0.1:$PORT_B" "$out/progress" 2>/dev/null; then
+        echo "chaos-smoke: killing chaos-b (pid $B_PID)"
+        kill -9 "$B_PID"
+        break
+    fi
+    sleep 0.05
+done
+
+if ! wait "$CTL_PID"; then
+    echo "chaos-smoke: phase-1 mtctl failed; progress follows" >&2
+    cat "$out/progress" >&2
+    exit 1
+fi
+sed 's/^/chaos-smoke:   /' "$out/progress"
+
+cmp "$out/local/merged.json" "$out/chaos/merged.json"
+echo "chaos-smoke: phase-1 merged output byte-identical to golden under stalls, 429s, bitflip, truncation, short journal writes and a worker kill"
+
+echo "chaos-smoke: phase 2 — corrupting the journal tail, resuming against the survivor"
+printf '{"key":"torn-mid-record' >>"$out/chaos/checkpoint.jsonl"
+rm "$out/chaos/merged.json"
+if ! "$bin/mtctl" -workers "http://127.0.0.1:$PORT_A" \
+    "${GRID[@]}" "${HARDEN[@]}" -shards 8 \
+    -out "$out/chaos" -resume 2>"$out/progress2"; then
+    echo "chaos-smoke: phase-2 resume failed; progress follows" >&2
+    cat "$out/progress2" >&2
+    exit 1
+fi
+sed 's/^/chaos-smoke:   /' "$out/progress2"
+grep -q "resumed" "$out/progress2" || {
+    echo "chaos-smoke: resume replayed no journal entries" >&2
+    exit 1
+}
+
+cmp "$out/local/merged.json" "$out/chaos/merged.json"
+echo "chaos-smoke: phase-2 merged output byte-identical to golden after torn-tail journal resume"
+
+echo "chaos-smoke: phase 3 — same seed, same schedule"
+for run in d1 d2; do
+    "$bin/mtctl" -workers "http://127.0.0.1:$PORT_A" -token "$TOKEN" \
+        "${GRID[@]}" -shards 4 -retries 12 -backoff 100ms \
+        -chaos 'journal.write=short@0.5' -chaos-seed 99 \
+        -out "$out/$run" 2>"$out/$run.log"
+    grep '^chaos:' "$out/$run.log" >"$out/$run.fired" || true
+done
+if ! cmp -s "$out/d1.fired" "$out/d2.fired"; then
+    echo "chaos-smoke: same -chaos-seed produced different fault schedules:" >&2
+    diff "$out/d1.fired" "$out/d2.fired" >&2 || true
+    exit 1
+fi
+[[ -s "$out/d1.fired" ]] || {
+    echo "chaos-smoke: determinism phase fired no faults (spec expected journal short writes)" >&2
+    exit 1
+}
+sed 's/^/chaos-smoke:   /' "$out/d1.fired"
+cmp "$out/local/merged.json" "$out/d1/merged.json"
+cmp "$out/local/merged.json" "$out/d2/merged.json"
+echo "chaos-smoke: identical -chaos-seed replayed an identical fault schedule; both runs byte-identical to golden"
