@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare bench-cluster bench-large large-smoke cluster-smoke chaos-smoke fuzz fuzz-smoke results results-paper report clean
+.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare bench-cluster bench-large large-smoke cluster-smoke chaos-smoke membership-smoke fuzz fuzz-smoke results results-paper report clean
 
 all: build vet test
 
@@ -37,7 +37,7 @@ race:
 # hangs CI instead of passing silently.
 race-robust:
 	$(GO) test -race -timeout 5m \
-		-run 'Cancel|Panic|Recover|Resume|Checkpoint|HeapGuard|MaxHeap|Timeout|Register|Commit|WriteFile|Quarantine|Shed|Drain|Saturat|Degraded|SlowLoris|Restart|Eviction|Churn|Backs|Survives|RetryBudget|Chaos|Heartbeat|Specul|Integrity|Torn|Tail|Auth' \
+		-run 'Cancel|Panic|Recover|Resume|Checkpoint|HeapGuard|MaxHeap|Timeout|Register|Commit|WriteFile|Quarantine|Shed|Drain|Saturat|Degraded|SlowLoris|Restart|Eviction|Churn|Backs|Survives|RetryBudget|Chaos|Heartbeat|Specul|Integrity|Torn|Tail|Auth|Membership|Fence|Registry|Lease|Announce|Breaker|Backoff|TLS' \
 		./internal/mcast/... ./internal/experiments/... ./internal/panicsafe/... \
 		./internal/atomicio/... ./internal/serve/... ./internal/graph/... \
 		./internal/cluster/... ./internal/chaos/... \
@@ -131,6 +131,18 @@ chaos-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkChaosDisabled$$' -benchmem -count 1 ./internal/chaos/
 	./scripts/chaos_smoke.sh
 
+# The membership smoke: the self-healing membership surface (lease registry,
+# worker announce, epoch-fenced takeover, TLS transport) under the race
+# detector, then the end-to-end script: real daemons with a worker joining
+# mid-run, a SIGKILLed worker retired by lease expiry, a coordinator killed
+# and fenced out by its replacement, and a TLS phase — every phase
+# byte-compared against the single-process golden.
+membership-smoke:
+	$(GO) test -race -timeout 5m \
+		-run 'Membership|Fence|Registry|Lease|Announce|TLS' \
+		./internal/cluster/... ./internal/atomicio/... ./internal/retry/...
+	./scripts/membership_smoke.sh
+
 # Short fuzzing passes over the parsers.
 fuzz:
 	$(GO) test -fuzz FuzzRead$$ -fuzztime 30s ./internal/graph/
@@ -140,6 +152,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseCheckpointLine -fuzztime 30s ./internal/experiments/
 	$(GO) test -fuzz FuzzParseBenchOutput -fuzztime 30s ./cmd/benchjson/
 	$(GO) test -fuzz FuzzCompareDocs -fuzztime 30s ./cmd/benchjson/
+	$(GO) test -fuzz FuzzParseChaosPlan -fuzztime 30s ./internal/chaos/
 
 # The CI fuzz gate: every target for a short burst, cheap enough to run on
 # each push (regressions on known-crasher corpora surface immediately; long
@@ -152,6 +165,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseCheckpointLine -fuzztime 10s ./internal/experiments/
 	$(GO) test -run '^$$' -fuzz FuzzParseBenchOutput -fuzztime 10s ./cmd/benchjson/
 	$(GO) test -run '^$$' -fuzz FuzzCompareDocs -fuzztime 10s ./cmd/benchjson/
+	$(GO) test -run '^$$' -fuzz FuzzParseChaosPlan -fuzztime 10s ./internal/chaos/
 
 # Regenerate every experiment at the default (medium) profile.
 results:

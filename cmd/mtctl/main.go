@@ -38,7 +38,22 @@
 //     than N times the rolling mean shard latency (floor -spec-min); the
 //     first valid result wins, the loser is discarded.
 //   - -token authenticates POST /shard and heartbeat probes against workers
-//     started with mtsimd -shard-token.
+//     started with mtsimd -shard-token; it also gates the -register-addr
+//     registrar.
+//   - Membership is dynamic: -register-addr serves a registrar workers
+//     announce themselves to (mtsimd -announce), and -discover polls a
+//     worker address file. Announced workers hold a -lease-ttl lease that
+//     every successful heartbeat renews; a worker whose lease expires is
+//     retired — its in-flight shards requeue without costing retry budget —
+//     and may rejoin later by announcing again. The classic -workers list
+//     is static membership: those workers are never retired, only evicted.
+//   - With -out, the journal is epoch-fenced: each coordinator claims the
+//     next epoch on open, so a replacement coordinator resuming a dead
+//     one's run fences the original — if the "dead" coordinator was merely
+//     slow and writes again, its append fails and it aborts instead of
+//     double-merging (no split-brain).
+//   - -tls-ca pins the CA for https workers (mtsimd -tls-cert/-tls-key);
+//     -tls-cert/-tls-key serve the registrar itself over TLS.
 //
 // -bench measures the coordinator's fan-out overlap against calibrated-
 // latency in-process stub workers (1 worker vs 2 over the same grid) and
@@ -51,6 +66,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -99,11 +116,20 @@ func runCtl(ctx context.Context, args []string, outw, errw io.Writer) error {
 		sptcache = fs.Bool("sptcache", true, "reuse shortest-path trees via the process-wide SPT cache")
 		large    = fs.Bool("compress", false, "hold topologies in the compressed CSR layout")
 
-		shards   = fs.Int("shards", 0, "number of shards to cut the grid into (0 = 2 per worker)")
-		inflight = fs.Int("inflight", 1, "concurrent shards per worker (bounded fan-out)")
-		retries  = fs.Int("retries", 3, "worker-failure budget per shard (429s are backpressure and cost nothing)")
-		backoff  = fs.Duration("backoff", 200*time.Millisecond, "requeue pause after a worker failure; also the 429 fallback when Retry-After is absent")
-		token    = fs.String("token", "", "bearer token sent with every POST /shard and heartbeat probe (matches mtsimd -shard-token)")
+		shards     = fs.Int("shards", 0, "number of shards to cut the grid into (0 = 2 per worker)")
+		inflight   = fs.Int("inflight", 1, "concurrent shards per worker (bounded fan-out)")
+		retries    = fs.Int("retries", 3, "worker-failure budget per shard (429s are backpressure and cost nothing)")
+		backoff    = fs.Duration("backoff", 200*time.Millisecond, "base requeue pause after a worker failure, growing exponentially per strike; also the 429 fallback when Retry-After is absent")
+		backoffMax = fs.Duration("backoff-max", 0, "cap on the exponential requeue backoff (0 = 10x -backoff)")
+		token      = fs.String("token", "", "bearer token sent with every POST /shard and heartbeat probe (matches mtsimd -shard-token); also gates -register-addr")
+		tlsCA      = fs.String("tls-ca", "", "CA certificate pool (PEM) trusted for https workers (mtsimd -tls-cert)")
+
+		discover         = fs.String("discover", "", "worker address file (one base URL per line, #-comments) polled for membership; additions join within one poll, removals age out by lease expiry")
+		discoverInterval = fs.Duration("discover-interval", time.Second, "poll period for -discover")
+		registerAddr     = fs.String("register-addr", "", "serve a registrar on this address: workers announce themselves via POST /register (mtsimd -announce)")
+		tlsCert          = fs.String("tls-cert", "", "serve the -register-addr registrar over TLS with this PEM certificate (requires -tls-key)")
+		tlsKey           = fs.String("tls-key", "", "PEM private key for -tls-cert")
+		leaseTTL         = fs.Duration("lease-ttl", 0, "membership lease for announced workers; a lease no heartbeat or announcement renews retires the worker (0 = 15s)")
 
 		heartbeat = fs.Duration("heartbeat", 5*time.Second, "worker liveness probe interval; evicted workers stop receiving shards until a probe succeeds (0 disables)")
 		hbFails   = fs.Int("heartbeat-fails", 3, "consecutive heartbeat failures before a worker is evicted")
@@ -166,19 +192,34 @@ func runCtl(ctx context.Context, args []string, outw, errw io.Writer) error {
 		if err != nil {
 			return err
 		}
-	case *workers != "":
+	case *workers != "" || *discover != "" || *registerAddr != "":
 		label = "ClusterRun/" + string(grid.Kind)
 		urls := splitList(*workers)
 		opt := mtreescale.ClusterOptions{
 			Inflight:       *inflight,
 			Retries:        *retries,
 			Backoff:        *backoff,
+			BackoffMax:     *backoffMax,
 			Token:          *token,
 			Heartbeat:      *heartbeat,
 			HeartbeatFails: *hbFails,
 			SpecFactor:     *speculate,
 			SpecMin:        *specMin,
+			LeaseTTL:       *leaseTTL,
 			OnEvent:        eventPrinter(errw),
+		}
+		if *tlsCA != "" {
+			client, err := mtreescale.NewClusterTLSClient(*tlsCA)
+			if err != nil {
+				return fmt.Errorf("-tls-ca: %w", err)
+			}
+			opt.Client = client
+		}
+		// Dynamic membership: a shared registry lets the discover poller
+		// and/or the registrar endpoint admit workers while the run is in
+		// flight; the classic -workers list enters it as static members.
+		if *discover != "" || *registerAddr != "" {
+			opt.Registry = mtreescale.NewClusterRegistry(*leaseTTL, nil)
 		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -191,9 +232,38 @@ func runCtl(ctx context.Context, args []string, outw, errw io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *discover != "" {
+			go coord.Registry().PollDiscoverFile(ctx, *discover, *discoverInterval,
+				func(err error) { fmt.Fprintf(errw, "mtctl: discover: %v\n", err) })
+		}
+		if *registerAddr != "" {
+			if (*tlsCert == "") != (*tlsKey == "") {
+				return fmt.Errorf("-tls-cert and -tls-key must be given together")
+			}
+			rln, err := net.Listen("tcp", *registerAddr)
+			if err != nil {
+				return fmt.Errorf("-register-addr: %w", err)
+			}
+			rsrv := &http.Server{
+				Handler:           coord.Registry().Handler(*token),
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			defer rsrv.Close()
+			if *tlsCert != "" {
+				go func() { _ = rsrv.ServeTLS(rln, *tlsCert, *tlsKey) }()
+				fmt.Fprintf(errw, "mtctl: registrar on https://%s\n", rln.Addr())
+			} else {
+				go func() { _ = rsrv.Serve(rln) }()
+				fmt.Fprintf(errw, "mtctl: registrar on http://%s\n", rln.Addr())
+			}
+		}
 		n := *shards
 		if n <= 0 {
 			n = 2 * len(urls)
+		}
+		if n <= 0 {
+			// Pure dynamic membership: no static workers to size from.
+			n = 8
 		}
 		merged, stats, err = coord.Run(ctx, grid, n)
 		if err != nil {
@@ -211,6 +281,9 @@ func runCtl(ctx context.Context, args []string, outw, errw io.Writer) error {
 		if stats.Evictions+stats.Readmissions+stats.Speculations+stats.JournalSkipped > 0 {
 			fmt.Fprintf(errw, "mtctl: %d evictions, %d readmissions, %d speculations, %d journal lines skipped\n",
 				stats.Evictions, stats.Readmissions, stats.Speculations, stats.JournalSkipped)
+		}
+		if stats.Joins+stats.Leaves > 0 {
+			fmt.Fprintf(errw, "mtctl: %d joins, %d leaves\n", stats.Joins, stats.Leaves)
 		}
 		for _, w := range sortedKeys(stats.PerWorker) {
 			fmt.Fprintf(errw, "mtctl:   %s: %d shards\n", w, stats.PerWorker[w])
@@ -333,6 +406,10 @@ func eventPrinter(errw io.Writer) func(mtreescale.ClusterEvent) {
 			fmt.Fprintf(errw, "mtctl: %s evicted: %v\n", ev.Worker, ev.Err)
 		case "readmit":
 			fmt.Fprintf(errw, "mtctl: %s readmitted after a successful probe\n", ev.Worker)
+		case "join":
+			fmt.Fprintf(errw, "mtctl: %s joined the worker pool\n", ev.Worker)
+		case "leave":
+			fmt.Fprintf(errw, "mtctl: %s left the worker pool (lease expired); its shards requeue\n", ev.Worker)
 		case "speculate":
 			fmt.Fprintf(errw, "mtctl: shard [%d,%d) straggling on %s; dispatching a backup copy\n",
 				ev.Lo, ev.Hi, ev.Worker)

@@ -85,6 +85,12 @@ func runDaemon(ctx context.Context, args []string, logw io.Writer) error {
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on a separate listener at this address (e.g. localhost:6060); empty disables")
 	maxHeap := fs.String("maxheap", "", "per-experiment soft heap cap, e.g. 512m (empty = unlimited)")
 	fs.StringVar(&cfg.shardToken, "shard-token", "", "require this bearer token on POST /shard (empty = open); coordinators pass it via mtctl -token")
+	fs.StringVar(&cfg.tlsCert, "tls-cert", "", "serve TLS with this PEM certificate (requires -tls-key); coordinators connect with mtctl -tls-ca")
+	fs.StringVar(&cfg.tlsKey, "tls-key", "", "PEM private key for -tls-cert")
+	tlsCA := fs.String("tls-ca", "", "CA certificate pool (PEM) trusted when announcing to an https registrar")
+	announce := fs.String("announce", "", "registrar base URL (mtctl -register-addr) to announce this worker to; announcements double as lease renewals")
+	advertise := fs.String("advertise", "", "base URL other hosts reach this worker at (default: scheme + listen address)")
+	announceInterval := fs.Duration("announce-interval", 5*time.Second, "re-announcement period for -announce; failures back off exponentially from it")
 	chaosSpec := fs.String("chaos", "", "fault-injection schedule, e.g. 'serve.handler=error@0.1;shard.payload=bitflip#1' (testing only; see internal/chaos)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the -chaos schedule; the same seed reproduces the identical fault sequence")
 	if err := fs.Parse(args); err != nil {
@@ -99,6 +105,9 @@ func runDaemon(ctx context.Context, args []string, logw io.Writer) error {
 		return fmt.Errorf("-maxheap: %w", err)
 	}
 	cfg.maxHeap = hb
+	if (cfg.tlsCert == "") != (cfg.tlsKey == "") {
+		return fmt.Errorf("-tls-cert and -tls-key must be given together")
+	}
 
 	logf := func(format string, args ...any) { fmt.Fprintf(logw, format+"\n", args...) }
 	if *chaosSpec != "" {
@@ -131,8 +140,28 @@ func runDaemon(ctx context.Context, args []string, logw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	logf("mtsimd: listening on http://%s (%d experiments, profiles paper|medium|quick)",
-		ln.Addr(), len(mtreescale.ListExperiments()))
+	scheme := "http"
+	if cfg.tlsCert != "" {
+		scheme = "https"
+	}
+	if *announce != "" {
+		self := *advertise
+		if self == "" {
+			self = scheme + "://" + ln.Addr().String()
+		}
+		client := http.DefaultClient
+		if *tlsCA != "" {
+			client, err = mtreescale.NewClusterTLSClient(*tlsCA)
+			if err != nil {
+				return fmt.Errorf("-tls-ca: %w", err)
+			}
+		}
+		logf("mtsimd: announcing %s to %s every %s", self, *announce, *announceInterval)
+		go mtreescale.ClusterAnnounceLoop(ctx, client, *announce, self, cfg.shardToken, *announceInterval,
+			func(err error) { logf("mtsimd: announce: %v", err) })
+	}
+	logf("mtsimd: listening on %s://%s (%d experiments, profiles paper|medium|quick)",
+		scheme, ln.Addr(), len(mtreescale.ListExperiments()))
 	return serveDaemon(ctx, s, ln)
 }
 
@@ -147,7 +176,11 @@ func serveDaemon(ctx context.Context, s *server, ln net.Listener) error {
 		ReadHeaderTimeout: s.cfg.readHeaderTimeout,
 	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- hs.Serve(ln) }()
+	if s.cfg.tlsCert != "" {
+		go func() { errCh <- hs.ServeTLS(ln, s.cfg.tlsCert, s.cfg.tlsKey) }()
+	} else {
+		go func() { errCh <- hs.Serve(ln) }()
+	}
 
 	select {
 	case err := <-errCh:

@@ -58,6 +58,12 @@ type config struct {
 	// stay open: liveness must be probeable, and /curve is the interactive
 	// read path. Coordinators pass the token via mtctl -token.
 	shardToken string
+
+	// tlsCert/tlsKey, when both set, serve every endpoint over TLS;
+	// coordinators reach the worker with mtctl -tls-ca pointed at the CA
+	// that signed the certificate.
+	tlsCert string
+	tlsKey  string
 }
 
 func defaultConfig() config {

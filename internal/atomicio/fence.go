@@ -1,0 +1,199 @@
+package atomicio
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"mtreescale/internal/chaos"
+)
+
+// ErrFenced marks a journal append rejected because a newer coordinator
+// epoch has claimed the file: somewhere past this writer's last append sits
+// a fence record with a higher epoch, so this writer is the stale side of a
+// coordinator takeover and must stop — its run may already have been
+// resumed elsewhere, and letting its late writes land would set up a
+// split-brain double-merge.
+var ErrFenced = errors.New("journal: fenced by a newer coordinator epoch")
+
+// FenceRecord is the epoch-claim line a fenced journal writer appends on
+// open. Its field names share nothing with shard records, so legacy readers
+// treat fence lines as foreign and skip them, while epoch-aware readers use
+// them to order every subsequent shard line.
+type FenceRecord struct {
+	FenceEpoch int64  `json:"fence_epoch"`
+	FenceOwner string `json:"fence_owner,omitempty"`
+}
+
+// OpenJournalFenced opens path like OpenJournal and claims the next
+// coordinator epoch: the current maximum fence epoch in the file plus one,
+// durably recorded as a FenceRecord line before any shard line. The
+// returned epoch should be stamped into every record appended through this
+// journal, so a reader can reject lines a stale writer landed after losing
+// the file.
+//
+// Fencing is detected on every Append: the file size is checked against
+// this writer's own running count, and any foreign bytes are scanned for a
+// higher-epoch fence record. Found one, the append is rejected and the
+// journal's deferred error becomes ErrFenced — callers that care about
+// takeover (the cluster coordinator) check Err after appending.
+//
+// Failpoint "coord.fence" fires while the fence record is being claimed,
+// modeling a crash or I/O error between reading the old epoch and durably
+// writing the new one.
+func OpenJournalFenced(path string, resume bool, owner string) (*Journal, int64, error) {
+	if resume {
+		if _, err := RepairJournalTail(path); err != nil {
+			return nil, 0, err
+		}
+	}
+	flags := os.O_CREATE | os.O_RDWR | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	epoch, size, err := maxFenceEpoch(f)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	epoch++
+	if err := chaos.Maybe("coord.fence"); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("journal: claiming epoch %d: %w", epoch, err)
+	}
+	j := &Journal{f: f, epoch: epoch, fenced: true, size: size}
+	j.Append("fence", FenceRecord{FenceEpoch: epoch, FenceOwner: owner})
+	if err := j.Err(); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("journal: claiming epoch %d: %w", epoch, err)
+	}
+	return j, epoch, nil
+}
+
+// Epoch returns the coordinator epoch a fenced journal claimed at open
+// (zero for journals opened with plain OpenJournal).
+func (j *Journal) Epoch() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// maxFenceEpoch scans an open journal for its highest fence epoch and
+// returns it with the file's current size. Non-fence and damaged lines are
+// skipped — the scan orders writers, it does not validate payloads.
+func maxFenceEpoch(f *os.File) (epoch int64, size int64, err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	max, err := scanFences(io.NewSectionReader(f, 0, st.Size()), 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return max, st.Size(), nil
+}
+
+// scanFences reads JSON lines from r and returns the highest fence epoch
+// found, at least floor.
+func scanFences(r io.Reader, floor int64) (int64, error) {
+	max := floor
+	br := newLineReader(r)
+	for {
+		line, err := br.next()
+		if len(line) > 0 {
+			var rec FenceRecord
+			if json.Unmarshal(line, &rec) == nil && rec.FenceEpoch > max {
+				max = rec.FenceEpoch
+			}
+		}
+		if err == io.EOF {
+			return max, nil
+		}
+		if err != nil {
+			return max, err
+		}
+	}
+}
+
+// checkFence is called under j.mu before a fenced append: if the file has
+// grown past the bytes this writer accounted for, another writer has been
+// here — scan the foreign bytes for a fence record with a higher epoch.
+// Foreign non-fence bytes (a stale lower-epoch writer's lines) do not fence
+// us; the epoch ordering at read time discards them instead.
+func (j *Journal) checkFence() error {
+	st, err := j.f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == j.size {
+		return nil
+	}
+	if st.Size() < j.size {
+		// The file shrank under us: truncated or replaced. Treat it like a
+		// fence — this writer no longer owns what it thinks it wrote.
+		return fmt.Errorf("%w (journal truncated beneath writer)", ErrFenced)
+	}
+	sec := io.NewSectionReader(j.f, j.size, st.Size()-j.size)
+	max, err := scanFences(sec, 0)
+	if err != nil {
+		return err
+	}
+	// Account for the foreign bytes either way, so the next append only
+	// scans what is new from here.
+	j.size = st.Size()
+	if max > j.epoch {
+		return fmt.Errorf("%w (own epoch %d, fence %d)", ErrFenced, j.epoch, max)
+	}
+	return nil
+}
+
+// lineReader yields newline-delimited records from r without a size cap
+// surprise: fence scanning tolerates arbitrarily long foreign lines by
+// splitting them — a fence record is short, and a long line can only be a
+// shard payload, which the scan ignores anyway.
+type lineReader struct {
+	r   io.Reader
+	buf []byte
+	eof bool
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{r: r}
+}
+
+// next returns the next line (without the newline). io.EOF accompanies or
+// follows the final line.
+func (lr *lineReader) next() ([]byte, error) {
+	for {
+		if i := bytes.IndexByte(lr.buf, '\n'); i >= 0 {
+			line := lr.buf[:i]
+			lr.buf = lr.buf[i+1:]
+			return line, nil
+		}
+		if lr.eof {
+			line := lr.buf
+			lr.buf = nil
+			return line, io.EOF
+		}
+		chunk := make([]byte, 64<<10)
+		n, err := lr.r.Read(chunk)
+		lr.buf = append(lr.buf, chunk[:n]...)
+		if err == io.EOF {
+			lr.eof = true
+		} else if err != nil {
+			return nil, err
+		}
+		// Bound memory on pathological unbroken lines: anything longer
+		// than 1MB cannot be a fence record, drop the prefix.
+		if len(lr.buf) > 1<<20 {
+			lr.buf = lr.buf[len(lr.buf)-1024:]
+		}
+	}
+}

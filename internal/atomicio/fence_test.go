@@ -1,0 +1,197 @@
+package atomicio
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mtreescale/internal/chaos"
+)
+
+// TestFencedJournalEpochsIncrement: each fenced open claims the previous
+// maximum epoch plus one and records it durably before any payload line.
+func TestFencedJournalEpochsIncrement(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	for want := int64(1); want <= 3; want++ {
+		j, epoch, err := OpenJournalFenced(path, true, "coord")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch != want || j.Epoch() != want {
+			t.Fatalf("open %d: epoch = %d/%d, want %d", want, epoch, j.Epoch(), want)
+		}
+		j.Append("rec", rec{N: int(want)})
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := readLines(t, path)
+	if len(lines) != 6 {
+		t.Fatalf("journal has %d lines, want 6 (3 fences + 3 records): %q", len(lines), lines)
+	}
+	var f FenceRecord
+	if err := json.Unmarshal([]byte(lines[4]), &f); err != nil || f.FenceEpoch != 3 || f.FenceOwner != "coord" {
+		t.Fatalf("line 4 = %q, want fence epoch 3 owner coord (err %v)", lines[4], err)
+	}
+}
+
+// TestFencedJournalTruncatingOpenResetsEpochs: a non-resume fenced open
+// truncates history, so epochs restart at 1.
+func TestFencedJournalTruncatingOpenResetsEpochs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _, err := OpenJournalFenced(path, true, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, epoch, err := OpenJournalFenced(path, false, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if epoch != 1 {
+		t.Fatalf("epoch after truncating open = %d, want 1", epoch)
+	}
+}
+
+// TestStaleWriterFenced is the two-writer takeover scenario: writer A holds
+// the journal, writer B takes over with a higher epoch, and A's next append
+// is rejected with ErrFenced instead of landing as a split-brain line.
+func TestStaleWriterFenced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	a, epochA, err := OpenJournalFenced(path, true, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Append("rec", rec{N: 1})
+	if err := a.Err(); err != nil {
+		t.Fatalf("pre-takeover append failed: %v", err)
+	}
+
+	b, epochB, err := OpenJournalFenced(path, true, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if epochB != epochA+1 {
+		t.Fatalf("takeover epoch = %d, want %d", epochB, epochA+1)
+	}
+	b.Append("rec", rec{N: 2})
+	if err := b.Err(); err != nil {
+		t.Fatalf("takeover append failed: %v", err)
+	}
+
+	// The stale writer's late append must be detected and rejected.
+	a.Append("rec", rec{N: 3})
+	if err := a.Err(); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale append error = %v, want ErrFenced", err)
+	}
+	// And the rejected record must not be in the file.
+	for _, line := range readLines(t, path) {
+		var r rec
+		if json.Unmarshal([]byte(line), &r) == nil && r.N == 3 {
+			t.Fatalf("stale record landed in the journal: %q", line)
+		}
+	}
+	// The new owner keeps writing unaffected.
+	b.Append("rec", rec{N: 4})
+	if err := b.Err(); err != nil {
+		t.Fatalf("owner append after fencing stale writer: %v", err)
+	}
+}
+
+// TestFencedJournalSurvivesOwnAppends: a writer's own appends do not trip
+// its fence check (the size accounting keeps up), even across many records.
+func TestFencedJournalSurvivesOwnAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _, err := OpenJournalFenced(path, true, "solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		j.Append("rec", rec{N: i})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("append series tripped the fence: %v", err)
+	}
+	if got := len(readLines(t, path)); got != 101 {
+		t.Fatalf("journal has %d lines, want 101", got)
+	}
+}
+
+// TestFencedTornTailRepairAcrossEpochBoundary: a crash tears the tail right
+// after a takeover fence; the next resume repairs the tear, still sees the
+// fence epochs beneath it, and claims the next epoch.
+func TestFencedTornTailRepairAcrossEpochBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _, err := OpenJournalFenced(path, true, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append("rec", rec{N: 1})
+	j.Close()
+	j2, epoch2, err := OpenJournalFenced(path, true, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch2 != 2 {
+		t.Fatalf("second epoch = %d, want 2", epoch2)
+	}
+	j2.Close()
+
+	// Tear the tail: a partial record with no newline, glued after the
+	// epoch-2 fence, as a crash mid-append would leave it.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"n": 99, "torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j3, epoch3, err := OpenJournalFenced(path, true, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if epoch3 != 3 {
+		t.Fatalf("post-repair epoch = %d, want 3", epoch3)
+	}
+	// The tear is gone and every surviving line parses.
+	for i, line := range readLines(t, path) {
+		var any map[string]any
+		if err := json.Unmarshal([]byte(line), &any); err != nil {
+			t.Fatalf("line %d unparseable after repair: %q", i, line)
+		}
+	}
+}
+
+// TestFenceFailpoint: the "coord.fence" chaos site fails the epoch claim
+// like a real I/O error between reading the old epoch and writing the new
+// fence.
+func TestFenceFailpoint(t *testing.T) {
+	plan, err := chaos.Parse("coord.fence=error#1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Enable(plan)
+	defer chaos.Disable()
+
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if _, _, err := OpenJournalFenced(path, true, "a"); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("open under coord.fence=error = %v, want injected fault", err)
+	}
+	// The limit-1 rule is spent; the retry claims epoch 1 cleanly.
+	j, epoch, err := OpenJournalFenced(path, true, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if epoch != 1 {
+		t.Fatalf("epoch after failed claim = %d, want 1", epoch)
+	}
+}

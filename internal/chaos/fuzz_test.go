@@ -1,0 +1,99 @@
+package chaos
+
+import "testing"
+
+// FuzzParseChaosPlan hammers the failpoint-spec parser with arbitrary
+// strings: it must never panic, every accepted plan must hold only
+// well-formed rules (probability in (0,1], positive latency, 4xx/5xx
+// status, non-negative trunc limit and after-count), and parsing the same
+// spec twice with the same seed must compile identical schedules — the
+// determinism every chaos soak leans on.
+func FuzzParseChaosPlan(f *testing.F) {
+	f.Add("journal.write=short@0.2", int64(1))
+	f.Add("serve.handler=panic#1", int64(7))
+	f.Add("cluster.post=error@0.5#3+2;registry.lease=error@0.4", int64(-9))
+	f.Add("serve.handler.status=status:503@0.1", int64(42))
+	f.Add("shard.payload=bitflip#1;serve.response.trunc=trunc:64", int64(0))
+	f.Add("coord.fence=error#1", int64(3))
+	f.Add("a=latency:5ms@0.9+10", int64(99))
+	f.Add("", int64(1))
+	f.Add(";;;", int64(1))
+	f.Add("x=error@2", int64(1))
+	f.Add("=error", int64(1))
+	f.Add("x=status:99", int64(1))
+	f.Add("x=latency:-1s", int64(1))
+	f.Add("x=error@0.5#0", int64(1))
+	f.Add("x=error:unexpected-arg", int64(1))
+	f.Add("\x00=\xff@\x01", int64(1))
+	f.Fuzz(func(t *testing.T, spec string, seed int64) {
+		p, err := Parse(spec, seed)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("rejected spec %q returned a non-nil plan", spec)
+			}
+			return
+		}
+		if p.Seed() != seed || p.Spec() != spec {
+			t.Fatalf("plan lost its identity: seed %d spec %q", p.Seed(), p.Spec())
+		}
+		if len(p.sites) == 0 {
+			t.Fatalf("accepted plan for %q has no sites", spec)
+		}
+		for site, st := range p.sites {
+			if len(st.rules) == 0 {
+				t.Fatalf("site %q has no rules", site)
+			}
+			for _, r := range st.rules {
+				if r.Site != site {
+					t.Fatalf("rule filed under %q names site %q", site, r.Site)
+				}
+				if r.P <= 0 || r.P > 1 {
+					t.Fatalf("site %q: probability %v out of (0, 1]", site, r.P)
+				}
+				if r.Limit < 0 || r.After < 0 {
+					t.Fatalf("site %q: negative limit %d or after %d", site, r.Limit, r.After)
+				}
+				switch r.Kind {
+				case KindError, KindPanic, KindShort, KindBitFlip:
+				case KindLatency:
+					if r.Dur <= 0 {
+						t.Fatalf("site %q: latency rule with duration %v", site, r.Dur)
+					}
+				case KindStatus:
+					if r.Code < 400 || r.Code > 599 {
+						t.Fatalf("site %q: status rule with code %d", site, r.Code)
+					}
+				case KindTrunc:
+					if r.Code < 0 {
+						t.Fatalf("site %q: trunc rule with limit %d", site, r.Code)
+					}
+				default:
+					t.Fatalf("site %q: unknown kind %q accepted", site, r.Kind)
+				}
+			}
+		}
+		// Same (spec, seed) must compile the same schedule: identical sites,
+		// rule order, and per-rule RNG streams.
+		p2, err := Parse(spec, seed)
+		if err != nil {
+			t.Fatalf("re-parse of accepted spec %q failed: %v", spec, err)
+		}
+		if len(p2.sites) != len(p.sites) {
+			t.Fatalf("re-parse changed site count: %d vs %d", len(p2.sites), len(p.sites))
+		}
+		for site, st := range p.sites {
+			st2 := p2.sites[site]
+			if st2 == nil || len(st2.rules) != len(st.rules) {
+				t.Fatalf("re-parse changed site %q", site)
+			}
+			for i := range st.rules {
+				if st.rules[i].Rule != st2.rules[i].Rule {
+					t.Fatalf("re-parse changed rule %d of site %q", i, site)
+				}
+				if a, b := st.rules[i].rng.Int63(), st2.rules[i].rng.Int63(); a != b {
+					t.Fatalf("re-parse diverged RNG stream for site %q rule %d: %d vs %d", site, i, a, b)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mtreescale/internal/retry"
+)
+
+// AnnounceOnce posts self's base URL to a registrar's POST /register
+// endpoint (mtctl -register-addr). A non-empty token is sent as a bearer,
+// matching the registrar's gate. It reports whether the registrar counted
+// this announcement as a join (first sight, or re-admission after lease
+// expiry) rather than a renewal.
+func AnnounceOnce(ctx context.Context, client *http.Client, registrar, self, token string) (joined bool, err error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, err := json.Marshal(registerRequest{URL: self})
+	if err != nil {
+		return false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, registrar+RegisterPath, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("cluster: announce to %s: status %d: %s", registrar, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var ack struct {
+		Joined bool `json:"joined"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&ack); err != nil {
+		return false, fmt.Errorf("cluster: announce to %s: bad ack: %w", registrar, err)
+	}
+	return ack.Joined, nil
+}
+
+// AnnounceLoop keeps self registered with a registrar until ctx ends: one
+// announcement immediately, then one per interval — each a lease renewal,
+// so the worker stays a member for as long as it keeps running. Failed
+// announcements are paced by the shared retry layer (capped exponential
+// backoff from interval) instead of the flat interval, and reported through
+// onErr (nil ignores them); the first success resets the backoff. The loop
+// never gives up: a registrar restart must not orphan a live worker.
+func AnnounceLoop(ctx context.Context, client *http.Client, registrar, self, token string, interval time.Duration, onErr func(error)) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	backoff := retry.Backoff{Base: interval, Max: 8 * interval, Factor: 2}
+	fails := 0
+	for {
+		_, err := AnnounceOnce(ctx, client, registrar, self, token)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fails++
+			if onErr != nil {
+				onErr(err)
+			}
+		} else {
+			fails = 0
+		}
+		pause := interval
+		if fails > 0 {
+			pause = backoff.Delay(fails)
+		}
+		if sleepCtx(ctx, pause) != nil {
+			return
+		}
+	}
+}

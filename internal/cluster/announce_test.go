@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestAnnounceOnce(t *testing.T) {
+	reg := NewRegistry(time.Minute, nil)
+	srv := httptest.NewServer(reg.Handler("tok"))
+	defer srv.Close()
+
+	joined, err := AnnounceOnce(context.Background(), nil, srv.URL, "http://w1:1", "tok")
+	if err != nil || !joined {
+		t.Fatalf("first announce: joined=%v err=%v", joined, err)
+	}
+	joined, err = AnnounceOnce(context.Background(), nil, srv.URL, "http://w1:1", "tok")
+	if err != nil || joined {
+		t.Fatalf("renewal announce: joined=%v err=%v", joined, err)
+	}
+	if _, err := AnnounceOnce(context.Background(), nil, srv.URL, "http://w2:1", "wrong"); err == nil {
+		t.Fatal("announce with wrong token accepted")
+	}
+	if got := reg.Members(); len(got) != 1 || got[0] != "http://w1:1" {
+		t.Fatalf("members = %v", got)
+	}
+}
+
+func TestAnnounceLoopKeepsLeaseAlive(t *testing.T) {
+	reg := NewRegistry(50*time.Millisecond, nil)
+	srv := httptest.NewServer(reg.Handler(""))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		AnnounceLoop(ctx, nil, srv.URL, "http://w1:1", "", 10*time.Millisecond, nil)
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for len(reg.Members()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Across several lease lifetimes the loop's renewals must keep the
+	// worker in membership.
+	for i := 0; i < 5; i++ {
+		time.Sleep(40 * time.Millisecond)
+		reg.Sweep()
+		if !reg.Active("http://w1:1") {
+			t.Fatalf("lease lapsed under an active announce loop (round %d)", i)
+		}
+	}
+	cancel()
+	<-done
+	// With the loop stopped, the lease ages out.
+	time.Sleep(60 * time.Millisecond)
+	if gone := reg.Sweep(); len(gone) != 1 {
+		t.Fatalf("sweep after loop stop retired %v", gone)
+	}
+}

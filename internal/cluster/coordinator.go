@@ -14,6 +14,7 @@ import (
 
 	"mtreescale/internal/atomicio"
 	"mtreescale/internal/chaos"
+	"mtreescale/internal/retry"
 	"mtreescale/internal/serve"
 	"mtreescale/internal/valid"
 )
@@ -27,9 +28,12 @@ const ShardPath = "/shard"
 // "requeue" (worker failed; the shard goes back to the pool),
 // "quarantine" (a worker slot is skipping a quarantined worker),
 // "evict" / "readmit" (heartbeat verdicts on a worker),
+// "join" / "leave" (registry membership transitions: a worker announced
+// itself or its lease expired),
 // "speculate" (a straggling shard was re-queued to race its original
 // dispatch) and "journal-skip" (a resume journal line carried this grid's
-// key but failed validation and was discarded).
+// key but failed validation — or was written by a fenced stale coordinator
+// — and was discarded).
 type Event struct {
 	Kind    string
 	Worker  string
@@ -57,6 +61,11 @@ type Stats struct {
 	Readmissions int `json:"readmissions,omitempty"`
 	Speculations int `json:"speculations,omitempty"`
 	StaleDropped int `json:"stale_dropped,omitempty"`
+	// Joins and Leaves count registry membership transitions observed
+	// during the run: workers admitted (announcement or discovery) and
+	// workers retired by lease expiry.
+	Joins  int `json:"joins,omitempty"`
+	Leaves int `json:"leaves,omitempty"`
 	// JournalSkipped counts resume journal lines that carried this grid's
 	// key but failed validation (stale block bounds, payload mismatch, bad
 	// checksum) and were recomputed instead of trusted.
@@ -79,14 +88,37 @@ type Options struct {
 	// responses do not consume it — a saturated worker is backpressure,
 	// not failure.
 	Retries int
-	// Backoff is the pause before a failed shard re-dispatches and the
+	// Backoff is the base pause before a failed shard re-dispatches and the
 	// fallback 429 backoff when a worker omits Retry-After (default 200ms).
-	Backoff time.Duration
+	// Per-shard requeue pauses grow exponentially from it with each
+	// failure, capped at BackoffMax (default 10×Backoff), with
+	// deterministic jitter drawn from BackoffSeed — the same seed paces a
+	// replayed run's retries identically.
+	Backoff     time.Duration
+	BackoffMax  time.Duration
+	BackoffSeed int64
 	// JournalPath, when set, appends every completed partial to an fsynced
 	// JSONL journal; with Resume, partials already journaled for this grid
-	// and shard plan are not recomputed.
+	// and shard plan are not recomputed. The journal is epoch-fenced: each
+	// Run claims the next coordinator epoch on open, stamps it into every
+	// shard line, and aborts with atomicio.ErrFenced if a later epoch
+	// (a replacement coordinator's -resume takeover) claims the file —
+	// the stale side of a takeover can never double-merge.
 	JournalPath string
 	Resume      bool
+	// Owner names this coordinator in the journal's fence records, for
+	// operators reading a contested journal (default "coordinator").
+	Owner string
+	// Registry, when set, supplies dynamic membership: workers join by
+	// announcement (POST /register or -discover polling) and leave by
+	// lease expiry, with slots spawned and retired mid-run. Nil builds a
+	// private static registry from the worker list given to New. Leases
+	// are renewed by successful heartbeat probes, so dynamic membership
+	// needs Heartbeat > 0 to retire silent workers.
+	Registry *Registry
+	// LeaseTTL sets the private registry's lease length when Registry is
+	// nil (default DefaultLeaseTTL); ignored otherwise.
+	LeaseTTL time.Duration
 	// Quarantine tracks failing workers with exponential backoff; nil
 	// means a default (1s base, 30s cap). Worker URLs are the keys.
 	Quarantine *serve.Quarantine
@@ -100,6 +132,10 @@ type Options struct {
 	// next successful probe. Zero disables heartbeating.
 	Heartbeat      time.Duration
 	HeartbeatFails int
+	// HeartbeatTimeout is each probe's answer deadline (default 2s),
+	// independent of the probe interval: a short interval means frequent
+	// probes, not impatient ones.
+	HeartbeatTimeout time.Duration
 	// SpecFactor, when positive, enables speculative re-execution: a shard
 	// in flight longer than max(SpecMin, SpecFactor × rolling mean shard
 	// latency) is queued a second time so another worker races the
@@ -121,14 +157,18 @@ type Options struct {
 // single-process run, whatever the worker count, scheduling, failures or
 // restarts along the way.
 type Coordinator struct {
-	workers []string
+	reg     *Registry
 	opt     Options
+	backoff retry.Backoff // requeue pacing: capped exponential, seeded jitter
 }
 
 // New builds a Coordinator over the given worker base URLs
-// (e.g. "http://host:8080").
+// (e.g. "http://host:8080"). The workers become static registry members;
+// with Options.Registry set the list may be empty — membership then comes
+// entirely from announcements and discovery, and a run with no members yet
+// waits for the first join.
 func New(workers []string, opt Options) (*Coordinator, error) {
-	if len(workers) == 0 {
+	if len(workers) == 0 && opt.Registry == nil {
 		return nil, valid.Badf("cluster: no workers")
 	}
 	seen := map[string]bool{}
@@ -153,6 +193,9 @@ func New(workers []string, opt Options) (*Coordinator, error) {
 	if opt.Backoff <= 0 {
 		opt.Backoff = 200 * time.Millisecond
 	}
+	if opt.BackoffMax <= 0 {
+		opt.BackoffMax = 10 * opt.Backoff
+	}
 	if opt.Quarantine == nil {
 		opt.Quarantine = serve.NewQuarantine(time.Second, 30*time.Second)
 	}
@@ -162,11 +205,37 @@ func New(workers []string, opt Options) (*Coordinator, error) {
 	if opt.HeartbeatFails < 1 {
 		opt.HeartbeatFails = 3
 	}
+	if opt.HeartbeatTimeout <= 0 {
+		opt.HeartbeatTimeout = 2 * time.Second
+	}
 	if opt.SpecMin <= 0 {
 		opt.SpecMin = time.Second
 	}
-	return &Coordinator{workers: workers, opt: opt}, nil
+	if opt.Owner == "" {
+		opt.Owner = "coordinator"
+	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = NewRegistry(opt.LeaseTTL, workers)
+	} else {
+		reg.AddStatic(workers...)
+	}
+	return &Coordinator{
+		reg: reg,
+		opt: opt,
+		backoff: retry.Backoff{
+			Base:   opt.Backoff,
+			Max:    opt.BackoffMax,
+			Factor: 2,
+			Jitter: 0.3,
+			Seed:   uint64(opt.BackoffSeed),
+		},
+	}, nil
 }
+
+// Registry returns the coordinator's membership table — the one given in
+// Options, or the private static registry New built from the worker list.
+func (c *Coordinator) Registry() *Registry { return c.reg }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
@@ -198,8 +267,8 @@ type runState struct {
 	parts      []*Partial
 	speculated []bool
 	inflight   map[int]flight // shard idx -> earliest dispatch
-	latSum     time.Duration     // completed-shard latency, for the
-	latN       int               // speculation deadline's rolling mean
+	latSum     time.Duration  // completed-shard latency, for the
+	latN       int            // speculation deadline's rolling mean
 	fatal      error
 	stats      Stats
 	health     *healthTracker // nil when heartbeating is off
@@ -298,10 +367,34 @@ func (c *Coordinator) Run(ctx context.Context, g Grid, nShards int) (*Merged, *S
 	// silently; lines carrying THIS grid's key that fail validation — stale
 	// bounds from an old plan, payload/block mismatch, a checksum that no
 	// longer matches — are evidence of damage and are logged and counted
-	// before being recomputed.
+	// before being recomputed. Fence records order the file's writers:
+	// every shard line is judged against the highest coordinator epoch
+	// fenced above it, so a stale coordinator's late writes — lines landing
+	// after the takeover fence with the old epoch — are rejected the same
+	// way damage is.
 	if c.opt.JournalPath != "" && c.opt.Resume {
 		byBlock := map[[2]int]*Partial{}
+		var fencedEpoch int64
 		if _, err := atomicio.ReadJournal(c.opt.JournalPath, func(line []byte) error {
+			var probe struct {
+				FenceEpoch int64  `json:"fence_epoch"`
+				Epoch      int64  `json:"epoch"`
+				Key        string `json:"key"`
+			}
+			if json.Unmarshal(line, &probe) == nil {
+				if probe.FenceEpoch > 0 {
+					if probe.FenceEpoch > fencedEpoch {
+						fencedEpoch = probe.FenceEpoch
+					}
+					return nil
+				}
+				if probe.Key == g.Key() && probe.Epoch < fencedEpoch {
+					err := valid.Badf("cluster: journal line from stale epoch %d (fenced at %d)", probe.Epoch, fencedEpoch)
+					st.stats.JournalSkipped++
+					c.emit(Event{Kind: "journal-skip", Err: err})
+					return err
+				}
+			}
 			p, err := parseJournalPartial(line, g)
 			if err != nil {
 				if !errors.Is(err, errForeignJournalLine) {
@@ -327,7 +420,11 @@ func (c *Coordinator) Run(ctx context.Context, g Grid, nShards int) (*Merged, *S
 
 	var journal *atomicio.Journal
 	if c.opt.JournalPath != "" {
-		journal, err = atomicio.OpenJournal(c.opt.JournalPath, c.opt.Resume)
+		// Claim the next coordinator epoch before dispatching anything: if a
+		// previous coordinator for this journal is still alive somewhere,
+		// its next append sees this fence and dies with ErrFenced instead of
+		// double-merging.
+		journal, _, err = atomicio.OpenJournalFenced(c.opt.JournalPath, c.opt.Resume, c.opt.Owner)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -351,7 +448,7 @@ func (c *Coordinator) Run(ctx context.Context, g Grid, nShards int) (*Merged, *S
 		}()
 
 		if c.opt.Heartbeat > 0 {
-			st.health = newHealthTracker(c.workers)
+			st.health = newHealthTracker(c.opt.HeartbeatFails)
 			// One synchronous round first, so a worker that is already dead
 			// never receives the opening dispatch wave.
 			for i := 0; i < c.opt.HeartbeatFails; i++ {
@@ -374,15 +471,71 @@ func (c *Coordinator) Run(ctx context.Context, g Grid, nShards int) (*Merged, *S
 			go c.speculator(runCtx, plan, pool, st)
 		}
 
+		// Membership-driven slot management: every member gets Inflight
+		// workerLoop slots, spawned on join and cancelled on leave (the
+		// cancel aborts in-flight posts, whose shards requeue without a
+		// strike — see workerLoop). The manager goroutine holds one
+		// WaitGroup slot until runCtx ends and `closed` is set, so a join
+		// arriving late can never wg.Add after wg.Wait has observed zero.
 		var wg sync.WaitGroup
-		for _, w := range c.workers {
+		var slots struct {
+			sync.Mutex
+			cancels map[string]context.CancelFunc
+			closed  bool
+		}
+		slots.cancels = map[string]context.CancelFunc{}
+		startWorker := func(w string) {
+			slots.Lock()
+			defer slots.Unlock()
+			if slots.closed || slots.cancels[w] != nil {
+				return
+			}
+			wctx, wcancel := context.WithCancel(runCtx)
+			slots.cancels[w] = wcancel
 			for s := 0; s < c.opt.Inflight; s++ {
 				wg.Add(1)
-				go func(worker string) {
+				go func() {
 					defer wg.Done()
-					c.workerLoop(runCtx, worker, plan, pool, st, journal)
-				}(w)
+					c.workerLoop(wctx, w, plan, pool, st, journal)
+				}()
 			}
+		}
+		stopWorker := func(w string) {
+			slots.Lock()
+			defer slots.Unlock()
+			if cancel := slots.cancels[w]; cancel != nil {
+				cancel()
+				delete(slots.cancels, w)
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-runCtx.Done()
+			slots.Lock()
+			slots.closed = true
+			slots.Unlock()
+		}()
+
+		unwatch := c.reg.Watch(func(ev MemberEvent) {
+			switch ev.Kind {
+			case "join":
+				st.mu.Lock()
+				st.stats.Joins++
+				st.mu.Unlock()
+				c.emit(Event{Kind: "join", Worker: ev.Worker})
+				startWorker(ev.Worker)
+			case "leave":
+				st.mu.Lock()
+				st.stats.Leaves++
+				st.mu.Unlock()
+				c.emit(Event{Kind: "leave", Worker: ev.Worker})
+				stopWorker(ev.Worker)
+			}
+		})
+		defer unwatch()
+		for _, w := range c.reg.Members() {
+			startWorker(w)
 		}
 		wg.Wait()
 	} else {
@@ -438,9 +591,12 @@ func (c *Coordinator) workerLoop(ctx context.Context, worker string, plan []Shar
 
 		// An evicted worker's slots park: hand the shard back and wait out a
 		// heartbeat interval, since only a successful probe can re-admit.
+		// The park is a real timer, never Options.Sleep — an instant test
+		// sleep would turn parked slots into hot spins that starve the very
+		// probes that could re-admit the worker.
 		if st.health != nil && !st.health.allowed(worker) {
 			pool <- idx
-			if c.opt.Sleep(ctx, c.opt.Heartbeat) != nil {
+			if sleepCtx(ctx, c.opt.Heartbeat) != nil {
 				return
 			}
 			continue
@@ -471,8 +627,17 @@ func (c *Coordinator) workerLoop(ctx context.Context, worker string, plan []Shar
 			if st.complete(idx, p, worker) {
 				// Journal only the accepted result: the race loser's partial
 				// is equal in value but must not produce a duplicate line.
+				// Each line carries this run's coordinator epoch, and a
+				// fence by a higher epoch aborts the run on the spot — a
+				// taken-over coordinator must stop merging, not finish
+				// quietly alongside its replacement.
 				if journal != nil {
-					journal.Append(fmt.Sprintf("shard[%d,%d)", spec.Lo, spec.Hi), p)
+					journal.Append(fmt.Sprintf("shard[%d,%d)", spec.Lo, spec.Hi),
+						journalLine{Epoch: journal.Epoch(), Partial: p})
+					if jerr := journal.Err(); errors.Is(jerr, atomicio.ErrFenced) {
+						st.fail(jerr)
+						return
+					}
 				}
 				c.emit(Event{Kind: "complete", Worker: worker, Lo: spec.Lo, Hi: spec.Hi})
 			}
@@ -502,6 +667,18 @@ func (c *Coordinator) workerLoop(ctx context.Context, worker string, plan []Shar
 			if st.isComplete(idx) {
 				continue
 			}
+			// A worker retired mid-flight (lease expired, slots cancelled)
+			// did not fail the shard — the membership changed under it.
+			// Requeue with no strike and no retry budget burned, and let
+			// the slot die with its worker.
+			if !c.reg.Active(worker) {
+				st.mu.Lock()
+				st.stats.Requeues++
+				st.mu.Unlock()
+				pool <- idx
+				c.emit(Event{Kind: "requeue", Worker: worker, Lo: spec.Lo, Hi: spec.Hi, Err: err})
+				return
+			}
 			c.opt.Quarantine.Report(worker, err)
 			st.mu.Lock()
 			st.failures[idx]++
@@ -514,7 +691,9 @@ func (c *Coordinator) workerLoop(ctx context.Context, worker string, plan []Shar
 			}
 			pool <- idx
 			c.emit(Event{Kind: "requeue", Worker: worker, Lo: spec.Lo, Hi: spec.Hi, Err: err})
-			if c.opt.Sleep(ctx, c.opt.Backoff) != nil {
+			// Pacing comes from the shared retry layer: capped exponential
+			// in the shard's failure count, jitter seeded for replay.
+			if c.opt.Sleep(ctx, c.backoff.Delay(tries)) != nil {
 				return
 			}
 		}
@@ -544,6 +723,24 @@ func (c *Coordinator) speculator(ctx context.Context, plan []ShardSpec, pool cha
 		default:
 		}
 		now := time.Now()
+		// A backup copy needs somewhere useful to land: a live member that
+		// is not the straggler itself and not evicted. Snapshot eligibility
+		// outside st.mu (the registry and health tracker have their own
+		// locks), then decide per straggler under it.
+		var eligible []string
+		for _, w := range c.reg.Members() {
+			if c.reg.Active(w) && (st.health == nil || st.health.allowed(w)) {
+				eligible = append(eligible, w)
+			}
+		}
+		hasAlternative := func(straggler string) bool {
+			for _, w := range eligible {
+				if w != straggler {
+					return true
+				}
+			}
+			return false
+		}
 		st.mu.Lock()
 		deadline := c.opt.SpecMin
 		if st.latN > 0 {
@@ -554,12 +751,20 @@ func (c *Coordinator) speculator(ctx context.Context, plan []ShardSpec, pool cha
 		var fire []flight
 		var fireIdx []int
 		for idx, f := range st.inflight {
-			if st.parts[idx] == nil && !st.speculated[idx] && now.Sub(f.t0) > deadline {
-				st.speculated[idx] = true
-				st.stats.Speculations++
-				fireIdx = append(fireIdx, idx)
-				fire = append(fire, f)
+			if st.parts[idx] != nil || st.speculated[idx] || now.Sub(f.t0) <= deadline {
+				continue
 			}
+			// No live target other than the straggler: hold the shard's one
+			// speculative copy (don't burn st.speculated) until a worker
+			// joins, recovers or is readmitted — dispatching the backup to
+			// an evicted or lease-expired worker would waste it.
+			if !hasAlternative(f.worker) {
+				continue
+			}
+			st.speculated[idx] = true
+			st.stats.Speculations++
+			fireIdx = append(fireIdx, idx)
+			fire = append(fire, f)
 		}
 		st.mu.Unlock()
 		for i, idx := range fireIdx {
@@ -640,6 +845,15 @@ func (c *Coordinator) postShard(ctx context.Context, worker string, spec ShardSp
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return nil, 0, fmt.Errorf("cluster: %s: %s: %s", worker, resp.Status, bytes.TrimSpace(msg))
 	}
+}
+
+// journalLine wraps a Partial with the coordinator epoch that wrote it.
+// The Partial embeds flat, so pre-epoch journals and epoch-stamped lines
+// parse through the same code, and the payload checksum — which covers
+// only Partial fields — is untouched by the wrapper.
+type journalLine struct {
+	Epoch int64 `json:"epoch,omitempty"`
+	*Partial
 }
 
 // errForeignJournalLine marks a journal line that belongs to a different

@@ -4,56 +4,45 @@ import (
 	"context"
 	"fmt"
 	"net/http"
-	"sync"
-	"time"
+
+	"mtreescale/internal/retry"
 )
 
 // HealthzPath is the worker liveness endpoint a coordinator heartbeats.
 const HealthzPath = "/healthz"
 
 // healthTracker is the per-run record of which workers are currently
-// evicted. Eviction is a coordinator-side verdict (HeartbeatFails
-// consecutive probe failures), distinct from quarantine: quarantine backs a
-// worker off after it damaged a shard, eviction parks it after it stopped
-// answering at all — and unlike quarantine's timed backoff, eviction only
-// lifts when a probe succeeds again.
+// evicted, backed by a retry.Breaker in Hold mode: HeartbeatFails
+// consecutive probe failures open a worker's circuit (eviction), and —
+// unlike quarantine's timed backoff — only a successful probe closes it
+// again (readmission). Eviction is distinct from both quarantine (the
+// worker damaged a shard) and lease expiry (the worker stopped being a
+// member at all): an evicted worker keeps its membership and its parked
+// slots, ready to resume the moment it answers.
 type healthTracker struct {
-	mu      sync.Mutex
-	fails   map[string]int
-	evicted map[string]bool
+	br retry.Breaker
 }
 
-func newHealthTracker(workers []string) *healthTracker {
-	return &healthTracker{
-		fails:   make(map[string]int, len(workers)),
-		evicted: make(map[string]bool, len(workers)),
-	}
+func newHealthTracker(failBudget int) *healthTracker {
+	return &healthTracker{br: retry.Breaker{Threshold: failBudget, Hold: true}}
 }
 
 // allowed reports whether worker slots may dispatch to worker.
 func (h *healthTracker) allowed(worker string) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return !h.evicted[worker]
+	return !h.br.Open(worker)
 }
 
 // observe folds one probe outcome in and reports the transition it caused:
-// "evict" when the consecutive-failure budget just ran out, "readmit" when a
-// success ended an eviction, "" otherwise.
-func (h *healthTracker) observe(worker string, ok bool, failBudget int) string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+// "evict" when the consecutive-failure budget just ran out, "readmit" when
+// a success ended an eviction, "" otherwise.
+func (h *healthTracker) observe(worker string, ok bool) string {
 	if ok {
-		h.fails[worker] = 0
-		if h.evicted[worker] {
-			h.evicted[worker] = false
+		if h.br.Success(worker) {
 			return "readmit"
 		}
 		return ""
 	}
-	h.fails[worker]++
-	if !h.evicted[worker] && h.fails[worker] >= failBudget {
-		h.evicted[worker] = true
+	if h.br.Failure(worker) {
 		return "evict"
 	}
 	return ""
@@ -64,9 +53,9 @@ func (h *healthTracker) observe(worker string, ok bool, failBudget int) string {
 // carries the run's bearer token when one is configured, so an auth-fronted
 // worker is not misread as dead.
 func (c *Coordinator) probe(ctx context.Context, worker string) bool {
-	// The answer deadline is fixed, not tied to the probe interval: a short
-	// interval means frequent probes, not impatient ones.
-	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	// The answer deadline is HeartbeatTimeout, not the probe interval: a
+	// short interval means frequent probes, not impatient ones.
+	pctx, cancel := context.WithTimeout(ctx, c.opt.HeartbeatTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, worker+HealthzPath, nil)
 	if err != nil {
@@ -83,14 +72,22 @@ func (c *Coordinator) probe(ctx context.Context, worker string) bool {
 	return resp.StatusCode >= 200 && resp.StatusCode < 300
 }
 
-// probeRound probes every worker once and applies the transitions.
+// probeRound probes every current member once, renews the lease of each
+// worker that answered, and applies the eviction/readmission transitions.
 func (c *Coordinator) probeRound(ctx context.Context, st *runState) {
-	for _, w := range c.workers {
+	for _, w := range c.reg.Members() {
 		if ctx.Err() != nil {
 			return
 		}
 		ok := c.probe(ctx, w)
-		switch st.health.observe(w, ok, c.opt.HeartbeatFails) {
+		if ok {
+			// A lost renewal (the registry.lease failpoint, in production a
+			// dropped registrar write) leaves the lease aging toward expiry;
+			// the next successful round renews it, so only a sustained loss
+			// retires the worker.
+			c.reg.Renew(w)
+		}
+		switch st.health.observe(w, ok) {
 		case "evict":
 			st.mu.Lock()
 			st.stats.Evictions++
@@ -105,10 +102,11 @@ func (c *Coordinator) probeRound(ctx context.Context, st *runState) {
 	}
 }
 
-// heartbeatLoop re-probes the fleet every Heartbeat until the run ends. It
-// sleeps on a real timer, never Options.Sleep: tests inject instant sleeps
-// to skip shard backoffs, and an instant heartbeat interval would turn this
-// loop into a hot spin against /healthz.
+// heartbeatLoop re-probes the fleet every Heartbeat until the run ends,
+// then sweeps expired leases so unresponsive dynamic workers are retired.
+// It sleeps on a real timer, never Options.Sleep: tests inject instant
+// sleeps to skip shard backoffs, and an instant heartbeat interval would
+// turn this loop into a hot spin against /healthz.
 func (c *Coordinator) heartbeatLoop(ctx context.Context, st *runState) {
 	for {
 		if sleepCtx(ctx, c.opt.Heartbeat) != nil {
@@ -120,5 +118,6 @@ func (c *Coordinator) heartbeatLoop(ctx context.Context, st *runState) {
 		default:
 		}
 		c.probeRound(ctx, st)
+		c.reg.Sweep()
 	}
 }

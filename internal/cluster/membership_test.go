@@ -1,0 +1,638 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mtreescale/internal/atomicio"
+	"mtreescale/internal/chaos"
+)
+
+// TestMembershipJoinMidRun: a run starts with one static worker; a second
+// announces itself mid-run, is admitted, and carries real shards. The merge
+// must not care when the fleet grew.
+func TestMembershipJoinMidRun(t *testing.T) {
+	g := testGrid(KindCurve)
+	want, err := RunLocal(nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := StartStubWorker("w1", 15*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w1.Close()
+	w2, err := StartStubWorker("w2", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+
+	reg := NewRegistry(time.Minute, nil)
+	var joinOnce sync.Once
+	co, err := New([]string{w1.URL()}, Options{
+		Registry: reg,
+		Sleep:    instant,
+		OnEvent: func(ev Event) {
+			if ev.Kind == "complete" {
+				joinOnce.Do(func() {
+					if _, err := reg.Announce(w2.URL()); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := co.Run(nil, g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Joins < 1 {
+		t.Fatalf("mid-run announcement not counted as a join: %+v", stats)
+	}
+	if stats.PerWorker[w2.URL()] == 0 {
+		t.Fatalf("joined worker completed no shards: %v", stats.PerWorker)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("merged across a mid-run join != local")
+	}
+}
+
+// TestMembershipLeaseExpiryRequeues: a dynamic worker accepts a shard, goes
+// silent, and its lease expires. Retirement must cancel the in-flight post
+// and requeue the shard without a quarantine strike, and the run must
+// complete on the survivor with a byte-identical merge.
+func TestMembershipLeaseExpiryRequeues(t *testing.T) {
+	g := testGrid(KindCurve)
+	want, err := RunLocal(nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keeper, err := StartStubWorker("keeper", 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer keeper.Close()
+
+	// The zombie accepts a shard, reports it took one, then holds it
+	// forever: only its retirement can hand the shard back.
+	var zombie *StubWorker
+	tookShard := make(chan struct{})
+	var tookOnce sync.Once
+	zombie, err = StartStubWorker("zombie", 0, func(ctx context.Context, spec ShardSpec) (*Partial, error) {
+		tookOnce.Do(func() { close(tookShard) })
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zombie.Close()
+
+	reg := NewRegistry(50*time.Millisecond, nil)
+	if _, err := reg.Announce(zombie.URL()); err != nil {
+		t.Fatal(err)
+	}
+	co, err := New([]string{keeper.URL()}, Options{
+		Registry:       reg,
+		Heartbeat:      5 * time.Millisecond,
+		HeartbeatFails: 2,
+		Sleep:          instant,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		<-tookShard
+		zombie.SetHealthy(false) // probes now fail; the lease ages out
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, stats, err := co.Run(ctx, g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Leaves < 1 {
+		t.Fatalf("silent worker never retired: %+v", stats)
+	}
+	if stats.Requeues < 1 {
+		t.Fatalf("retirement did not requeue the held shard: %+v", stats)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("merged across a retirement != local")
+	}
+}
+
+// newSlowHealthzServer serves a real /shard but answers /healthz only
+// after delay — the kind of worker HeartbeatTimeout exists to classify.
+func newSlowHealthzServer(t *testing.T, delay time.Duration) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+HealthzPath, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return
+		}
+		w.Write([]byte(`{"ok":true}` + "\n"))
+	})
+	mux.HandleFunc("POST "+ShardPath, func(w http.ResponseWriter, r *http.Request) {
+		var spec ShardSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p, err := ExecuteShard(r.Context(), spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(p)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// TestMembershipHeartbeatTimeout: a worker whose /healthz answers slowly is
+// evicted under a short HeartbeatTimeout and kept under a generous one —
+// the probe deadline is policy, not a constant.
+func TestMembershipHeartbeatTimeout(t *testing.T) {
+	g := testGrid(KindCurve)
+	want, err := RunLocal(nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stub whose healthz sleeps 60ms before answering 200.
+	slow := newSlowHealthzServer(t, 60*time.Millisecond)
+	fast, err := StartStubWorker("fast", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+
+	run := func(timeout time.Duration) *Stats {
+		co, err := New([]string{slow, fast.URL()}, Options{
+			Heartbeat:        5 * time.Millisecond,
+			HeartbeatFails:   1,
+			HeartbeatTimeout: timeout,
+			Sleep:            instant,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := co.Run(nil, g, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("merged != local")
+		}
+		return stats
+	}
+
+	impatient := run(25 * time.Millisecond)
+	if impatient.Evictions < 1 || impatient.PerWorker[slow] != 0 {
+		t.Fatalf("slow-healthz worker not evicted under a 25ms probe deadline: %+v", impatient)
+	}
+	patient := run(2 * time.Second)
+	if patient.Evictions != 0 {
+		t.Fatalf("slow-healthz worker evicted under a 2s probe deadline: %+v", patient)
+	}
+}
+
+// TestMembershipSpeculationSkipsEvicted is the regression test for
+// speculative re-execution against a dead fleet: with the only alternative
+// worker evicted, the speculator must hold the shard's single backup copy
+// (not burn it against an evicted target), then spend it when the worker is
+// readmitted. Before the fix the budget was consumed while skipping, so the
+// straggler's shard could never be rescued and the run hung.
+func TestMembershipSpeculationSkipsEvicted(t *testing.T) {
+	g := testGrid(KindCurve)
+	want, err := RunLocal(nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straggler, err := StartStubWorker("straggler", 0, func(ctx context.Context, spec ShardSpec) (*Partial, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer straggler.Close()
+	alt, err := StartStubWorker("alt", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alt.Close()
+	alt.SetHealthy(false) // evicted by the opening probe round
+
+	var evicted sync.Once
+	co, err := New([]string{straggler.URL(), alt.URL()}, Options{
+		Heartbeat:      5 * time.Millisecond,
+		HeartbeatFails: 1,
+		SpecFactor:     2,
+		SpecMin:        20 * time.Millisecond,
+		Sleep:          instant,
+		OnEvent: func(ev Event) {
+			if ev.Kind == "evict" && ev.Worker == alt.URL() {
+				evicted.Do(func() {
+					// Recover only after the speculator has had time to
+					// consider (and correctly skip) the alternative-less
+					// straggler.
+					time.AfterFunc(60*time.Millisecond, func() { alt.SetHealthy(true) })
+				})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, stats, err := co.Run(ctx, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Evictions < 1 || stats.Readmissions < 1 {
+		t.Fatalf("no evict/readmit cycle: %+v", stats)
+	}
+	if stats.Speculations < 1 {
+		t.Fatalf("straggler never rescued: %+v", stats)
+	}
+	if stats.PerWorker[straggler.URL()] != 0 {
+		t.Fatal("straggler somehow completed a shard")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("merged via deferred speculation != local")
+	}
+}
+
+// TestFenceTwoCoordinators is the split-brain proof: coordinator A stalls
+// mid-run (its only worker holds every shard), replacement coordinator B
+// resumes the same journal and finishes the run under a higher epoch, and
+// when A's worker finally answers, A's journal append is fenced and A
+// aborts — its late result never reaches the journal or a merge.
+func TestFenceTwoCoordinators(t *testing.T) {
+	g := testGrid(KindCurve)
+	want, err := RunLocal(nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(t.TempDir(), "checkpoint.jsonl")
+
+	gate := make(chan struct{})
+	blocked, err := StartStubWorker("blocked", 0, func(ctx context.Context, spec ShardSpec) (*Partial, error) {
+		select {
+		case <-gate:
+			return ExecuteShard(ctx, spec)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blocked.Close()
+
+	coA, err := New([]string{blocked.URL()}, Options{JournalPath: journal, Owner: "coord-a", Sleep: instant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() {
+		_, _, err := coA.Run(ctx, g, 4)
+		aErr <- err
+	}()
+
+	// Wait until A has claimed its epoch (the fence record is fsynced
+	// before any dispatch).
+	waitForJournal(t, journal, `"fence_epoch":1`)
+
+	healthy, err := StartStubWorker("healthy", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	coB, err := New([]string{healthy.URL()}, Options{JournalPath: journal, Resume: true, Owner: "coord-b", Sleep: instant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := coB.Run(ctx, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("replacement coordinator's merge != local")
+	}
+
+	// Unblock A's worker: A's next journal append must observe B's fence
+	// and abort the whole run.
+	close(gate)
+	select {
+	case err := <-aErr:
+		if !errors.Is(err, atomicio.ErrFenced) {
+			t.Fatalf("stale coordinator died with %v, want ErrFenced", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("stale coordinator did not abort after takeover")
+	}
+
+	// The journal holds B's work exclusively: every shard line carries
+	// epoch 2, and A's late partial never landed.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var probe struct {
+			FenceEpoch int64  `json:"fence_epoch"`
+			Epoch      int64  `json:"epoch"`
+			Key        string `json:"key"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatalf("unparseable journal line %q: %v", line, err)
+		}
+		if probe.FenceEpoch == 0 && probe.Epoch != 2 {
+			t.Fatalf("journal holds a shard line from epoch %d: %q", probe.Epoch, line)
+		}
+	}
+
+	// A third resume replays B's journal in full: nothing recomputes.
+	coC, err := New([]string{healthy.URL()}, Options{JournalPath: journal, Resume: true, Owner: "coord-c", Sleep: instant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, stats, err := coC.Run(ctx, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != stats.Planned {
+		t.Fatalf("post-takeover resume recomputed shards: %+v", stats)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("post-takeover resume merge != local")
+	}
+}
+
+// TestFenceResumeSkipsStaleEpochLines: a journal holding a shard line
+// stamped with an epoch below the highest fence above it (the artifact a
+// fenced-but-racing writer could have torn in) resumes only the legitimate
+// line; the stale one is rejected with a journal-skip and recomputed.
+func TestFenceResumeSkipsStaleEpochLines(t *testing.T) {
+	g := testGrid(KindCurve)
+	want, err := RunLocal(nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Plan(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := ExecuteShard(nil, plan[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ExecuteShard(nil, plan[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	journal := filepath.Join(t.TempDir(), "checkpoint.jsonl")
+	j1, _, err := atomicio.OpenJournalFenced(journal, false, "epoch-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.Append("shard-ok", journalLine{Epoch: 1, Partial: p0})
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, _, err := atomicio.OpenJournalFenced(journal, true, "epoch-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1 below the epoch-2 fence: a stale writer's line.
+	j2.Append("shard-stale", journalLine{Epoch: 1, Partial: p1})
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := StartStubWorker("w", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var skips atomic.Int32
+	co, err := New([]string{w.URL()}, Options{
+		JournalPath: journal,
+		Resume:      true,
+		Sleep:       instant,
+		OnEvent: func(ev Event) {
+			if ev.Kind == "journal-skip" {
+				skips.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := co.Run(nil, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 1 {
+		t.Fatalf("resumed %d shards, want exactly the epoch-1-above-fence line", stats.Resumed)
+	}
+	if stats.JournalSkipped != 1 || skips.Load() != 1 {
+		t.Fatalf("stale-epoch line not rejected: skipped=%d events=%d", stats.JournalSkipped, skips.Load())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("merge after stale-epoch resume != local")
+	}
+}
+
+// TestRegistryChaosReplay: the registry failpoints draw from the same
+// seeded per-site streams as every other chaos site — one seed, one fault
+// schedule, replayable.
+func TestRegistryChaosReplay(t *testing.T) {
+	record := func(seed int64) []bool {
+		plan, err := chaos.Parse("registry.lease=error@0.4", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chaos.Enable(plan)
+		defer chaos.Disable()
+		reg := NewRegistry(time.Minute, nil)
+		if _, err := reg.Announce("http://w:1"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = reg.Renew("http://w:1") != nil
+		}
+		return out
+	}
+	a, b, c := record(7), record(7), record(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different lease-failure schedules")
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical lease-failure schedules")
+	}
+}
+
+// TestMembershipSoak is the end-to-end acceptance scenario: a journaled run
+// is killed mid-flight; a replacement coordinator resumes it under a higher
+// epoch; a third worker joins mid-run by announcement; a zombie worker goes
+// silent holding a shard and is retired by lease expiry; and the final
+// merge is byte-identical to the single-process run.
+func TestMembershipSoak(t *testing.T) {
+	g := testGrid(KindCurve)
+	want, err := RunLocal(nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "checkpoint.jsonl")
+
+	w1, err := StartStubWorker("w1", 10*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w1.Close()
+
+	// Phase 1: the doomed coordinator completes a couple of shards, then
+	// "crashes" (context cancelled).
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	var completes atomic.Int32
+	co1, err := New([]string{w1.URL()}, Options{
+		JournalPath: journal,
+		Owner:       "doomed",
+		Sleep:       instant,
+		OnEvent: func(ev Event) {
+			if ev.Kind == "complete" && completes.Add(1) == 2 {
+				cancel1()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := co1.Run(ctx1, g, 7); err == nil {
+		t.Fatal("phase-1 coordinator survived its own crash")
+	}
+	cancel1()
+
+	// Phase 2: the replacement resumes under epoch 2 with a live fleet —
+	// w1 static, a zombie dynamic member that goes silent holding a shard,
+	// and w3 joining by announcement mid-run.
+	tookShard := make(chan struct{})
+	var tookOnce sync.Once
+	var zombie *StubWorker
+	zombie, err = StartStubWorker("zombie", 0, func(ctx context.Context, spec ShardSpec) (*Partial, error) {
+		tookOnce.Do(func() { close(tookShard) })
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zombie.Close()
+	w3, err := StartStubWorker("w3", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+
+	reg := NewRegistry(50*time.Millisecond, nil)
+	if _, err := reg.Announce(zombie.URL()); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		<-tookShard
+		zombie.SetHealthy(false)
+	}()
+	var joinOnce sync.Once
+	co2, err := New([]string{w1.URL()}, Options{
+		Registry:       reg,
+		JournalPath:    journal,
+		Resume:         true,
+		Owner:          "replacement",
+		Heartbeat:      5 * time.Millisecond,
+		HeartbeatFails: 2,
+		Sleep:          instant,
+		OnEvent: func(ev Event) {
+			if ev.Kind == "complete" {
+				joinOnce.Do(func() {
+					if _, err := reg.Announce(w3.URL()); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	got, stats, err := co2.Run(ctx, g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed < 1 {
+		t.Fatalf("replacement resumed nothing: %+v", stats)
+	}
+	if stats.Joins < 1 {
+		t.Fatalf("mid-run join not observed: %+v", stats)
+	}
+	if stats.Leaves < 1 {
+		t.Fatalf("zombie never retired: %+v", stats)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("soak merge != local")
+	}
+
+	// The journal shows both coordinator generations.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fence := range []string{`"fence_epoch":1`, `"fence_epoch":2`} {
+		if !strings.Contains(string(data), fence) {
+			t.Fatalf("journal missing %s", fence)
+		}
+	}
+}
+
+// waitForJournal polls path until it contains needle.
+func waitForJournal(t *testing.T, path, needle string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(path); err == nil && strings.Contains(string(data), needle) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never contained %q", needle)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

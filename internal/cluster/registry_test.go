@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mtreescale/internal/chaos"
+)
+
+func TestRegistryLeaseLifecycle(t *testing.T) {
+	clk := time.Unix(1000, 0)
+	var mu sync.Mutex
+	r := NewRegistry(10*time.Second, []string{"http://static:1"})
+	r.SetClock(func() time.Time { mu.Lock(); defer mu.Unlock(); return clk })
+	advance := func(d time.Duration) { mu.Lock(); clk = clk.Add(d); mu.Unlock() }
+
+	var events []MemberEvent
+	defer r.Watch(func(ev MemberEvent) { mu.Lock(); events = append(events, ev); mu.Unlock() })()
+
+	joined, err := r.Announce("http://dyn:2")
+	if err != nil || !joined {
+		t.Fatalf("Announce = %v, %v; want join", joined, err)
+	}
+	if joined, _ := r.Announce("http://dyn:2"); joined {
+		t.Fatal("re-announcement reported a second join")
+	}
+	if got := r.Members(); !reflect.DeepEqual(got, []string{"http://dyn:2", "http://static:1"}) {
+		t.Fatalf("Members = %v", got)
+	}
+
+	// Renewal keeps the lease alive across what would otherwise expire it.
+	advance(8 * time.Second)
+	if err := r.Renew("http://dyn:2"); err != nil {
+		t.Fatal(err)
+	}
+	advance(8 * time.Second)
+	if gone := r.Sweep(); len(gone) != 0 {
+		t.Fatalf("swept %v before lease expiry", gone)
+	}
+	if !r.Active("http://dyn:2") {
+		t.Fatal("renewed member inactive")
+	}
+
+	// Unrenewed, the lease ages out; the static member stays forever.
+	advance(11 * time.Second)
+	if !r.Active("http://static:1") {
+		t.Fatal("static member expired")
+	}
+	if r.Active("http://dyn:2") {
+		t.Fatal("expired member still active before sweep")
+	}
+	if gone := r.Sweep(); !reflect.DeepEqual(gone, []string{"http://dyn:2"}) {
+		t.Fatalf("Sweep = %v", gone)
+	}
+	if got := r.Members(); !reflect.DeepEqual(got, []string{"http://static:1"}) {
+		t.Fatalf("Members after sweep = %v", got)
+	}
+
+	// Re-announcement after retirement is a fresh join.
+	if joined, _ := r.Announce("http://dyn:2"); !joined {
+		t.Fatal("post-retirement announcement not a join")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []MemberEvent{
+		{Kind: "join", Worker: "http://dyn:2"},
+		{Kind: "leave", Worker: "http://dyn:2"},
+		{Kind: "join", Worker: "http://dyn:2"},
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+}
+
+func TestRegistryRejectsBadURL(t *testing.T) {
+	r := NewRegistry(time.Second, nil)
+	for _, bad := range []string{"", "not a url", "ftp://x", "http://"} {
+		if _, err := r.Announce(bad); err == nil {
+			t.Fatalf("Announce(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRegistryHandlerAnnounces(t *testing.T) {
+	r := NewRegistry(time.Second, nil)
+	srv := httptest.NewServer(r.Handler("secret"))
+	defer srv.Close()
+
+	post := func(body, token string) int {
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+RegisterPath, bytes.NewReader([]byte(body)))
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post(`{"url":"http://w:1"}`, ""); code != http.StatusUnauthorized {
+		t.Fatalf("tokenless register = %d, want 401", code)
+	}
+	if code := post(`{"url":"http://w:1"}`, "wrong"); code != http.StatusUnauthorized {
+		t.Fatalf("wrong-token register = %d, want 401", code)
+	}
+	if code := post(`{"url":"http://w:1"}`, "secret"); code != http.StatusOK {
+		t.Fatalf("register = %d, want 200", code)
+	}
+	if code := post(`{"url":"garbage"}`, "secret"); code != http.StatusBadRequest {
+		t.Fatalf("bad-URL register = %d, want 400", code)
+	}
+	if got := r.Members(); !reflect.DeepEqual(got, []string{"http://w:1"}) {
+		t.Fatalf("Members = %v", got)
+	}
+}
+
+func TestRegistryAnnounceFailpoint(t *testing.T) {
+	plan, err := chaos.Parse("registry.announce=error#1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Enable(plan)
+	defer chaos.Disable()
+
+	r := NewRegistry(time.Second, nil)
+	if _, err := r.Announce("http://w:1"); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("announce under failpoint = %v, want injected", err)
+	}
+	if len(r.Members()) != 0 {
+		t.Fatal("failed announcement admitted the worker")
+	}
+	if _, err := r.Announce("http://w:1"); err != nil {
+		t.Fatalf("announce after failpoint limit: %v", err)
+	}
+}
+
+func TestRegistryLeaseFailpointAgesOutWorker(t *testing.T) {
+	plan, err := chaos.Parse("registry.lease=error", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Enable(plan)
+	defer chaos.Disable()
+
+	clk := time.Unix(1000, 0)
+	var mu sync.Mutex
+	r := NewRegistry(5*time.Second, nil)
+	r.SetClock(func() time.Time { mu.Lock(); defer mu.Unlock(); return clk })
+	if _, err := r.Announce("http://w:1"); err != nil {
+		t.Fatal(err)
+	}
+	// Every renewal is dropped by the failpoint; the lease must age out.
+	for i := 0; i < 3; i++ {
+		if err := r.Renew("http://w:1"); !errors.Is(err, chaos.ErrInjected) {
+			t.Fatalf("renewal %d = %v, want injected", i, err)
+		}
+		mu.Lock()
+		clk = clk.Add(2 * time.Second)
+		mu.Unlock()
+	}
+	if gone := r.Sweep(); !reflect.DeepEqual(gone, []string{"http://w:1"}) {
+		t.Fatalf("Sweep = %v, want the unrenewed worker retired", gone)
+	}
+}
+
+func TestReadDiscoverFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "workers.txt")
+	content := "# fleet\nhttp://a:1\n\n  http://b:2  \n# trailing\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDiscoverFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"http://a:1", "http://b:2"}) {
+		t.Fatalf("ReadDiscoverFile = %v", got)
+	}
+}
+
+func TestPollDiscoverFileJoinsAdditions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "workers.txt")
+	if err := os.WriteFile(path, []byte("http://a:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(time.Minute, nil)
+	joined := make(chan string, 8)
+	defer r.Watch(func(ev MemberEvent) {
+		if ev.Kind == "join" {
+			joined <- ev.Worker
+		}
+	})()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.PollDiscoverFile(ctx, path, time.Millisecond, nil)
+	}()
+
+	waitJoin := func(want string) {
+		t.Helper()
+		select {
+		case w := <-joined:
+			if w != want {
+				t.Fatalf("join %q, want %q", w, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no join for %q", want)
+		}
+	}
+	waitJoin("http://a:1")
+	if err := os.WriteFile(path, []byte("http://a:1\nhttp://b:2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitJoin("http://b:2")
+	cancel()
+	<-done
+}

@@ -31,6 +31,11 @@ type StubOptions struct {
 	// <Token>" (constant-time compare), mirroring mtsimd -shard-token.
 	// GET /healthz stays open — liveness must be probeable by design.
 	Token string
+	// TLSCert/TLSKey, when both set, serve the worker over TLS (the URL
+	// becomes https), mirroring mtsimd -tls-cert/-tls-key. Coordinators
+	// reach it with a client from NewTLSClient.
+	TLSCert string
+	TLSKey  string
 }
 
 // StubWorker is a minimal in-process shard worker speaking mtsimd's /shard
@@ -138,7 +143,12 @@ func StartStubWorkerOpts(opt StubOptions) (*StubWorker, error) {
 	})
 	mux.Handle("POST "+ShardPath, serve.ChaosFaults(shard))
 	sw.srv = &http.Server{Handler: mux}
-	go sw.srv.Serve(lis)
+	if opt.TLSCert != "" && opt.TLSKey != "" {
+		sw.url = "https://" + lis.Addr().String()
+		go sw.srv.ServeTLS(lis, opt.TLSCert, opt.TLSKey)
+	} else {
+		go sw.srv.Serve(lis)
+	}
 	return sw, nil
 }
 

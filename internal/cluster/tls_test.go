@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestCoordinatorOverTLS runs the byte-identity scenario across TLS
+// workers: the stub serves https with the committed testdata cert, the
+// coordinator's client trusts exactly that CA, and the merged result still
+// matches the single-process reference.
+func TestCoordinatorOverTLS(t *testing.T) {
+	w1, err := StartStubWorkerOpts(StubOptions{
+		ID: "tls-1", TLSCert: "testdata/test_cert.pem", TLSKey: "testdata/test_key.pem",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w1.Close()
+	w2, err := StartStubWorkerOpts(StubOptions{
+		ID: "tls-2", TLSCert: "testdata/test_cert.pem", TLSKey: "testdata/test_key.pem",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+
+	client, err := NewTLSClient("testdata/test_cert.pem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGrid(KindCurve)
+	c, err := New([]string{w1.URL(), w2.URL()}, Options{Client: client, Sleep: instant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, _, err := c.Run(context.Background(), g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := RunLocal(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, local) {
+		t.Fatal("TLS clustered result differs from local run")
+	}
+}
+
+// TestTLSWorkerRejectsUntrustedClient: a default client (system roots)
+// must fail verification against the self-signed test cert — TLS that
+// accepted any cert would be decoration.
+func TestTLSWorkerRejectsUntrustedClient(t *testing.T) {
+	w, err := StartStubWorkerOpts(StubOptions{
+		ID: "tls", TLSCert: "testdata/test_cert.pem", TLSKey: "testdata/test_key.pem",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	g := testGrid(KindCurve)
+	c, err := New([]string{w.URL()}, Options{Retries: 1, Sleep: instant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Run(context.Background(), g, 2); err == nil {
+		t.Fatal("untrusted client completed a TLS run")
+	}
+}
+
+// TestNewTLSClientRejectsGarbage: a CA file with no certificates is a
+// configuration error, not a silently empty trust pool.
+func TestNewTLSClientRejectsGarbage(t *testing.T) {
+	if _, err := NewTLSClient("testdata/gen_certs.go"); err == nil {
+		t.Fatal("non-PEM CA file accepted")
+	}
+	if _, err := NewTLSClient("testdata/does-not-exist.pem"); err == nil {
+		t.Fatal("missing CA file accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffExponentialSeries(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: 30 * time.Second, Factor: 2}
+	want := []time.Duration{
+		time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		16 * time.Second, 30 * time.Second, 30 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.Delay(1); got != defaultBase {
+		t.Fatalf("zero-value Delay(1) = %v, want %v", got, defaultBase)
+	}
+	if got := b.Delay(1000); got != defaultMax {
+		t.Fatalf("zero-value Delay(1000) = %v, want cap %v", got, defaultMax)
+	}
+	if got := b.Delay(0); got != b.Delay(1) {
+		t.Fatalf("Delay(0) = %v, want Delay(1) = %v", got, b.Delay(1))
+	}
+}
+
+func TestBackoffCapBelowBase(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Millisecond}
+	if got := b.Delay(3); got != time.Second {
+		t.Fatalf("Delay with Max<Base = %v, want Base %v", got, time.Second)
+	}
+}
+
+func TestBackoffNoOverflow(t *testing.T) {
+	b := Backoff{Base: time.Hour, Max: 1<<62 - 1, Factor: 1e9}
+	for i := 1; i < 64; i++ {
+		d := b.Delay(i)
+		if d <= 0 || d > time.Duration(1<<62-1) {
+			t.Fatalf("Delay(%d) overflowed: %v", i, d)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Minute, Jitter: 0.5, Seed: 42}
+	for attempt := 1; attempt <= 8; attempt++ {
+		d1, d2 := b.Delay(attempt), b.Delay(attempt)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		full := Backoff{Base: b.Base, Max: b.Max}.Delay(attempt)
+		if d1 > full {
+			t.Fatalf("jittered Delay(%d) = %v exceeds unjittered %v", attempt, d1, full)
+		}
+		if min := time.Duration(float64(full) * 0.5); d1 < min {
+			t.Fatalf("jittered Delay(%d) = %v below floor %v", attempt, d1, min)
+		}
+	}
+	// A different seed must shift at least one delay: jitter that ignores
+	// the seed is not a stream.
+	other := Backoff{Base: b.Base, Max: b.Max, Jitter: b.Jitter, Seed: 43}
+	same := true
+	for attempt := 1; attempt <= 8; attempt++ {
+		if b.Delay(attempt) != other.Delay(attempt) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("jitter stream identical across seeds")
+	}
+}
+
+// fakeClock is a hand-advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := &Breaker{Threshold: 3, Window: Backoff{Base: time.Second, Max: 8 * time.Second}}
+	b.SetClock(clk.now)
+
+	for i := 0; i < 2; i++ {
+		if opened := b.Failure("w"); opened {
+			t.Fatalf("opened after %d failures, threshold 3", i+1)
+		}
+		if ok, _ := b.Allow("w"); !ok {
+			t.Fatalf("refused below threshold")
+		}
+	}
+	if !b.Failure("w") {
+		t.Fatal("third failure did not open the circuit")
+	}
+	ok, retryIn := b.Allow("w")
+	if ok || retryIn != time.Second {
+		t.Fatalf("open circuit: Allow = %v, retryIn %v; want refused, 1s", ok, retryIn)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := &Breaker{Threshold: 1, Window: Backoff{Base: time.Second, Max: 8 * time.Second}}
+	b.SetClock(clk.now)
+	b.Failure("w")
+	if ok, _ := b.Allow("w"); ok {
+		t.Fatal("allowed inside open window")
+	}
+	clk.advance(time.Second)
+	if ok, _ := b.Allow("w"); !ok {
+		t.Fatal("elapsed window did not admit the half-open probe")
+	}
+	// Only one probe until it settles.
+	if ok, _ := b.Allow("w"); ok {
+		t.Fatal("second probe admitted while half-open")
+	}
+	// Probe fails: re-open with the doubled window.
+	if !b.Failure("w") {
+		t.Fatal("half-open failure did not re-open")
+	}
+	ok, retryIn := b.Allow("w")
+	if ok || retryIn != 2*time.Second {
+		t.Fatalf("re-opened window: Allow = %v, retryIn %v; want refused, 2s", ok, retryIn)
+	}
+	clk.advance(2 * time.Second)
+	if ok, _ := b.Allow("w"); !ok {
+		t.Fatal("second half-open probe refused")
+	}
+	if reclosed := b.Success("w"); !reclosed {
+		t.Fatal("successful probe did not report reclose")
+	}
+	if ok, _ := b.Allow("w"); !ok {
+		t.Fatal("closed circuit refuses")
+	}
+	if b.Fails("w") != 0 {
+		t.Fatal("Success did not reset the failure count")
+	}
+}
+
+func TestBreakerHoldUntilSuccess(t *testing.T) {
+	clk := newFakeClock()
+	b := &Breaker{Threshold: 2, Hold: true}
+	b.SetClock(clk.now)
+	b.Failure("w")
+	if !b.Failure("w") {
+		t.Fatal("did not open at threshold")
+	}
+	clk.advance(24 * time.Hour)
+	if ok, _ := b.Allow("w"); ok {
+		t.Fatal("Hold breaker admitted on time alone")
+	}
+	if !b.Open("w") {
+		t.Fatal("Hold breaker closed on time alone")
+	}
+	if !b.Success("w") {
+		t.Fatal("Success did not report reclose")
+	}
+	if b.Open("w") {
+		t.Fatal("still open after Success")
+	}
+}
+
+func TestBreakerIndependentTargets(t *testing.T) {
+	b := &Breaker{Threshold: 1, Window: Backoff{Base: time.Minute}}
+	b.Failure("a")
+	if ok, _ := b.Allow("b"); !ok {
+		t.Fatal("target b tripped by target a's failures")
+	}
+	if b.Open("b") {
+		t.Fatal("target b open")
+	}
+	if !b.Open("a") {
+		t.Fatal("target a not open")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"mtreescale/internal/retry"
 )
 
 // ErrQuarantined marks work refused because its id is quarantined: a recent
@@ -21,8 +23,7 @@ var ErrQuarantined = errors.New("serve: quarantined")
 // backs off exponentially rather than oscillating.
 type Quarantine struct {
 	mu      sync.Mutex
-	base    time.Duration
-	max     time.Duration
+	backoff retry.Backoff    // unjittered: quarantine windows are test-pinned
 	now     func() time.Time // injectable for tests
 	entries map[string]*quarantineEntry
 }
@@ -54,8 +55,7 @@ func NewQuarantine(base, max time.Duration) *Quarantine {
 		max = base
 	}
 	return &Quarantine{
-		base:    base,
-		max:     max,
+		backoff: retry.Backoff{Base: base, Max: max, Factor: 2},
 		now:     time.Now,
 		entries: make(map[string]*quarantineEntry),
 	}
@@ -83,14 +83,9 @@ func (q *Quarantine) Report(id string, cause error) time.Duration {
 		q.entries[id] = e
 	}
 	e.strikes++
-	backoff := q.base
-	// Shift without overflow: stop doubling once past the cap.
-	for i := 1; i < e.strikes && backoff < q.max; i++ {
-		backoff *= 2
-	}
-	if backoff > q.max {
-		backoff = q.max
-	}
+	// The shared retry layer computes the window: base × 2^(strikes-1),
+	// capped, no jitter — the exact series the quarantine tests pin.
+	backoff := q.backoff.Delay(e.strikes)
 	e.until = q.now().Add(backoff)
 	e.cause = cause
 	return backoff

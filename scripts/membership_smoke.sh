@@ -1,0 +1,189 @@
+#!/usr/bin/env bash
+# membership_smoke.sh — end-to-end self-healing membership against real
+# binaries.
+#
+# Three phases, one invariant: whatever the membership churn does, the
+# cluster's merged.json must stay byte-identical to the single-process golden.
+#
+#   1. The coordinator starts with ZERO static workers and a registrar
+#      (-register-addr); two mtsimd workers announce themselves (-announce)
+#      and join. A third worker is started mid-run and must join while
+#      shards are still queued; one of the originals is SIGKILLed and must
+#      be retired (requeue / eviction / lease expiry) without poisoning the
+#      merge.
+#   2. A coordinator journaling to -out is SIGKILLed mid-run; a replacement
+#      resumes the same journal, replays the fsynced shards, and claims the
+#      next fence epoch — the journal must carry both epochs.
+#   3. The whole loop over TLS: the worker serves https (-tls-cert/-tls-key),
+#      announces to an https registrar, and the coordinator pins the CA
+#      (-tls-ca) for shards, heartbeats and the registrar alike.
+#
+# The deterministic in-process variants of these scenarios live in
+# internal/cluster's membership tests; this script proves the same
+# properties across real processes, real sockets and a real on-disk journal.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT_REG=${PORT_REG:-18101}
+PORT_A=${PORT_A:-18102}
+PORT_B=${PORT_B:-18103}
+PORT_C=${PORT_C:-18104}
+PORT_REG2=${PORT_REG2:-18105}
+PORT_D=${PORT_D:-18106}
+TOKEN=membership-smoke-token
+CERT=internal/cluster/testdata/test_cert.pem
+KEY=internal/cluster/testdata/test_key.pem
+# ti5000 at this width keeps each shard around ~100ms of real compute; 12
+# nets give the mid-run join and the kill a comfortable window of queued
+# shards to land in.
+GRID=(-kind ensemble -topo ti5000 -nets 12 -nsource 600 -nrcvr 40 -sizes 1,3,10,30,100 -seed 5)
+HARDEN=(-token "$TOKEN" -shards 12 -retries 12 -backoff 100ms)
+
+bin=$(mktemp -d) out=$(mktemp -d)
+cleanup() {
+    for pid in "${A_PID:-}" "${B_PID:-}" "${C_PID:-}" "${D_PID:-}" "${CTL_PID:-}"; do
+        [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$bin" "$out"
+}
+trap cleanup EXIT
+
+go build -o "$bin/mtsimd" ./cmd/mtsimd
+go build -o "$bin/mtctl" ./cmd/mtctl
+
+wait_ready() {
+    for _ in $(seq 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then exec 3>&- 3<&-; return 0; fi
+        sleep 0.1
+    done
+    echo "membership-smoke: port $1 never became reachable" >&2
+    return 1
+}
+
+echo "membership-smoke: recording single-process golden"
+"$bin/mtctl" -local "${GRID[@]}" -out "$out/local" 2>/dev/null
+
+echo "membership-smoke: phase 1 — pure dynamic membership: registrar, mid-run join, worker kill"
+"$bin/mtctl" -register-addr "127.0.0.1:$PORT_REG" \
+    "${GRID[@]}" "${HARDEN[@]}" \
+    -lease-ttl 750ms -heartbeat 150ms -heartbeat-fails 2 \
+    -out "$out/member" 2>"$out/progress" &
+CTL_PID=$!
+wait_ready "$PORT_REG"
+
+"$bin/mtsimd" -addr "127.0.0.1:$PORT_A" -worker-id member-a -shard-token "$TOKEN" \
+    -announce "http://127.0.0.1:$PORT_REG" -announce-interval 200ms >"$out/a.log" 2>&1 &
+A_PID=$!
+"$bin/mtsimd" -addr "127.0.0.1:$PORT_B" -worker-id member-b -shard-token "$TOKEN" \
+    -announce "http://127.0.0.1:$PORT_REG" -announce-interval 200ms >"$out/b.log" 2>&1 &
+B_PID=$!
+
+# Start a third worker the moment the first shard completes (it must join
+# while shards are still queued), and SIGKILL worker B the moment a
+# completed shard is attributed to it.
+started_c=0
+while kill -0 "$CTL_PID" 2>/dev/null; do
+    if [[ $started_c -eq 0 ]] && grep -q "complete on" "$out/progress" 2>/dev/null; then
+        "$bin/mtsimd" -addr "127.0.0.1:$PORT_C" -worker-id member-c -shard-token "$TOKEN" \
+            -announce "http://127.0.0.1:$PORT_REG" -announce-interval 200ms >"$out/c.log" 2>&1 &
+        C_PID=$!
+        started_c=1
+        echo "membership-smoke: started member-c mid-run"
+    fi
+    if [[ -n "${B_PID:-}" ]] && grep -q "complete on http://127.0.0.1:$PORT_B" "$out/progress" 2>/dev/null; then
+        echo "membership-smoke: killing member-b (pid $B_PID)"
+        kill -9 "$B_PID"
+        B_PID=
+    fi
+    if [[ $started_c -eq 1 && -z "${B_PID:-}" ]]; then break; fi
+    sleep 0.05
+done
+
+if ! wait "$CTL_PID"; then
+    echo "membership-smoke: phase-1 mtctl failed; progress follows" >&2
+    cat "$out/progress" >&2
+    exit 1
+fi
+CTL_PID=
+sed 's/^/membership-smoke:   /' "$out/progress"
+
+grep -q "http://127.0.0.1:$PORT_A joined the worker pool" "$out/progress" || {
+    echo "membership-smoke: member-a never joined via the registrar" >&2
+    exit 1
+}
+grep -q "http://127.0.0.1:$PORT_C joined the worker pool" "$out/progress" || {
+    echo "membership-smoke: member-c never joined mid-run" >&2
+    exit 1
+}
+grep -Eq "after http://127\.0\.0\.1:$PORT_B failed|127\.0\.0\.1:$PORT_B evicted|127\.0\.0\.1:$PORT_B left the worker pool" "$out/progress" || {
+    echo "membership-smoke: the killed worker was never requeued, evicted or retired" >&2
+    exit 1
+}
+cmp "$out/local/merged.json" "$out/member/merged.json"
+echo "membership-smoke: phase-1 merged output byte-identical to golden across a join, a kill and a retirement"
+
+echo "membership-smoke: phase 2 — SIGKILLing the coordinator mid-run, resuming under the next fence epoch"
+"$bin/mtctl" -workers "http://127.0.0.1:$PORT_A,http://127.0.0.1:$PORT_C" \
+    "${GRID[@]}" "${HARDEN[@]}" \
+    -out "$out/fence" 2>"$out/progress2" &
+CTL_PID=$!
+while kill -0 "$CTL_PID" 2>/dev/null; do
+    n=$(grep -c "complete on" "$out/progress2" 2>/dev/null) || n=0
+    if [[ $n -ge 2 ]]; then
+        echo "membership-smoke: killing the coordinator (pid $CTL_PID) after $n completed shards"
+        kill -9 "$CTL_PID"
+        break
+    fi
+    sleep 0.05
+done
+wait "$CTL_PID" 2>/dev/null || true
+CTL_PID=
+
+if ! "$bin/mtctl" -workers "http://127.0.0.1:$PORT_A,http://127.0.0.1:$PORT_C" \
+    "${GRID[@]}" "${HARDEN[@]}" \
+    -out "$out/fence" -resume 2>"$out/progress3"; then
+    echo "membership-smoke: phase-2 resume failed; progress follows" >&2
+    cat "$out/progress3" >&2
+    exit 1
+fi
+sed 's/^/membership-smoke:   /' "$out/progress3"
+grep -q "resumed from journal" "$out/progress3" || {
+    echo "membership-smoke: the replacement coordinator replayed no journal entries" >&2
+    exit 1
+}
+grep -q '"fence_epoch":1' "$out/fence/checkpoint.jsonl" || {
+    echo "membership-smoke: journal carries no epoch-1 fence record" >&2
+    exit 1
+}
+grep -q '"fence_epoch":2' "$out/fence/checkpoint.jsonl" || {
+    echo "membership-smoke: the replacement coordinator claimed no new fence epoch" >&2
+    exit 1
+}
+cmp "$out/local/merged.json" "$out/fence/merged.json"
+echo "membership-smoke: phase-2 merged output byte-identical to golden after a fenced coordinator takeover"
+
+echo "membership-smoke: phase 3 — the same loop over TLS (https worker, https registrar, pinned CA)"
+"$bin/mtsimd" -addr "127.0.0.1:$PORT_D" -worker-id member-d -shard-token "$TOKEN" \
+    -tls-cert "$CERT" -tls-key "$KEY" \
+    -announce "https://127.0.0.1:$PORT_REG2" -tls-ca "$CERT" \
+    -announce-interval 200ms >"$out/d.log" 2>&1 &
+D_PID=$!
+wait_ready "$PORT_D"
+
+if ! "$bin/mtctl" -register-addr "127.0.0.1:$PORT_REG2" \
+    -tls-cert "$CERT" -tls-key "$KEY" -tls-ca "$CERT" \
+    "${GRID[@]}" "${HARDEN[@]}" \
+    -lease-ttl 2s -heartbeat 300ms \
+    -out "$out/tls" 2>"$out/progress4"; then
+    echo "membership-smoke: phase-3 TLS run failed; progress follows" >&2
+    cat "$out/progress4" >&2
+    exit 1
+fi
+sed 's/^/membership-smoke:   /' "$out/progress4"
+grep -q "https://127.0.0.1:$PORT_D joined the worker pool" "$out/progress4" || {
+    echo "membership-smoke: the TLS worker never joined via the https registrar" >&2
+    exit 1
+}
+cmp "$out/local/merged.json" "$out/tls/merged.json"
+echo "membership-smoke: phase-3 merged output byte-identical to golden over TLS end to end"
