@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare bench-cluster bench-large large-smoke cluster-smoke chaos-smoke membership-smoke fuzz fuzz-smoke results results-paper report clean
+.PHONY: all check build vet test race race-all race-robust bench bench-all bench-compare bench-churn bench-cluster bench-large large-smoke cluster-smoke chaos-smoke churn-smoke membership-smoke fuzz fuzz-smoke results results-paper report clean
 
 all: build vet test
 
@@ -86,13 +86,25 @@ bench-cluster:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
+# Record the committed churn benchmark: the incremental delta-maintained
+# tree (DynTree.Join/Leave), its degree-bounded variant, the full engine
+# event path, and the recompute-per-event baseline it replaces, at steady
+# state m̄ = 1000 on a 50k-node transit-stub graph. The acceptance bar is
+# Incremental ≥ 10× faster than Recompute at this operating point.
+BENCH_CHURN_JSON ?= BENCH_8.json
+
+bench-churn:
+	$(GO) test -run '^$$' -bench 'BenchmarkChurn' -benchmem -count 1 \
+		./internal/mcast/ | $(GO) run ./cmd/benchjson -o $(BENCH_CHURN_JSON)
+	@cat $(BENCH_CHURN_JSON)
+
 # Gate a new perf point against the previous one: per-benchmark ns/op deltas,
 # nonzero exit when anything shared slowed down by more than BENCH_THRESHOLD
 # percent. Points recorded in different sessions of a shared host can drift
 # ±20% on the cache-sensitive kernels (see EXPERIMENTS.md); for a strict gate
 # re-record both generations back-to-back, or loosen the threshold.
-BENCH_OLD ?= BENCH_5.json
-BENCH_NEW ?= BENCH_6.json
+BENCH_OLD ?= BENCH_7.json
+BENCH_NEW ?= BENCH_8.json
 BENCH_THRESHOLD ?= 10
 
 bench-compare:
@@ -131,6 +143,14 @@ chaos-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkChaosDisabled$$' -benchmem -count 1 ./internal/chaos/
 	./scripts/chaos_smoke.sh
 
+# The churn smoke: the incremental-tree equivalence gates (every event
+# cross-checked against a from-scratch rebuild, for the unbounded, shared
+# and degree-bounded variants), cancellation-mid-churn, and the churn
+# experiments, under the race detector.
+churn-smoke:
+	$(GO) test -race -timeout 5m -run 'Churn|DynTree' \
+		./internal/mcast/... ./internal/experiments/...
+
 # The membership smoke: the self-healing membership surface (lease registry,
 # worker announce, epoch-fenced takeover, TLS transport) under the race
 # detector, then the end-to-end script: real daemons with a worker joining
@@ -153,6 +173,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseBenchOutput -fuzztime 30s ./cmd/benchjson/
 	$(GO) test -fuzz FuzzCompareDocs -fuzztime 30s ./cmd/benchjson/
 	$(GO) test -fuzz FuzzParseChaosPlan -fuzztime 30s ./internal/chaos/
+	$(GO) test -fuzz FuzzChurnEquivalence -fuzztime 30s ./internal/mcast/
 
 # The CI fuzz gate: every target for a short burst, cheap enough to run on
 # each push (regressions on known-crasher corpora surface immediately; long
@@ -166,6 +187,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseBenchOutput -fuzztime 10s ./cmd/benchjson/
 	$(GO) test -run '^$$' -fuzz FuzzCompareDocs -fuzztime 10s ./cmd/benchjson/
 	$(GO) test -run '^$$' -fuzz FuzzParseChaosPlan -fuzztime 10s ./internal/chaos/
+	$(GO) test -run '^$$' -fuzz FuzzChurnEquivalence -fuzztime 10s ./internal/mcast/
 
 # Regenerate every experiment at the default (medium) profile.
 results:

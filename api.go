@@ -339,6 +339,67 @@ type TreeCounter = mcast.TreeCounter
 // NewTreeCounter returns a counter for graphs of at most n nodes.
 func NewTreeCounter(n int) *TreeCounter { return mcast.NewTreeCounter(n) }
 
+// DynTree is an incrementally maintained delivery tree: Join grafts a
+// receiver along its shortest path to the first on-tree node and Leave
+// prunes the branch it no longer shares, both in O(path-to-tree) — the
+// engine behind the churn workload. A positive degree cap enables the
+// bounded-degree variant (degree-constrained grafting in the style of
+// arXiv 0906.0379).
+type DynTree = mcast.DynTree
+
+// NewDynTree builds an incremental delivery tree rooted at spt's source
+// (degreeCap 0 = unbounded; the arena may be nil).
+func NewDynTree(g *Topology, spt *SPT, degreeCap int) (*DynTree, error) {
+	return mcast.NewDynTree(g, spt, degreeCap, nil)
+}
+
+// ChurnConfig parameterizes the dynamic-membership workload: Poisson
+// arrivals at rate m̄/E[S] with i.i.d. session lengths, measured at steady
+// state.
+type ChurnConfig = mcast.ChurnConfig
+
+// ChurnResult aggregates one churn run's steady-state statistics.
+type ChurnResult = mcast.ChurnResult
+
+// ChurnVariant selects the tree maintained under churn.
+type ChurnVariant = mcast.ChurnVariant
+
+// Churn tree variants: source-rooted shortest-path, core-rooted shared,
+// and degree-bounded grafting.
+const (
+	ChurnSPT     = mcast.ChurnSPT
+	ChurnShared  = mcast.ChurnShared
+	ChurnBounded = mcast.ChurnBounded
+)
+
+// SessionDist selects the churn session-length distribution.
+type SessionDist = mcast.SessionDist
+
+// Session-length distributions: exponential (memoryless), Pareto
+// (heavy-tailed, α > 1), and fixed-length sessions.
+const (
+	SessionExp    = mcast.SessionExp
+	SessionPareto = mcast.SessionPareto
+	SessionFixed  = mcast.SessionFixed
+)
+
+// ParseSessionDist resolves "exp", "pareto" or "fixed" (empty = exp).
+func ParseSessionDist(s string) (SessionDist, error) { return mcast.ParseSessionDist(s) }
+
+// MeasureChurn drives DynTrees with the Poisson join/leave workload over
+// the protocol's sources and reduces the per-source steady-state
+// statistics deterministically (only EventsPerSec is wall-clock).
+func MeasureChurn(g *Topology, cfg ChurnConfig, p Protocol) (*ChurnResult, error) {
+	return mcast.MeasureChurn(g, cfg, p)
+}
+
+// MeasureChurnCtx is MeasureChurn under a cancellation context. Unlike the
+// static engines, cancellation returns BOTH the partial result (with
+// ctx.Err() recorded in its Err field) and the context's error.
+func MeasureChurnCtx(ctx context.Context, g *Topology, cfg ChurnConfig, p Protocol) (*ChurnResult, error) {
+	return mcast.MeasureChurnCtx(ctx, g, cfg, p)
+}
+
 // Increments is the empirical ΔL̄(j) measurement of the §3 derivative
 // analysis.
 type Increments = mcast.Increments

@@ -189,7 +189,7 @@ func TestPricingThroughAPI(t *testing.T) {
 
 func TestExperimentsThroughAPI(t *testing.T) {
 	ids := mtreescale.ExperimentIDs()
-	if len(ids) != 23 { // 18 paper items + 5 extensions
+	if len(ids) != 25 { // 18 paper items + 5 extensions + 2 churn
 		t.Fatalf("experiment count = %d", len(ids))
 	}
 	res, err := mtreescale.RunExperiment("fig8", mtreescale.QuickProfile())

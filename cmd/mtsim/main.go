@@ -77,6 +77,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		height     = fs.Int("height", 24, "ASCII plot height")
 		parallel   = fs.Int("parallel", 1, "run independent experiments on up to N workers (0 = all cores); output stays in paper order")
 		nested     = fs.Bool("nested", false, "use the incremental nested-growth engine for simulation figures (statistically equivalent, faster)")
+		churnCap   = fs.Int("churn-cap", 0, "degree cap for the churn experiments' bounded variant (0 = profile default, else ≥ 2)")
+		churnSess  = fs.String("churn-session", "", "session-length distribution for the churn experiments: exp|pareto|fixed (empty = profile default)")
 		sptcache   = fs.Bool("sptcache", true, "reuse shortest-path trees across experiments via the process-wide SPT cache (byte-identical output; -sptcache=false disables)")
 		batchbfs   = fs.Bool("batchbfs", true, "resolve source trees through the multi-source BFS batch kernel, up to 64 sources per traversal (byte-identical output; -batchbfs=false disables)")
 		compress   = fs.Bool("compress", false, "hold topologies in the compressed CSR layout (~half the adjacency bytes; byte-identical output) — the large-graph memory mode")
@@ -106,11 +108,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "mtsim: CHAOS ENABLED seed=%d spec=%q\n", *chaosSeed, *chaosSpec)
 	}
 	if *list {
-		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-		for _, e := range mtreescale.ListExperiments() {
-			fmt.Fprintf(tw, "%s\t%s\n", e.ID, oneLine(e.Title))
-		}
-		return tw.Flush()
+		return writeList(out)
 	}
 	if *describe {
 		for _, id := range mtreescale.ExperimentIDs() {
@@ -141,6 +139,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	p.SPTCache = *sptcache
 	p.BatchBFS = *batchbfs
 	p.LargeGraph = *compress
+	if *churnCap != 0 {
+		p.ChurnCap = *churnCap
+	}
+	if *churnSess != "" {
+		p.ChurnSession = *churnSess
+	}
 	if *pprofAddr != "" {
 		// net/http/pprof registers its handlers on the default mux; serve it
 		// on a side listener for the lifetime of the run.
@@ -171,6 +175,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		width:    *width,
 		height:   *height,
 	})
+}
+
+// writeList renders -list: experiments grouped by family, each group
+// introduced by a "[family]" header line, ids and one-line titles aligned
+// in a tab table. Families appear in first-encounter (paper) order.
+func writeList(out io.Writer) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	var families []string
+	byFamily := map[string][]mtreescale.ExperimentListing{}
+	for _, e := range mtreescale.ListExperiments() {
+		if _, ok := byFamily[e.Family]; !ok {
+			families = append(families, e.Family)
+		}
+		byFamily[e.Family] = append(byFamily[e.Family], e)
+	}
+	for i, fam := range families {
+		if i > 0 {
+			fmt.Fprintln(tw)
+		}
+		fmt.Fprintf(tw, "[%s]\n", fam)
+		for _, e := range byFamily[fam] {
+			fmt.Fprintf(tw, "%s\t%s\n", e.ID, oneLine(e.Title))
+		}
+	}
+	return tw.Flush()
 }
 
 // oneLine collapses a multi-line description to its first line for -list.

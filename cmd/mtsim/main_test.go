@@ -15,9 +15,55 @@ func TestList(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, id := range []string{"table1", "fig1a", "fig9b", "ext-steiner"} {
+	for _, id := range []string{"table1", "fig1a", "fig9b", "ext-steiner", "churn-steady", "churn-repair"} {
 		if !strings.Contains(out, id) {
 			t.Fatalf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+// TestListGroupedFormat pins the grouped -list layout: "[family]" header
+// lines in paper order, every experiment under exactly the right header,
+// groups separated by blank lines.
+func TestListGroupedFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	var headers []string
+	family := ""
+	got := map[string]string{} // id -> family
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimRight(line, " ")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			family = strings.Trim(line, "[]")
+			headers = append(headers, family)
+			continue
+		}
+		if family == "" {
+			t.Fatalf("experiment line before any [family] header: %q", line)
+		}
+		got[strings.Fields(line)[0]] = family
+	}
+	wantHeaders := []string{"curve", "shared", "steiner", "ensemble", "weighted", "affinity", "churn"}
+	if strings.Join(headers, ",") != strings.Join(wantHeaders, ",") {
+		t.Fatalf("family headers = %v, want %v", headers, wantHeaders)
+	}
+	for id, fam := range map[string]string{
+		"table1":             "curve",
+		"fig9b":              "curve",
+		"ext-shared":         "shared",
+		"ext-affinity-graph": "affinity",
+		"churn-steady":       "churn",
+		"churn-repair":       "churn",
+	} {
+		if got[id] != fam {
+			t.Fatalf("%s grouped under %q, want %q\n%s", id, got[id], fam, out)
 		}
 	}
 }

@@ -48,6 +48,14 @@ type config struct {
 	// large-graph memory mode.
 	compress bool
 
+	// churnCap, when nonzero, overrides the profile's degree cap for the
+	// churn experiments' bounded variant (≥ 2).
+	churnCap int
+
+	// churnSession, when set, overrides the profile's session-length
+	// distribution for the churn experiments (exp|pareto|fixed).
+	churnSession string
+
 	quarBase time.Duration
 	quarMax  time.Duration
 
@@ -274,6 +282,12 @@ func (s *server) handleCurve(w http.ResponseWriter, r *http.Request) {
 	}
 	p.BatchBFS = s.cfg.batchBFS
 	p.LargeGraph = s.cfg.compress
+	if s.cfg.churnCap != 0 {
+		p.ChurnCap = s.cfg.churnCap
+	}
+	if s.cfg.churnSession != "" {
+		p.ChurnSession = s.cfg.churnSession
+	}
 	if !knownExperiment(id) {
 		serve.WriteJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q (see /experiments)", id), 0)
 		return

@@ -172,6 +172,33 @@ func (a *Arena) GrowUint64(s []uint64, n int) []uint64 {
 	return a.Uint64(n)
 }
 
+// Float64 returns an uninitialized slice of n float64s backed by a slab.
+func (a *Arena) Float64(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := a.slab(n)
+	return unsafe.Slice((*float64)(unsafe.Pointer(&w[0])), cap(w))[:n]
+}
+
+// PutFloat64 releases a Float64 slice's slab back to the arena.
+func (a *Arena) PutFloat64(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	a.put(unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(s))), cap(s)))
+}
+
+// GrowFloat64 is GrowInt32 for float64 slices.
+func (a *Arena) GrowFloat64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	a.PutFloat64(s)
+	return a.Float64(n)
+}
+
 // Stats reports the arena's parked inventory.
 type Stats struct {
 	// Slabs is the number of slabs on the free lists.

@@ -9,8 +9,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"mtreescale/internal/graph"
+	"mtreescale/internal/mcast"
 	"mtreescale/internal/plot"
 	"mtreescale/internal/topology"
 	"mtreescale/internal/valid"
@@ -60,6 +62,12 @@ type Profile struct {
 	// graph — so this is purely a memory/bandwidth knob (exposed as
 	// -compress on the CLIs).
 	LargeGraph bool
+	// ChurnCap is the bounded-degree tree variant's per-node degree cap in
+	// the churn experiments (≥ 2; exposed as -churn-cap on the CLIs).
+	ChurnCap int
+	// ChurnSession selects the churn session-length distribution: "exp",
+	// "pareto" or "fixed" (exposed as -churn-session on the CLIs).
+	ChurnSession string
 }
 
 // Validate checks profile sanity. Failures wrap valid.ErrParam so callers at
@@ -82,6 +90,12 @@ func (p Profile) Validate() error {
 	if p.MaxGroupSize < 0 {
 		return valid.Badf("experiments: negative MaxGroupSize")
 	}
+	if p.ChurnCap != 0 && p.ChurnCap < 2 {
+		return valid.Badf("experiments: churn degree cap %d must be 0 (default) or ≥ 2", p.ChurnCap)
+	}
+	if _, err := mcast.ParseSessionDist(p.ChurnSession); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -91,7 +105,7 @@ func Paper() Profile {
 	return Profile{
 		Name: "paper", Scale: 1, NSource: 100, NRcvr: 100,
 		GridPoints: 24, Seed: 1999, MCMCBurnIn: 200, MCMCSamples: 400,
-		SPTCache: true, BatchBFS: true,
+		SPTCache: true, BatchBFS: true, ChurnCap: 4, ChurnSession: "exp",
 	}
 }
 
@@ -101,7 +115,7 @@ func Medium() Profile {
 	return Profile{
 		Name: "medium", Scale: 0.25, NSource: 30, NRcvr: 30,
 		GridPoints: 16, Seed: 1999, MCMCBurnIn: 100, MCMCSamples: 200,
-		SPTCache: true, BatchBFS: true,
+		SPTCache: true, BatchBFS: true, ChurnCap: 4, ChurnSession: "exp",
 	}
 }
 
@@ -111,6 +125,7 @@ func Quick() Profile {
 		Name: "quick", Scale: 0.05, NSource: 8, NRcvr: 8,
 		GridPoints: 8, Seed: 1999, MCMCBurnIn: 30, MCMCSamples: 60,
 		MaxGroupSize: 2000, SPTCache: true, BatchBFS: true,
+		ChurnCap: 4, ChurnSession: "exp",
 	}
 }
 
@@ -151,7 +166,11 @@ type Runner struct {
 	ID          string
 	Title       string
 	Description string
-	Run         func(ctx context.Context, p Profile) (*Result, error)
+	// Family groups related experiments in listings (curve, shared,
+	// steiner, ensemble, weighted, affinity, churn). Empty falls back to
+	// the id-derived default (familyOf).
+	Family string
+	Run    func(ctx context.Context, p Profile) (*Result, error)
 }
 
 var registry = map[string]*Runner{}
@@ -171,6 +190,8 @@ var paperOrder = []string{
 	"fig9a", "fig9b",
 	// Extensions beyond the paper (see extensions.go).
 	"ext-shared", "ext-steiner", "ext-ensemble", "ext-weighted", "ext-affinity-graph",
+	// The dynamic-membership workload family (see churn.go).
+	"churn-steady", "churn-repair",
 }
 
 // Register adds an experiment to the registry. It rejects nil runners,
@@ -226,12 +247,36 @@ func IDs() []string {
 }
 
 // Info is one registry listing entry: the experiment id with its one-line
-// title and description — the shared shape behind `mtsim -list` and the
-// daemon's /experiments endpoint.
+// title, description and family — the shared shape behind `mtsim -list`
+// (which groups by family) and the daemon's /experiments endpoint.
 type Info struct {
 	ID          string `json:"id"`
 	Title       string `json:"title"`
 	Description string `json:"description"`
+	Family      string `json:"family"`
+}
+
+// familyOf derives the listing family for experiments that predate the
+// Family field: the paper's tables and figures are the core "curve" family,
+// each extension forms its own, and churn-* is the dynamic-membership
+// workload family.
+func familyOf(id string) string {
+	switch {
+	case strings.HasPrefix(id, "churn"):
+		return "churn"
+	case id == "ext-shared":
+		return "shared"
+	case id == "ext-steiner":
+		return "steiner"
+	case id == "ext-ensemble":
+		return "ensemble"
+	case id == "ext-weighted":
+		return "weighted"
+	case id == "ext-affinity-graph":
+		return "affinity"
+	default:
+		return "curve"
+	}
 }
 
 // List returns every registered experiment's Info in paper order.
@@ -240,7 +285,11 @@ func List() []Info {
 	out := make([]Info, 0, len(ids))
 	for _, id := range ids {
 		r := registry[id]
-		out = append(out, Info{ID: id, Title: r.Title, Description: r.Description})
+		fam := r.Family
+		if fam == "" {
+			fam = familyOf(id)
+		}
+		out = append(out, Info{ID: id, Title: r.Title, Description: r.Description, Family: fam})
 	}
 	return out
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -54,6 +56,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8",
 		"fig9a", "fig9b",
 		"ext-shared", "ext-steiner", "ext-ensemble", "ext-weighted", "ext-affinity-graph",
+		"churn-steady", "churn-repair",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -233,5 +236,80 @@ func TestCapSize(t *testing.T) {
 	p.MaxGroupSize = 0
 	if p.capSize(500) != 500 {
 		t.Fatal("uncapped")
+	}
+}
+
+// TestChurnExperimentsQuick pins the churn family's structural contract:
+// the steady-state figure carries the static reference plus all three
+// churn variants, the repair figure carries both cost curves, notes record
+// the fitted exponent / PASTA deviation / degree pressure, and repeated
+// runs are byte-deterministic (the engine's wall-clock rate is never
+// consumed).
+func TestChurnExperimentsQuick(t *testing.T) {
+	p := Quick()
+	steady, err := Run("churn-steady", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeries := []string{"static snapshot", "churn-spt", "churn-shared", "churn-bounded"}
+	if len(steady.Figure.Series) != len(wantSeries) {
+		t.Fatalf("churn-steady series = %d, want %d", len(steady.Figure.Series), len(wantSeries))
+	}
+	for i, s := range steady.Figure.Series {
+		if s.Name != wantSeries[i] {
+			t.Fatalf("series %d = %q, want %q", i, s.Name, wantSeries[i])
+		}
+	}
+	if len(steady.Notes) != 3 {
+		t.Fatalf("churn-steady notes = %v", steady.Notes)
+	}
+	for _, frag := range []string{"exponent", "PASTA", "degree cap"} {
+		found := false
+		for _, n := range steady.Notes {
+			if strings.Contains(n, frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("churn-steady notes missing %q: %v", frag, steady.Notes)
+		}
+	}
+
+	repair, err := Run("churn-repair", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repair.Figure.Series) != 2 {
+		t.Fatalf("churn-repair series = %d, want 2", len(repair.Figure.Series))
+	}
+	for _, s := range repair.Figure.Series {
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("series %q has non-positive repair cost %v", s.Name, s.Y)
+			}
+		}
+	}
+	if len(repair.Notes) != 2 {
+		t.Fatalf("churn-repair notes = %v", repair.Notes)
+	}
+
+	again, err := Run("churn-steady", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", *again.Figure) != fmt.Sprintf("%+v", *steady.Figure) ||
+		fmt.Sprintf("%v", again.Notes) != fmt.Sprintf("%v", steady.Notes) {
+		t.Fatal("churn-steady is not deterministic across runs")
+	}
+}
+
+// TestChurnExperimentCancelled: the runner observes ctx between grid
+// points and surfaces the cancellation (the engine-level partial-result
+// contract is tested in internal/mcast).
+func TestChurnExperimentCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, "churn-repair", Quick()); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

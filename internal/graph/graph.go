@@ -177,6 +177,20 @@ func (g *Graph) Neighbors(v int) []int32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
+// NeighborsInto returns the sorted adjacency of v in original ids without
+// allocating on the steady state: flat graphs return an alias of internal
+// storage (buf is ignored and must not be written through), compressed
+// graphs decode into buf, growing it only when cap(buf) is too small, and
+// return the (possibly grown) buffer. Callers that keep the returned slice
+// as their scratch for the next call amortize decode storage to zero
+// allocations once the buffer has reached the graph's maximum degree.
+func (g *Graph) NeighborsInto(v int, buf []int32) []int32 {
+	if g.cadj != nil {
+		return g.neighborsOrigInto(v, buf)
+	}
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
 // HasEdge reports whether the edge (u,v) exists. Flat layout: binary search
 // of the sorted adjacency. Compressed layout: an allocation-free streaming
 // scan of u's encoded neighbor list.
